@@ -1,0 +1,48 @@
+//! Ablation: the Hybrid threshold δ (the paper fixes δ = 50 citing the
+//! Lemire et al. study [14]). Sweeps δ over a full LIGHT run on a skewed
+//! graph to confirm the plateau around the paper's choice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use light_core::{engine::run_plan, CountVisitor, EngineConfig};
+use light_graph::generators;
+use light_pattern::Query;
+use light_setops::IntersectKind;
+
+fn bench_delta_sweep(c: &mut Criterion) {
+    // RMAT is the most skewed generator — where δ matters most.
+    let g = {
+        let raw = generators::rmat(13, 80_000, (0.57, 0.19, 0.19, 0.05), 3);
+        light_graph::ordered::into_degree_ordered(&raw).0
+    };
+    let p = Query::P2.pattern();
+
+    let mut group = c.benchmark_group("delta_sweep_P2_rmat");
+    for delta in [2usize, 10, 50, 200, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(delta), &delta, |b, &delta| {
+            let mut cfg = EngineConfig::light().intersect(IntersectKind::HybridScalar);
+            cfg.delta = delta;
+            let plan = cfg.plan(&p, &g);
+            b.iter(|| {
+                let mut v = CountVisitor::default();
+                run_plan(&plan, &g, &cfg, &mut v).matches
+            });
+        });
+    }
+    // Merge-only reference point (δ = ∞).
+    group.bench_function("merge_only", |b| {
+        let cfg = EngineConfig::light().intersect(IntersectKind::MergeScalar);
+        let plan = cfg.plan(&p, &g);
+        b.iter(|| {
+            let mut v = CountVisitor::default();
+            run_plan(&plan, &g, &cfg, &mut v).matches
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_delta_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Ablation: work-stealing policy (DESIGN.md §8).
+//!
+//! Compares the paper's sender-initiated donate-half stealing against
+//! donate-one (finer, chattier) and the static even partition of the
+//! paper's "naive distributed LIGHT" (§VIII-A), which suffers from load
+//! imbalance on skewed graphs. On a multi-core host the static policy
+//! falls behind on skewed inputs; on one core the interesting output is
+//! the donation counts (printed by the fig7 harness).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use light_core::EngineConfig;
+use light_graph::generators;
+use light_parallel::{run_query_parallel, BalancePolicy, ParallelConfig};
+use light_pattern::Query;
+
+fn bench_policies(c: &mut Criterion) {
+    // Skewed graph: hubs make the root ranges wildly uneven.
+    let g = {
+        let raw = generators::rmat(13, 60_000, (0.55, 0.2, 0.2, 0.05), 5);
+        light_graph::ordered::into_degree_ordered(&raw).0
+    };
+    let p = Query::P2.pattern();
+    let cfg = EngineConfig::light();
+
+    let mut group = c.benchmark_group("stealing_policy_P2_rmat_4threads");
+    for (name, policy) in [
+        ("donate_half", BalancePolicy::DonateHalf),
+        ("donate_one", BalancePolicy::DonateOne),
+        ("static_partition", BalancePolicy::Static),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
+            b.iter(|| {
+                run_query_parallel(&p, &g, &cfg, &ParallelConfig::new(4).policy(policy))
+                    .report
+                    .matches
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_policies
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benchmark of the four engine variants end to end —
+//! the micro-scale companion of Fig. 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use light_core::{run_query, EngineConfig, EngineVariant};
+use light_graph::generators;
+use light_pattern::Query;
+use light_setops::IntersectKind;
+
+fn bench_engines(c: &mut Criterion) {
+    let g = generators::barabasi_albert(3_000, 6, 11);
+
+    let mut group = c.benchmark_group("engines");
+    for q in [Query::P2, Query::P4, Query::P6] {
+        let p = q.pattern();
+        for variant in EngineVariant::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(q.name(), variant.name()),
+                &variant,
+                |bench, &variant| {
+                    let cfg = EngineConfig::with_variant(variant)
+                        .intersect(IntersectKind::MergeScalar);
+                    bench.iter(|| run_query(&p, &g, &cfg).matches);
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_parallel_overhead(c: &mut Criterion) {
+    // Scheduler overhead: 1-thread parallel run vs direct serial run.
+    let g = generators::barabasi_albert(2_000, 5, 13);
+    let p = Query::P2.pattern();
+    let mut group = c.benchmark_group("parallel_overhead");
+    group.bench_function("serial", |b| {
+        let cfg = EngineConfig::light();
+        b.iter(|| run_query(&p, &g, &cfg).matches);
+    });
+    group.bench_function("pool_1_thread", |b| {
+        let cfg = EngineConfig::light();
+        b.iter(|| {
+            light_parallel::run_query_parallel(
+                &p,
+                &g,
+                &cfg,
+                &light_parallel::ParallelConfig::new(1),
+            )
+            .report
+            .matches
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engines, bench_parallel_overhead
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion micro-benchmarks of the §VII-A intersection kernels on
+//! synthetic workloads covering the two regimes of Algorithm 4:
+//! similar-size inputs (Merge's home turf) and heavy cardinality skew
+//! (Galloping's).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use light_setops::{IntersectKind, IntersectStats, Intersector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn sorted_set(rng: &mut StdRng, len: usize, universe: u32) -> Vec<u32> {
+    let mut v: Vec<u32> = (0..len * 2).map(|_| rng.random_range(0..universe)).collect();
+    v.sort_unstable();
+    v.dedup();
+    v.truncate(len);
+    v
+}
+
+fn bench_similar_sizes(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let a = sorted_set(&mut rng, 4096, 100_000);
+    let b = sorted_set(&mut rng, 4096, 100_000);
+
+    let mut group = c.benchmark_group("similar_sizes_4096x4096");
+    group.throughput(Throughput::Elements((a.len() + b.len()) as u64));
+    for kind in IntersectKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |bench, &kind| {
+                let isec = Intersector::new(kind);
+                let mut out = Vec::new();
+                let mut stats = IntersectStats::default();
+                bench.iter(|| {
+                    isec.intersect_into(&a, &b, &mut out, &mut stats);
+                    out.len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_skewed_sizes(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(43);
+    let small = sorted_set(&mut rng, 64, 1_000_000);
+    let large = sorted_set(&mut rng, 200_000, 1_000_000);
+
+    let mut group = c.benchmark_group("skewed_64x200000");
+    group.throughput(Throughput::Elements(small.len() as u64));
+    for kind in IntersectKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |bench, &kind| {
+                let isec = Intersector::new(kind);
+                let mut out = Vec::new();
+                let mut stats = IntersectStats::default();
+                bench.iter(|| {
+                    isec.intersect_into(&small, &large, &mut out, &mut stats);
+                    out.len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_similar_sizes, bench_skewed_sizes
+}
+criterion_main!(benches);

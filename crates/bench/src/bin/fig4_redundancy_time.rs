@@ -1,0 +1,85 @@
+//! Fig. 4 — execution time of the redundancy-reduction comparison.
+//!
+//! Serial (1 thread), no SIMD — exactly §VIII-B1's setup: EH, CFL, SE, LM,
+//! MSC and LIGHT on P2, P4, P6 over yt and lj. SE/LM/MSC/LIGHT share the
+//! same enumeration order π (the §VI optimizer's choice); EH and CFL use
+//! their own orders.
+//!
+//! Paper shape to reproduce: LIGHT fastest everywhere; LM close behind;
+//! MSC ≈ SE on P4 (no per-path reduction) but better on P2/P6; EH worse
+//! than SE on P2 (non-connected order) and OOS on P4/P6; CFL ≈ SE on
+//! P2/P6, worse or failing on P4.
+
+use std::time::Duration;
+
+use light_bench::{dataset, fmt_secs, scale, space_budget, time_budget, TablePrinter};
+use light_core::{EngineConfig, EngineVariant, Outcome};
+use light_distributed::{Budget, CflSim, EhSim, SimOutcome};
+use light_graph::datasets::Dataset;
+use light_pattern::Query;
+use light_setops::IntersectKind;
+
+fn main() {
+    let s = scale(0.05);
+    let tb = time_budget(60);
+    let sb = space_budget(256);
+    println!("Fig. 4: serial execution time (s), scale {s}, budget {}s/{}MB", tb.as_secs(), sb >> 20);
+    println!("algorithms: EH, CFL, SE, LM, MSC, LIGHT (serial, scalar Merge — no SIMD)\n");
+
+    let queries = [Query::P2, Query::P4, Query::P6];
+    let datasets = [Dataset::Yt, Dataset::Lj];
+
+    let mut t = TablePrinter::new(&["case", "EH", "CFL", "SE", "LM", "MSC", "LIGHT", "matches"]);
+    for d in datasets {
+        let g = dataset(d, s);
+        for q in queries {
+            let p = q.pattern();
+            let budget = Budget::unlimited().with_time(tb).with_bytes(sb);
+
+            let eh = EhSim::run(&p, &g, &budget);
+            let cfl = CflSim::run(&p, &g, &budget);
+
+            let mut cells = vec![format!("{} on {}", q.name(), d.name())];
+            cells.push(sim_cell(eh.outcome, eh.elapsed));
+            cells.push(sim_cell(cfl.outcome, cfl.elapsed));
+
+            let mut matches = None;
+            for v in EngineVariant::ALL {
+                // Fig. 4 isolates the redundancy techniques: serial, scalar.
+                let cfg = EngineConfig::with_variant(v)
+                    .intersect(IntersectKind::MergeScalar)
+                    .budget(tb);
+                let r = light_core::run_query(&p, &g, &cfg);
+                cells.push(match r.outcome {
+                    Outcome::Complete => fmt_secs(r.elapsed),
+                    _ => "INF".into(),
+                });
+                if r.outcome == Outcome::Complete {
+                    matches = Some(r.matches);
+                }
+            }
+            cells.push(
+                matches
+                    .map(light_bench::fmt_count)
+                    .unwrap_or_else(|| "-".into()),
+            );
+            t.row(&cells);
+        }
+    }
+    t.print();
+    println!("\nINF = out of time budget, OOS = out of space budget (paper: missing bar).");
+    print_shape_notes();
+}
+
+fn sim_cell(outcome: SimOutcome, elapsed: Duration) -> String {
+    match outcome {
+        SimOutcome::Done => fmt_secs(elapsed),
+        SimOutcome::OutOfTime => "INF".into(),
+        SimOutcome::OutOfSpace => "OOS".into(),
+    }
+}
+
+fn print_shape_notes() {
+    println!("paper shape: LIGHT < LM <= MSC/SE; EH >> SE on P2; EH fails P4/P6 (OOS);");
+    println!("             CFL ~ SE on P2/P6; MSC ~ SE on P4 (set cover cannot help there).");
+}

@@ -1,0 +1,123 @@
+//! Fig. 5 — number of set intersections per algorithm.
+//!
+//! Same matrix as Fig. 4, but reporting the *instrumented count of pairwise
+//! set intersections* instead of time. This is the paper's direct evidence
+//! for the redundancy-reduction claims (up to 95% fewer intersections than
+//! SE). Cases that fail (OOT/OOS) print "-" as in the paper ("if a query
+//! cannot be completed … there is no experiment result of the number of set
+//! intersections").
+
+use light_bench::{dataset, fmt_count, scale, space_budget, time_budget, TablePrinter};
+use light_core::{EngineConfig, EngineVariant, Outcome};
+use light_distributed::{Budget, CflSim, EhSim, SimOutcome};
+use light_graph::datasets::Dataset;
+use light_pattern::Query;
+use light_setops::IntersectKind;
+
+fn main() {
+    let s = scale(0.05);
+    let tb = time_budget(60);
+    let sb = space_budget(256);
+    println!("Fig. 5: number of set intersections, scale {s}\n");
+
+    let queries = [Query::P2, Query::P4, Query::P6];
+    let datasets = [Dataset::Yt, Dataset::Lj];
+
+    let mut t = TablePrinter::new(&["case", "EH", "CFL", "SE", "LM", "MSC", "LIGHT", "LIGHT/SE"]);
+    for d in datasets {
+        let g = dataset(d, s);
+        for q in queries {
+            let p = q.pattern();
+            let budget = Budget::unlimited().with_time(tb).with_bytes(sb);
+
+            let eh = EhSim::run(&p, &g, &budget);
+            let cfl = CflSim::run(&p, &g, &budget);
+
+            let mut cells = vec![format!("{} on {}", q.name(), d.name())];
+            cells.push(if eh.outcome == SimOutcome::Done {
+                fmt_count(eh.intersections)
+            } else {
+                "-".into()
+            });
+            cells.push(if cfl.outcome == SimOutcome::Done {
+                fmt_count(cfl.intersections)
+            } else {
+                "-".into()
+            });
+
+            let mut se_count = None;
+            let mut light_count = None;
+            for v in EngineVariant::ALL {
+                let cfg = EngineConfig::with_variant(v)
+                    .intersect(IntersectKind::MergeScalar)
+                    .budget(tb);
+                let r = light_core::run_query(&p, &g, &cfg);
+                if r.outcome == Outcome::Complete {
+                    cells.push(fmt_count(r.stats.intersect.total));
+                    match v {
+                        EngineVariant::Se => se_count = Some(r.stats.intersect.total),
+                        EngineVariant::Light => light_count = Some(r.stats.intersect.total),
+                        _ => {}
+                    }
+                } else {
+                    cells.push("-".into());
+                }
+            }
+            let ratio = match (se_count, light_count) {
+                (Some(se), Some(l)) if se > 0 => format!("{:.1}%", 100.0 * l as f64 / se as f64),
+                _ => "-".into(),
+            };
+            cells.push(ratio);
+            t.row(&cells);
+        }
+    }
+    t.print();
+
+    // The size of the reduction scales with Γ — the expected number of
+    // candidates per free vertex (§IV-C, Equation 5) — i.e. with graph
+    // density. The compressed-degree dataset analogs cap Γ at a few; a
+    // dense graph shows the paper's ≥90% regime with the same code.
+    println!("\nGamma-scaling check on a dense graph (ER N=1200, avg degree 150):");
+    let dense = {
+        let raw = light_graph::generators::erdos_renyi(1200, 90_000, 7);
+        light_graph::ordered::into_degree_ordered(&raw).0
+    };
+    let mut t2 = TablePrinter::new(&["pattern", "SE", "LIGHT", "LIGHT/SE"]);
+    for q in [Query::P2, Query::P6] {
+        let se = light_core::run_query(
+            &q.pattern(),
+            &dense,
+            &EngineConfig::with_variant(EngineVariant::Se)
+                .intersect(IntersectKind::MergeScalar)
+                .budget(tb),
+        );
+        let lt = light_core::run_query(
+            &q.pattern(),
+            &dense,
+            &EngineConfig::with_variant(EngineVariant::Light)
+                .intersect(IntersectKind::MergeScalar)
+                .budget(tb),
+        );
+        let ratio = if se.outcome == Outcome::Complete && lt.outcome == Outcome::Complete {
+            format!(
+                "{:.1}%",
+                100.0 * lt.stats.intersect.total as f64 / se.stats.intersect.total as f64
+            )
+        } else {
+            "-".into()
+        };
+        t2.row(&[
+            q.name().to_string(),
+            fmt_count(se.stats.intersect.total),
+            fmt_count(lt.stats.intersect.total),
+            ratio,
+        ]);
+    }
+    t2.print();
+
+    println!("\npaper shape: LIGHT cuts intersections vs SE by up to 95%; EH does orders of");
+    println!("magnitude more than SE on P2 (its order is not connected); CFL == SE counts");
+    println!("on P2/P6 (same order, different kernel). The reduction factor tracks graph");
+    println!("density (Gamma in Equation 5): moderate on the compressed-degree analogs,");
+    println!(">=90% in the dense regime above.");
+}

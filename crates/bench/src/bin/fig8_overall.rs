@@ -1,0 +1,97 @@
+//! Fig. 8 — overall comparison: LIGHT vs DUALSIM vs SEED vs CRYSTAL.
+//!
+//! All 42 cases (7 patterns × 6 datasets). LIGHT runs parallel with
+//! HybridAVX2; DUALSIM-like runs parallel SE; SEED and CRYSTAL run their
+//! BFS join pipelines under the space budget (their 12-machine cluster's
+//! disk, scaled down with the datasets).
+//!
+//! Paper shape to reproduce: LIGHT completes all 42 cases; DUALSIM times
+//! out on the complex patterns (16 failures in the paper); SEED (8
+//! failures) and CRYSTAL (12) die mostly by OOS on the larger datasets;
+//! where they do finish, LIGHT is up to 2 orders of magnitude faster.
+
+use light_bench::{dataset, fmt_secs, scale, space_budget, threads, time_budget, TablePrinter};
+use light_core::{EngineConfig, Outcome};
+use light_distributed::{Budget, CrystalSim, DualSimLike, SeedSim, SimOutcome, SimReport};
+use light_graph::datasets::Dataset;
+use light_parallel::{run_query_parallel, ParallelConfig};
+use light_pattern::Query;
+
+fn main() {
+    let s = scale(0.05);
+    let tb = time_budget(60);
+    let sb = space_budget(256);
+    let k = threads(4);
+    println!(
+        "Fig. 8: overall comparison, scale {s}, budget {}s/{}MB, {k} threads\n",
+        tb.as_secs(),
+        sb >> 20
+    );
+
+    let budget = Budget::unlimited().with_time(tb).with_bytes(sb);
+    let mut fails = [0usize; 4]; // LIGHT, DUALSIM, SEED, CRYSTAL
+    let mut speedup_max: f64 = 0.0;
+
+    let mut t = TablePrinter::new(&["case", "LIGHT", "DUALSIM", "SEED", "CRYSTAL", "matches"]);
+    for d in Dataset::ALL {
+        let g = dataset(d, s);
+        for q in Query::ALL {
+            let p = q.pattern();
+
+            let cfg = EngineConfig::light().budget(tb);
+            let light = run_query_parallel(&p, &g, &cfg, &ParallelConfig::new(k));
+            let light_cell = match light.report.outcome {
+                Outcome::Complete => fmt_secs(light.report.elapsed),
+                _ => {
+                    fails[0] += 1;
+                    "INF".into()
+                }
+            };
+
+            let dual = DualSimLike::run(&p, &g, &budget, k);
+            let seed = SeedSim::run(&p, &g, &budget);
+            let crystal = CrystalSim::run(&p, &g, &budget);
+            for (i, r) in [&dual, &seed, &crystal].iter().enumerate() {
+                if r.outcome != SimOutcome::Done {
+                    fails[i + 1] += 1;
+                }
+                if r.outcome == SimOutcome::Done
+                    && light.report.outcome == Outcome::Complete
+                    && light.report.elapsed.as_secs_f64() > 0.0
+                {
+                    speedup_max = speedup_max
+                        .max(r.elapsed.as_secs_f64() / light.report.elapsed.as_secs_f64());
+                }
+            }
+
+            t.row(&[
+                format!("{} on {}", q.name(), d.name()),
+                light_cell,
+                sim_cell(&dual),
+                sim_cell(&seed),
+                sim_cell(&crystal),
+                if light.report.outcome == Outcome::Complete {
+                    light_bench::fmt_count(light.report.matches)
+                } else {
+                    "-".into()
+                },
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nfailures out of 42 cases: LIGHT {}, DUALSIM {}, SEED {}, CRYSTAL {}",
+        fails[0], fails[1], fails[2], fails[3]
+    );
+    println!("max speedup of LIGHT over a completing competitor: {speedup_max:.0}x");
+    println!("\npaper: LIGHT 0 failures; DUALSIM 16 (OOT); SEED 8, CRYSTAL 12 (mostly OOS);");
+    println!("LIGHT up to 3 orders faster than DUALSIM, 2 orders faster than SEED/CRYSTAL.");
+}
+
+fn sim_cell(r: &SimReport) -> String {
+    match r.outcome {
+        SimOutcome::Done => fmt_secs(r.elapsed),
+        SimOutcome::OutOfTime => "INF".into(),
+        SimOutcome::OutOfSpace => "OOS".into(),
+    }
+}

@@ -1,0 +1,69 @@
+//! Table V — memory consumption of the candidate sets on P5.
+//!
+//! The paper reports the candidate-set footprint of LIGHT with 64 threads
+//! on P5 (the largest pattern by vertex count): tiny (0.008–0.239 GB),
+//! demonstrating the O(k · n · d_max) bound of the parallel DFS (§VII-B) —
+//! the crux of the argument against BFS intermediate materialization.
+//!
+//! For contrast, the harness also prints the peak intermediate bytes the
+//! SEED simulator materializes for the same query.
+
+use light_bench::{dataset, scale, threads, time_budget, TablePrinter};
+use light_core::EngineConfig;
+use light_distributed::{Budget, SeedSim, SimOutcome};
+use light_graph::datasets::Dataset;
+use light_parallel::{run_query_parallel, ParallelConfig};
+use light_pattern::Query;
+
+fn main() {
+    let s = scale(0.05);
+    let tb = time_budget(120);
+    let k = threads(64);
+    println!("Table V: candidate-set memory on P5 with {k} threads, scale {s}\n");
+
+    let mut t = TablePrinter::new(&[
+        "dataset",
+        "LIGHT cand-set bytes",
+        "graph MB",
+        "SEED intermediate bytes",
+        "ratio",
+    ]);
+    for d in Dataset::ALL {
+        let g = dataset(d, s);
+        let p = Query::P5.pattern();
+
+        let cfg = EngineConfig::light().budget(tb);
+        let pr = run_query_parallel(&p, &g, &cfg, &ParallelConfig::new(k));
+        let light_bytes = pr.report.stats.peak_candidate_bytes;
+
+        let seed = SeedSim::run(
+            &p,
+            &g,
+            &Budget::unlimited().with_time(tb).with_bytes(1 << 30),
+        );
+        let seed_cell = match seed.outcome {
+            SimOutcome::Done => light_bench::fmt_count(seed.peak_intermediate_bytes as u64),
+            SimOutcome::OutOfSpace => format!(">{}", light_bench::fmt_count(1 << 30)),
+            SimOutcome::OutOfTime => "INF".into(),
+        };
+        let ratio = if seed.peak_intermediate_bytes > 0 && light_bytes > 0 {
+            format!(
+                "{:.0}x",
+                seed.peak_intermediate_bytes as f64 / light_bytes as f64
+            )
+        } else {
+            "-".into()
+        };
+        t.row(&[
+            d.name().to_string(),
+            light_bench::fmt_count(light_bytes as u64),
+            format!("{:.2}", g.memory_bytes() as f64 / (1 << 20) as f64),
+            seed_cell,
+            ratio,
+        ]);
+    }
+    t.print();
+    println!("\npaper shape: candidate sets are orders of magnitude below both the graph");
+    println!("itself and any BFS engine's intermediates (paper: 0.008-0.239 GB at 64 threads");
+    println!("on billion-edge graphs).");
+}

@@ -1,0 +1,216 @@
+//! Engine configuration: variant, intersection kernel, budgets.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use light_graph::VertexId;
+use light_pattern::PatternVertex;
+
+use light_graph::CsrGraph;
+use light_order::plan::{CandidateStrategy, Materialization, QueryPlan};
+use light_pattern::PatternGraph;
+use light_setops::{IntersectKind, DEFAULT_DELTA};
+
+/// The four engine variants of §VIII-B1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineVariant {
+    /// Algorithm 1 — eager materialization, backward-neighbor operands.
+    Se,
+    /// Lazy materialization only.
+    Lm,
+    /// Minimum-set-cover candidate computation only.
+    Msc,
+    /// Both techniques — the full LIGHT engine.
+    Light,
+}
+
+impl EngineVariant {
+    /// The four variants in §VIII-B1 order.
+    pub const ALL: [EngineVariant; 4] = [
+        EngineVariant::Se,
+        EngineVariant::Lm,
+        EngineVariant::Msc,
+        EngineVariant::Light,
+    ];
+
+    /// Display name ("SE", "LM", "MSC", "LIGHT").
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineVariant::Se => "SE",
+            EngineVariant::Lm => "LM",
+            EngineVariant::Msc => "MSC",
+            EngineVariant::Light => "LIGHT",
+        }
+    }
+
+    /// The (materialization, candidate-strategy) pair of this variant.
+    pub fn knobs(self) -> (Materialization, CandidateStrategy) {
+        match self {
+            EngineVariant::Se => (
+                Materialization::Eager,
+                CandidateStrategy::BackwardNeighbors,
+            ),
+            EngineVariant::Lm => (Materialization::Lazy, CandidateStrategy::BackwardNeighbors),
+            EngineVariant::Msc => (Materialization::Eager, CandidateStrategy::MinSetCover),
+            EngineVariant::Light => (Materialization::Lazy, CandidateStrategy::MinSetCover),
+        }
+    }
+}
+
+/// A bind-time admission filter: `filter(u, v)` decides whether pattern
+/// vertex `u` may map to data vertex `v`. The extension point for labeled
+/// matching (compare label arrays) or custom pruning (degree thresholds);
+/// `None` admits everything — the paper's unlabeled setting.
+pub type BindFilter = Arc<dyn Fn(PatternVertex, VertexId) -> bool + Send + Sync>;
+
+/// Full engine configuration.
+#[derive(Clone)]
+pub struct EngineConfig {
+    /// Which algorithm variant to run.
+    pub variant: EngineVariant,
+    /// Set-intersection kernel (§VII-A / Fig. 6).
+    pub intersect: IntersectKind,
+    /// Hybrid skew threshold δ (paper: 50).
+    pub delta: usize,
+    /// Enforce the symmetry-breaking partial order (§II-A). Disable only
+    /// for tests that count raw (duplicate-inclusive) matches, as in
+    /// Example IV.2's note.
+    pub symmetry_breaking: bool,
+    /// Wall-clock budget; exceeded runs return [`crate::Outcome::OutOfTime`]
+    /// (the paper's 24 h / 72 h limits, scaled).
+    pub time_budget: Option<Duration>,
+    /// Optional bind-time admission filter (labeled matching / pruning).
+    pub bind_filter: Option<BindFilter>,
+}
+
+impl std::fmt::Debug for EngineConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineConfig")
+            .field("variant", &self.variant)
+            .field("intersect", &self.intersect)
+            .field("delta", &self.delta)
+            .field("symmetry_breaking", &self.symmetry_breaking)
+            .field("time_budget", &self.time_budget)
+            .field("bind_filter", &self.bind_filter.as_ref().map(|_| "<fn>"))
+            .finish()
+    }
+}
+
+impl EngineConfig {
+    /// LIGHT with the best intersection kernel available on this CPU.
+    pub fn light() -> Self {
+        Self::with_variant(EngineVariant::Light)
+    }
+
+    /// SE baseline with the scalar merge kernel, as in Algorithm 1.
+    pub fn se() -> Self {
+        EngineConfig {
+            variant: EngineVariant::Se,
+            intersect: IntersectKind::MergeScalar,
+            ..Self::light()
+        }
+    }
+
+    /// A given variant with defaults (best kernel, symmetry breaking on,
+    /// no time budget).
+    pub fn with_variant(variant: EngineVariant) -> Self {
+        EngineConfig {
+            variant,
+            intersect: IntersectKind::best_available(),
+            delta: DEFAULT_DELTA,
+            symmetry_breaking: true,
+            time_budget: None,
+            bind_filter: None,
+        }
+    }
+
+    /// Builder-style kernel override.
+    pub fn intersect(mut self, kind: IntersectKind) -> Self {
+        self.intersect = kind;
+        self
+    }
+
+    /// Builder-style symmetry-breaking toggle.
+    pub fn symmetry(mut self, on: bool) -> Self {
+        self.symmetry_breaking = on;
+        self
+    }
+
+    /// Builder-style time budget.
+    pub fn budget(mut self, d: Duration) -> Self {
+        self.time_budget = Some(d);
+        self
+    }
+
+    /// Builder-style bind filter (see [`BindFilter`]).
+    pub fn filter(
+        mut self,
+        f: impl Fn(PatternVertex, light_graph::VertexId) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.bind_filter = Some(Arc::new(f));
+        self
+    }
+
+    /// Build the query plan this configuration implies for `(pattern, g)`.
+    pub fn plan(&self, pattern: &PatternGraph, g: &CsrGraph) -> QueryPlan {
+        let (mat, strat) = self.variant.knobs();
+        if self.symmetry_breaking {
+            QueryPlan::optimized_with(pattern, g, mat, strat)
+        } else {
+            // Without symmetry breaking there is no partial order to
+            // respect; still use the optimizer for π.
+            let est = light_order::estimate::Estimator::from_graph(g);
+            let po = light_pattern::PartialOrder::none();
+            let pi = light_order::cost::choose_order(pattern, &po, &est);
+            QueryPlan::with_order(pattern, &pi, po, mat, strat)
+        }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self::light()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_names() {
+        let names: Vec<_> = EngineVariant::ALL.iter().map(|v| v.name()).collect();
+        assert_eq!(names, vec!["SE", "LM", "MSC", "LIGHT"]);
+    }
+
+    #[test]
+    fn knobs_matrix() {
+        assert_eq!(
+            EngineVariant::Light.knobs(),
+            (Materialization::Lazy, CandidateStrategy::MinSetCover)
+        );
+        assert_eq!(
+            EngineVariant::Se.knobs(),
+            (
+                Materialization::Eager,
+                CandidateStrategy::BackwardNeighbors
+            )
+        );
+    }
+
+    #[test]
+    fn builders() {
+        let c = EngineConfig::light()
+            .intersect(IntersectKind::MergeScalar)
+            .symmetry(false)
+            .budget(Duration::from_secs(1));
+        assert_eq!(c.intersect, IntersectKind::MergeScalar);
+        assert!(!c.symmetry_breaking);
+        assert!(c.time_budget.is_some());
+    }
+
+    #[test]
+    fn se_uses_scalar_merge() {
+        assert_eq!(EngineConfig::se().intersect, IntersectKind::MergeScalar);
+    }
+}

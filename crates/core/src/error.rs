@@ -1,0 +1,127 @@
+//! Input validation for the public query API.
+//!
+//! The engines themselves assume well-formed plans (planning bugs are
+//! programming errors and panic); user-facing entry points validate the
+//! pattern first and return these errors instead.
+
+use light_pattern::{PatternGraph, MAX_PATTERN_VERTICES};
+
+/// Why a query cannot be planned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The pattern has no edges (every injective assignment would match —
+    /// not a meaningful enumeration query).
+    EmptyPattern,
+    /// The pattern is not connected; the paper's algorithms require
+    /// connected patterns (§II-A, Assumptions).
+    DisconnectedPattern,
+    /// More vertices than the engine supports.
+    PatternTooLarge {
+        /// Vertices in the offending pattern.
+        got: usize,
+        /// Maximum supported.
+        max: usize,
+    },
+    /// The pattern has more vertices than the data graph — no match can be
+    /// injective.
+    PatternLargerThanGraph {
+        /// Pattern vertex count.
+        pattern: usize,
+        /// Data-graph vertex count.
+        graph: usize,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::EmptyPattern => write!(f, "pattern has no edges"),
+            QueryError::DisconnectedPattern => {
+                write!(f, "pattern is not connected (required by LIGHT, §II-A)")
+            }
+            QueryError::PatternTooLarge { got, max } => {
+                write!(f, "pattern has {got} vertices; at most {max} supported")
+            }
+            QueryError::PatternLargerThanGraph { pattern, graph } => write!(
+                f,
+                "pattern has {pattern} vertices but the data graph only {graph}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Validate a (pattern, graph) query pair.
+pub fn validate_query(
+    pattern: &PatternGraph,
+    graph_vertices: usize,
+) -> Result<(), QueryError> {
+    if pattern.num_vertices() > MAX_PATTERN_VERTICES {
+        return Err(QueryError::PatternTooLarge {
+            got: pattern.num_vertices(),
+            max: MAX_PATTERN_VERTICES,
+        });
+    }
+    if pattern.num_edges() == 0 {
+        return Err(QueryError::EmptyPattern);
+    }
+    if !pattern.is_connected() {
+        return Err(QueryError::DisconnectedPattern);
+    }
+    if pattern.num_vertices() > graph_vertices {
+        return Err(QueryError::PatternLargerThanGraph {
+            pattern: pattern.num_vertices(),
+            graph: graph_vertices,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_pattern() {
+        let p = PatternGraph::empty(3);
+        assert_eq!(validate_query(&p, 100), Err(QueryError::EmptyPattern));
+    }
+
+    #[test]
+    fn rejects_disconnected_pattern() {
+        let mut p = PatternGraph::empty(4);
+        p.add_edge(0, 1);
+        p.add_edge(2, 3);
+        assert_eq!(
+            validate_query(&p, 100),
+            Err(QueryError::DisconnectedPattern)
+        );
+    }
+
+    #[test]
+    fn rejects_oversized_pattern_vs_graph() {
+        let p = PatternGraph::complete(5);
+        assert_eq!(
+            validate_query(&p, 3),
+            Err(QueryError::PatternLargerThanGraph {
+                pattern: 5,
+                graph: 3
+            })
+        );
+    }
+
+    #[test]
+    fn accepts_valid_query() {
+        let p = PatternGraph::complete(3);
+        assert!(validate_query(&p, 100).is_ok());
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(QueryError::EmptyPattern.to_string().contains("no edges"));
+        assert!(QueryError::DisconnectedPattern
+            .to_string()
+            .contains("connected"));
+    }
+}

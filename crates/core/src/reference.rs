@@ -1,0 +1,92 @@
+//! Brute-force reference enumerator for correctness testing.
+//!
+//! A deliberately naive backtracking matcher with no candidate sets, no
+//! ordering optimization, and no set intersections: it tries every injective
+//! assignment and checks edges with `contains_edge`. Exponentially slow but
+//! trivially correct — the integration tests cross-check every engine
+//! variant against it on small graphs.
+
+use light_graph::{CsrGraph, VertexId, INVALID_VERTEX};
+use light_pattern::{PartialOrder, PatternGraph};
+
+/// Count matches from `p` to `g`, optionally enforcing a symmetry-breaking
+/// partial order.
+pub fn count_matches(p: &PatternGraph, g: &CsrGraph, po: Option<&PartialOrder>) -> u64 {
+    let mut phi = vec![INVALID_VERTEX; p.num_vertices()];
+    let mut count = 0u64;
+    backtrack(p, g, po, &mut phi, 0, &mut count);
+    count
+}
+
+fn backtrack(
+    p: &PatternGraph,
+    g: &CsrGraph,
+    po: Option<&PartialOrder>,
+    phi: &mut Vec<VertexId>,
+    u: usize,
+    count: &mut u64,
+) {
+    if u == p.num_vertices() {
+        *count += 1;
+        return;
+    }
+    'outer: for v in 0..g.num_vertices() as VertexId {
+        // Injectivity.
+        if phi[..u].contains(&v) {
+            continue;
+        }
+        // Edge preservation against already-mapped vertices.
+        for (w, &pw) in phi.iter().enumerate().take(u) {
+            if p.has_edge(u as u8, w as u8) && !g.contains_edge(v, pw) {
+                continue 'outer;
+            }
+        }
+        // Symmetry breaking.
+        if let Some(po) = po {
+            for &(a, b) in po.pairs() {
+                let (a, b) = (a as usize, b as usize);
+                if a < u && b == u && phi[a] >= v {
+                    continue 'outer;
+                }
+                if b < u && a == u && v >= phi[b] {
+                    continue 'outer;
+                }
+            }
+        }
+        phi[u] = v;
+        backtrack(p, g, po, phi, u + 1, count);
+        phi[u] = INVALID_VERTEX;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use light_graph::generators;
+    use light_pattern::Query;
+
+    #[test]
+    fn triangles_in_k4() {
+        let g = generators::complete(4);
+        let p = Query::Triangle.pattern();
+        // 4 triangles * 6 automorphic orderings without SB.
+        assert_eq!(count_matches(&p, &g, None), 24);
+        let po = Query::Triangle.partial_order();
+        assert_eq!(count_matches(&p, &g, Some(&po)), 4);
+    }
+
+    #[test]
+    fn squares_in_cycle() {
+        let g = generators::cycle(4);
+        let p = Query::P1.pattern();
+        let po = Query::P1.partial_order();
+        assert_eq!(count_matches(&p, &g, Some(&po)), 1);
+    }
+
+    #[test]
+    fn no_triangles_in_bipartite() {
+        let g = generators::grid(3, 3);
+        let p = Query::Triangle.pattern();
+        assert_eq!(count_matches(&p, &g, None), 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Budgets and outcomes for the simulated systems.
+//!
+//! The paper gives every algorithm a 24-hour limit (72 h in §VIII-B) and
+//! fixed cluster disk/memory; algorithms exceed them as OOT ("INF" bars) or
+//! OOS (missing bars). The simulators scale those limits down to match the
+//! scaled-down datasets.
+
+use std::time::{Duration, Instant};
+
+/// Resource budget for a simulated run.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// Wall-clock limit (None = unlimited).
+    pub time: Option<Duration>,
+    /// Intermediate-result byte limit — the cluster disk/memory analog
+    /// (None = unlimited).
+    pub max_intermediate_bytes: Option<usize>,
+}
+
+impl Budget {
+    /// No limits (correctness tests).
+    pub fn unlimited() -> Self {
+        Budget {
+            time: None,
+            max_intermediate_bytes: None,
+        }
+    }
+
+    /// The defaults used by the Fig. 8 harness on scaled datasets.
+    pub fn standard() -> Self {
+        Budget {
+            time: Some(Duration::from_secs(60)),
+            max_intermediate_bytes: Some(256 << 20), // 256 MiB
+        }
+    }
+
+    /// Builder-style wall-clock limit.
+    pub fn with_time(mut self, d: Duration) -> Self {
+        self.time = Some(d);
+        self
+    }
+
+    /// Builder-style intermediate-space limit.
+    pub fn with_bytes(mut self, b: usize) -> Self {
+        self.max_intermediate_bytes = Some(b);
+        self
+    }
+}
+
+/// How a simulated run ended (Fig. 8's three bar states).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimOutcome {
+    /// Finished within budget.
+    Done,
+    /// Exceeded the wall-clock budget — rendered "INF" in the paper's bars.
+    OutOfTime,
+    /// Exceeded the intermediate-space budget — a missing bar in the paper.
+    OutOfSpace,
+}
+
+/// Result of a simulated system run.
+#[derive(Debug, Clone, Copy)]
+pub struct SimReport {
+    /// How the run ended.
+    pub outcome: SimOutcome,
+    /// Matches found (only meaningful when `outcome == Done`).
+    pub matches: u64,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+    /// Peak bytes held in materialized intermediate results.
+    pub peak_intermediate_bytes: usize,
+    /// Total bytes "shuffled" between rounds (MapReduce transfer analog).
+    pub shuffled_bytes: usize,
+    /// Number of BFS/join rounds executed.
+    pub rounds: usize,
+    /// Pairwise set intersections performed (filled by the simulators that
+    /// feed Fig. 5: EH and CFL; 0 where not tracked).
+    pub intersections: u64,
+}
+
+impl SimReport {
+    /// Build a failure report with zeroed result fields.
+    pub fn failed(outcome: SimOutcome, start: Instant, peak: usize, shuffled: usize, rounds: usize) -> Self {
+        SimReport {
+            outcome,
+            matches: 0,
+            elapsed: start.elapsed(),
+            peak_intermediate_bytes: peak,
+            shuffled_bytes: shuffled,
+            rounds,
+            intersections: 0,
+        }
+    }
+}
+
+/// Budget tracker shared by the simulators.
+#[derive(Debug)]
+pub struct BudgetTracker {
+    deadline: Option<Instant>,
+    max_bytes: Option<usize>,
+    /// Bytes currently materialized.
+    pub current_bytes: usize,
+    /// Peak bytes materialized.
+    pub peak_bytes: usize,
+    /// Total bytes shuffled between rounds.
+    pub shuffled_bytes: usize,
+    /// When the run started.
+    pub start: Instant,
+}
+
+impl BudgetTracker {
+    /// Start tracking against `budget`.
+    pub fn new(budget: &Budget) -> Self {
+        let start = Instant::now();
+        BudgetTracker {
+            deadline: budget.time.map(|d| start + d),
+            max_bytes: budget.max_intermediate_bytes,
+            current_bytes: 0,
+            peak_bytes: 0,
+            shuffled_bytes: 0,
+            start,
+        }
+    }
+
+    /// Record newly materialized bytes; Err(OutOfSpace) if over budget.
+    pub fn alloc(&mut self, bytes: usize) -> Result<(), SimOutcome> {
+        self.current_bytes += bytes;
+        self.peak_bytes = self.peak_bytes.max(self.current_bytes);
+        match self.max_bytes {
+            Some(limit) if self.current_bytes > limit => Err(SimOutcome::OutOfSpace),
+            _ => Ok(()),
+        }
+    }
+
+    /// Release materialized bytes (table dropped after a join round).
+    pub fn free(&mut self, bytes: usize) {
+        self.current_bytes = self.current_bytes.saturating_sub(bytes);
+    }
+
+    /// Record shuffle traffic.
+    pub fn shuffle(&mut self, bytes: usize) {
+        self.shuffled_bytes += bytes;
+    }
+
+    /// Err(OutOfTime) once the deadline passes.
+    pub fn check_time(&self) -> Result<(), SimOutcome> {
+        match self.deadline {
+            Some(d) if Instant::now() >= d => Err(SimOutcome::OutOfTime),
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free_track_peak() {
+        let mut t = BudgetTracker::new(&Budget::unlimited());
+        t.alloc(100).unwrap();
+        t.alloc(50).unwrap();
+        t.free(100);
+        t.alloc(10).unwrap();
+        assert_eq!(t.current_bytes, 60);
+        assert_eq!(t.peak_bytes, 150);
+    }
+
+    #[test]
+    fn space_budget_trips() {
+        let mut t = BudgetTracker::new(&Budget::unlimited().with_bytes(100));
+        assert!(t.alloc(99).is_ok());
+        assert_eq!(t.alloc(2), Err(SimOutcome::OutOfSpace));
+    }
+
+    #[test]
+    fn time_budget_trips() {
+        let t = BudgetTracker::new(&Budget::unlimited().with_time(Duration::ZERO));
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(t.check_time(), Err(SimOutcome::OutOfTime));
+    }
+
+    #[test]
+    fn unlimited_never_trips() {
+        let mut t = BudgetTracker::new(&Budget::unlimited());
+        assert!(t.alloc(usize::MAX / 2).is_ok());
+        assert!(t.check_time().is_ok());
+    }
+}

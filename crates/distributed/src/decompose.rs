@@ -1,0 +1,299 @@
+//! Pattern decompositions for the BFS comparators, plus the shared
+//! unit-materialization helper.
+//!
+//! * SEED decomposes the pattern into **clique-star** join units: maximal
+//!   cliques first, stars for the leftover edges.
+//! * CRYSTAL decomposes into a **core** (dense kernel; we grow a maximum
+//!   clique until the remaining vertices form an independent set whose
+//!   edges all point into the core) plus **crystals** — bud vertices with
+//!   their attachment sets.
+//!
+//! Units are vertex masks; each unit is matched as the *vertex-induced*
+//! subpattern, so the union of induced edge sets always covers `E(P)` and
+//! the join of all unit tables reconstructs exactly `R(P)`.
+
+use light_core::visitor::FnVisitor;
+use light_core::{EngineConfig, EngineVariant, Enumerator};
+use light_graph::CsrGraph;
+use light_pattern::small_graph::bits;
+use light_pattern::{PatternGraph, PatternVertex};
+
+use crate::budget::{BudgetTracker, SimOutcome};
+use crate::embedding::EmbeddingTable;
+
+/// All clique masks of `p` (size >= 3), found by brute force over vertex
+/// subsets — patterns have at most 16 vertices.
+fn clique_masks(p: &PatternGraph) -> Vec<u16> {
+    let full = p.full_mask() as u32;
+    let mut out = Vec::new();
+    for mask in 1..=full {
+        let mask = mask as u16;
+        if mask.count_ones() < 3 {
+            continue;
+        }
+        let is_clique = bits(mask).all(|v| {
+            let need = mask & !(1 << v);
+            p.neighbors_mask(v) & need == need
+        });
+        if is_clique {
+            out.push(mask);
+        }
+    }
+    out
+}
+
+/// The maximum clique of `p` (falls back to a single edge for
+/// triangle-free patterns).
+pub fn max_clique(p: &PatternGraph) -> u16 {
+    clique_masks(p)
+        .into_iter()
+        .max_by_key(|m| m.count_ones())
+        .unwrap_or_else(|| {
+            let (a, b) = p.edges()[0];
+            (1 << a) | (1 << b)
+        })
+}
+
+/// SEED's clique-star decomposition: greedy maximal cliques covering
+/// uncovered edges, then stars around the vertices with the most leftover
+/// edges. Returns unit vertex-masks whose induced edges cover `E(P)`.
+pub fn clique_star(p: &PatternGraph) -> Vec<u16> {
+    let mut uncovered: Vec<(PatternVertex, PatternVertex)> = p.edges();
+    let mut units = Vec::new();
+    let cliques = clique_masks(p);
+
+    // Greedy: repeatedly take the clique covering the most uncovered edges
+    // (must cover at least 3, i.e. be a genuinely clique-shaped unit).
+    loop {
+        let best = cliques
+            .iter()
+            .map(|&c| {
+                let covered = uncovered
+                    .iter()
+                    .filter(|&&(a, b)| c & (1 << a) != 0 && c & (1 << b) != 0)
+                    .count();
+                (covered, c.count_ones(), c)
+            })
+            .max_by_key(|&(covered, size, _)| (covered, size));
+        match best {
+            Some((covered, _, c)) if covered >= 3 => {
+                units.push(c);
+                uncovered.retain(|&(a, b)| !(c & (1 << a) != 0 && c & (1 << b) != 0));
+            }
+            _ => break,
+        }
+    }
+
+    // Stars for the remaining edges.
+    while !uncovered.is_empty() {
+        // Center = vertex incident to the most uncovered edges.
+        let center = p
+            .vertices()
+            .max_by_key(|&v| {
+                uncovered
+                    .iter()
+                    .filter(|&&(a, b)| a == v || b == v)
+                    .count()
+            })
+            .unwrap();
+        let mut mask = 1u16 << center;
+        for &(a, b) in &uncovered {
+            if a == center {
+                mask |= 1 << b;
+            } else if b == center {
+                mask |= 1 << a;
+            }
+        }
+        debug_assert!(mask.count_ones() >= 2, "star must cover an edge");
+        units.push(mask);
+        uncovered.retain(|&(a, b)| a != center && b != center);
+    }
+    units
+}
+
+/// CRYSTAL's core-crystal decomposition. Returns the core mask and the
+/// crystals `(bud, attach_mask)` — every bud's pattern edges point into the
+/// core, and buds are pairwise non-adjacent.
+pub fn core_crystal(p: &PatternGraph) -> (u16, Vec<(PatternVertex, u16)>) {
+    let mut core = max_clique(p);
+    // Absorb vertices until the outside is an independent set.
+    loop {
+        let outside_edge = p.edges().into_iter().find(|&(a, b)| {
+            core & (1 << a) == 0 && core & (1 << b) == 0
+        });
+        let Some((a, b)) = outside_edge else { break };
+        // Prefer the endpoint adjacent to the current core (keeps the core
+        // connected); break degree ties toward the denser vertex.
+        let a_touches = p.neighbors_mask(a) & core != 0;
+        let b_touches = p.neighbors_mask(b) & core != 0;
+        let pick = match (a_touches, b_touches) {
+            (true, false) => a,
+            (false, true) => b,
+            _ => {
+                if p.degree(a) >= p.degree(b) {
+                    a
+                } else {
+                    b
+                }
+            }
+        };
+        core |= 1 << pick;
+    }
+    // The engine enumerates the core with a connected order; grow until the
+    // induced core is connected (always terminates: the full mask is
+    // connected).
+    while !p.is_connected_induced(core) {
+        let v = bits(p.full_mask() & !core)
+            .max_by_key(|&v| (p.neighbors_mask(v) & core).count_ones())
+            .expect("connected pattern must have an attachment vertex");
+        core |= 1 << v;
+    }
+    let crystals = bits(p.full_mask() & !core)
+        .map(|v| (v, p.neighbors_mask(v) & core))
+        .collect();
+    (core, crystals)
+}
+
+/// Do the induced edges of `units` cover every edge of `p`?
+pub fn units_cover_edges(p: &PatternGraph, units: &[u16]) -> bool {
+    p.edges().into_iter().all(|(a, b)| {
+        units
+            .iter()
+            .any(|&u| u & (1 << a) != 0 && u & (1 << b) != 0)
+    })
+}
+
+/// Materialize the matches of the vertex-induced subpattern on `mask` into
+/// an embedding table (raw matches, no symmetry breaking — the BFS engines
+/// dedup at the end). Charges `tracker` per row; fails fast on budget trips.
+pub fn materialize_unit(
+    p: &PatternGraph,
+    mask: u16,
+    g: &CsrGraph,
+    tracker: &mut BudgetTracker,
+) -> Result<EmbeddingTable, SimOutcome> {
+    let (sub, old_ids) = p.induced(mask);
+    assert!(
+        sub.is_connected(),
+        "join units must induce connected subpatterns"
+    );
+    let cfg = EngineConfig::with_variant(EngineVariant::Se).symmetry(false);
+    let plan = cfg.plan(&sub, g);
+
+    // Columns follow the induced relabeling: column i = original vertex
+    // old_ids[i].
+    let mut table = EmbeddingTable::new(old_ids);
+    let mut failure: Option<SimOutcome> = None;
+    {
+        let mut rows = 0u64;
+        let mut visitor = FnVisitor(|phi: &[u32]| {
+            table.push_row(phi);
+            if let Err(o) = tracker.alloc(phi.len() * 4) {
+                failure = Some(o);
+                return std::ops::ControlFlow::Break(());
+            }
+            rows += 1;
+            if rows & 0xFFF == 0 {
+                if let Err(o) = tracker.check_time() {
+                    failure = Some(o);
+                    return std::ops::ControlFlow::Break(());
+                }
+            }
+            std::ops::ControlFlow::Continue(())
+        });
+        let mut enumerator = Enumerator::new(&plan, g, &cfg, &mut visitor);
+        enumerator.run();
+    }
+    match failure {
+        Some(o) => Err(o),
+        None => Ok(table),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Budget;
+    use light_graph::generators;
+    use light_pattern::Query;
+
+    #[test]
+    fn max_cliques_of_catalog() {
+        assert_eq!(max_clique(&Query::P3.pattern()).count_ones(), 4);
+        assert_eq!(max_clique(&Query::P7.pattern()).count_ones(), 5);
+        assert_eq!(max_clique(&Query::P2.pattern()).count_ones(), 3);
+        // Square is triangle-free: falls back to an edge.
+        assert_eq!(max_clique(&Query::P1.pattern()).count_ones(), 2);
+        assert_eq!(max_clique(&Query::P6.pattern()), 0b01111);
+    }
+
+    #[test]
+    fn clique_star_covers_all_edges() {
+        for q in Query::ALL {
+            let p = q.pattern();
+            let units = clique_star(&p);
+            assert!(units_cover_edges(&p, &units), "{}: {units:?}", q.name());
+            assert!(!units.is_empty());
+        }
+    }
+
+    #[test]
+    fn clique_star_shapes() {
+        // 4-clique: a single clique unit.
+        assert_eq!(clique_star(&Query::P3.pattern()), vec![0b1111]);
+        // Square: no triangle, so stars only.
+        let units = clique_star(&Query::P1.pattern());
+        assert!(units.len() >= 2);
+        // Diamond: two triangles or triangle + star.
+        let units = clique_star(&Query::P2.pattern());
+        assert!(units_cover_edges(&Query::P2.pattern(), &units));
+    }
+
+    #[test]
+    fn core_crystal_invariants() {
+        for q in Query::ALL {
+            let p = q.pattern();
+            let (core, crystals) = core_crystal(&p);
+            assert!(p.is_connected_induced(core), "{}", q.name());
+            // Buds are pairwise non-adjacent and attach only to the core.
+            for &(v, attach) in &crystals {
+                assert_eq!(core & (1 << v), 0);
+                assert_eq!(p.neighbors_mask(v) & !core, 0, "{}: bud {v}", q.name());
+                assert_eq!(attach, p.neighbors_mask(v));
+                assert!(attach != 0);
+            }
+            // Core + buds = all vertices.
+            let all = crystals.iter().fold(core, |m, &(v, _)| m | (1 << v));
+            assert_eq!(all, p.full_mask());
+        }
+    }
+
+    #[test]
+    fn p6_core_is_the_k4() {
+        let (core, crystals) = core_crystal(&Query::P6.pattern());
+        assert_eq!(core, 0b01111);
+        assert_eq!(crystals, vec![(4, 0b00011)]);
+    }
+
+    #[test]
+    fn materialize_triangle_unit() {
+        let g = generators::complete(5);
+        let p = Query::Triangle.pattern();
+        let mut t = BudgetTracker::new(&Budget::unlimited());
+        let table = materialize_unit(&p, 0b111, &g, &mut t).unwrap();
+        // Raw (ordered) triangles in K5: 5*4*3 = 60.
+        assert_eq!(table.len(), 60);
+        assert_eq!(t.peak_bytes, 60 * 3 * 4);
+    }
+
+    #[test]
+    fn materialize_respects_budget() {
+        let g = generators::complete(20);
+        let p = Query::Triangle.pattern();
+        let mut t = BudgetTracker::new(&Budget::unlimited().with_bytes(1000));
+        assert_eq!(
+            materialize_unit(&p, 0b111, &g, &mut t),
+            Err(SimOutcome::OutOfSpace)
+        );
+    }
+}

@@ -1,0 +1,329 @@
+//! EmptyHeaded analog: WCOJ plans from (G)HD-style decompositions.
+//!
+//! §VIII-B1 observes two behaviors of EmptyHeaded that this simulator
+//! reproduces structurally:
+//!
+//! 1. Its vertex order need not be *connected*: for the diamond P2 it
+//!    produced `π = (u1, u3, u0, u2)` — the two degree-2 vertices first,
+//!    which are not adjacent, so the second vertex scans all of `V(G)` and
+//!    the candidate computation count explodes (the paper measured ~104×
+//!    more set intersections than SE on yt). We model EH's order as
+//!    ascending `(degree, id)`, which yields exactly that order on P2.
+//! 2. Multi-component plans *materialize* each component's matches before
+//!    joining: "EH has to store R(P4') and R(P4'') in memory before joining
+//!    them. As a result, EH fails on P4 … due to running out of memory."
+//!    We split the pattern at a simplicial vertex (for n ≥ 5), matching
+//!    the paper's P4 = square + triangle and P6 = 4-clique + triangle
+//!    splits, and charge both tables against the space budget.
+
+use light_graph::{CsrGraph, VertexId, INVALID_VERTEX};
+use light_pattern::small_graph::bits;
+use light_pattern::{PartialOrder, PatternGraph, PatternVertex};
+use light_setops::{intersect_many, IntersectKind, IntersectStats, Intersector};
+
+use crate::budget::{Budget, BudgetTracker, SimOutcome, SimReport};
+use crate::embedding::EmbeddingTable;
+use crate::join::{count_with_partial_order, hash_join};
+
+/// The EmptyHeaded-like WCOJ engine.
+pub struct EhSim;
+
+impl EhSim {
+    /// Run the EmptyHeaded-like plan: decompose → enumerate → join.
+    pub fn run(p: &PatternGraph, g: &CsrGraph, budget: &Budget) -> SimReport {
+        let mut tracker = BudgetTracker::new(budget);
+        let mut istats = IntersectStats::default();
+        let components = decompose(p);
+        let po = PartialOrder::for_pattern(p);
+
+        if components.len() == 1 {
+            // Single bag: stream matches, apply symmetry breaking inline.
+            let order = eh_order(p, components[0]);
+            let mut matches = 0u64;
+            let result =
+                enumerate_component(p, &order, g, &mut tracker, &mut istats, &mut |phi, _t| {
+                    if po
+                        .pairs()
+                        .iter()
+                        .all(|&(a, b)| phi[a as usize] < phi[b as usize])
+                    {
+                        matches += 1;
+                    }
+                    Ok(())
+                });
+            return finish(result.map(|_| matches), &tracker, 1, istats.total);
+        }
+
+        // Two bags: materialize both (charged), hash-join, filter.
+        let mut tables: Vec<EmbeddingTable> = Vec::with_capacity(components.len());
+        for &mask in &components {
+            let order = eh_order(p, mask);
+            let mut table = EmbeddingTable::new(order.clone());
+            let result =
+                enumerate_component(p, &order, g, &mut tracker, &mut istats, &mut |phi, t| {
+                    let row: Vec<VertexId> = order.iter().map(|&v| phi[v as usize]).collect();
+                    table.push_row(&row);
+                    t.alloc(row.len() * 4)
+                });
+            if let Err(o) = result {
+                return finish(Err(o), &tracker, 1, istats.total);
+            }
+            tables.push(table);
+        }
+        let b = tables.pop().unwrap();
+        let a = tables.pop().unwrap();
+        let joined = match hash_join(&a, &b, &mut tracker) {
+            Ok(t) => t,
+            Err(o) => return finish(Err(o), &tracker, 2, istats.total),
+        };
+        debug_assert_eq!(joined.vert_mask(), p.full_mask());
+        let matches = count_with_partial_order(&joined, po.pairs());
+        finish(Ok(matches), &tracker, 2, istats.total)
+    }
+}
+
+/// EH's vertex order within a bag: ascending `(degree, id)` over the bag's
+/// vertices (reproduces π3(P2) = (u1, u3, u0, u2)).
+fn eh_order(p: &PatternGraph, mask: u16) -> Vec<PatternVertex> {
+    let mut vs: Vec<PatternVertex> = bits(mask).collect();
+    vs.sort_by_key(|&v| (p.degree(v), v));
+    vs
+}
+
+/// EH's decomposition: for n >= 5, split off a simplicial min-degree vertex
+/// `v` into the bag `{v} ∪ N(v)`, leaving `V \ {v}`; otherwise one bag.
+pub fn decompose(p: &PatternGraph) -> Vec<u16> {
+    let n = p.num_vertices();
+    if n >= 5 {
+        let simplicial = p
+            .vertices()
+            .filter(|&v| {
+                // Proper split only: v's bag must not be the whole pattern.
+                if p.degree(v) >= n - 1 {
+                    return false;
+                }
+                let nbrs = p.neighbors_mask(v);
+                bits(nbrs).all(|w| {
+                    let need = nbrs & !(1 << w);
+                    p.neighbors_mask(w) & need == need
+                })
+            })
+            .min_by_key(|&v| p.degree(v));
+        if let Some(v) = simplicial {
+            let b = (1u16 << v) | p.neighbors_mask(v);
+            let a = p.full_mask() & !(1 << v);
+            return vec![a, b];
+        }
+    }
+    vec![p.full_mask()]
+}
+
+type Sink<'s> = dyn FnMut(&[VertexId], &mut BudgetTracker) -> Result<(), SimOutcome> + 's;
+
+/// Enumerate the vertex-induced subpattern on `order`'s vertices along
+/// `order`, which may be non-connected: a vertex with no backward neighbors
+/// gets `C = V(G)` (the quadratic scan the paper observed). Calls `sink`
+/// with φ (indexed by pattern vertex) for each match of the component.
+fn enumerate_component(
+    p: &PatternGraph,
+    order: &[PatternVertex],
+    g: &CsrGraph,
+    tracker: &mut BudgetTracker,
+    istats: &mut IntersectStats,
+    sink: &mut Sink<'_>,
+) -> Result<(), SimOutcome> {
+    let mask: u16 = order.iter().fold(0, |m, &v| m | (1 << v));
+    let isec = Intersector::new(IntersectKind::HybridScalar);
+    let mut st = State {
+        p,
+        order,
+        g,
+        istats,
+        isec,
+        mask,
+        phi: vec![INVALID_VERTEX; p.num_vertices()],
+        bufs: vec![Vec::new(); order.len()],
+        scratch: Vec::new(),
+        steps: 0,
+    };
+    st.recurse(0, tracker, sink)
+}
+
+struct State<'a> {
+    p: &'a PatternGraph,
+    order: &'a [PatternVertex],
+    g: &'a CsrGraph,
+    istats: &'a mut IntersectStats,
+    isec: Intersector,
+    mask: u16,
+    phi: Vec<VertexId>,
+    bufs: Vec<Vec<VertexId>>,
+    scratch: Vec<VertexId>,
+    steps: u64,
+}
+
+impl State<'_> {
+    fn recurse(
+        &mut self,
+        level: usize,
+        tracker: &mut BudgetTracker,
+        sink: &mut Sink<'_>,
+    ) -> Result<(), SimOutcome> {
+        if level == self.order.len() {
+            return sink(&self.phi, tracker);
+        }
+        let u = self.order[level];
+        let bound: u16 = self.order[..level].iter().fold(0, |m, &w| m | (1 << w));
+        let back = self.p.neighbors_mask(u) & self.mask & bound;
+
+        if back == 0 {
+            // Non-connected order: scan all data vertices.
+            for v in 0..self.g.num_vertices() as VertexId {
+                self.steps += 1;
+                if self.steps & 0xFFF == 0 {
+                    tracker.check_time()?;
+                }
+                if self.phi.contains(&v) {
+                    continue;
+                }
+                self.phi[u as usize] = v;
+                let r = self.recurse(level + 1, tracker, sink);
+                self.phi[u as usize] = INVALID_VERTEX;
+                r?;
+            }
+            return Ok(());
+        }
+
+        // Candidate set = intersection of bound backward-neighbor lists.
+        let mut out = std::mem::take(&mut self.bufs[level]);
+        {
+            let sets: Vec<&[VertexId]> = bits(back)
+                .map(|w| self.g.neighbors(self.phi[w as usize]))
+                .collect();
+            intersect_many(&self.isec, &sets, &mut out, &mut self.scratch, self.istats);
+        }
+        self.bufs[level] = out;
+
+        for idx in 0..self.bufs[level].len() {
+            let v = self.bufs[level][idx];
+            self.steps += 1;
+            if self.steps & 0xFFF == 0 {
+                tracker.check_time()?;
+            }
+            if self.phi.contains(&v) {
+                continue;
+            }
+            self.phi[u as usize] = v;
+            let r = self.recurse(level + 1, tracker, sink);
+            self.phi[u as usize] = INVALID_VERTEX;
+            r?;
+        }
+        Ok(())
+    }
+}
+
+fn finish(
+    result: Result<u64, SimOutcome>,
+    tracker: &BudgetTracker,
+    rounds: usize,
+    intersections: u64,
+) -> SimReport {
+    let (outcome, matches) = match result {
+        Ok(m) => (SimOutcome::Done, m),
+        Err(o) => (o, 0),
+    };
+    SimReport {
+        outcome,
+        matches,
+        elapsed: tracker.start.elapsed(),
+        peak_intermediate_bytes: tracker.peak_bytes,
+        shuffled_bytes: tracker.shuffled_bytes,
+        rounds,
+        intersections,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use light_core::EngineConfig;
+    use light_graph::generators;
+    use light_pattern::Query;
+
+    #[test]
+    fn decomposition_matches_paper() {
+        // P2, P1, P3: single bag (n = 4).
+        assert_eq!(decompose(&Query::P2.pattern()).len(), 1);
+        assert_eq!(decompose(&Query::P1.pattern()).len(), 1);
+        // P4: square {u0,u1,u3,u4} + triangle {u0,u2,u3}.
+        let c4 = decompose(&Query::P4.pattern());
+        assert_eq!(c4, vec![0b11011, 0b01101]);
+        // P6: 4-clique {u0..u3} + triangle {u0,u1,u4}.
+        let c6 = decompose(&Query::P6.pattern());
+        assert_eq!(c6, vec![0b01111, 0b10011]);
+        // P7 (5-clique): every vertex touches all others, so no proper
+        // split exists — single bag.
+        assert_eq!(decompose(&Query::P7.pattern()).len(), 1);
+        // P5 (double square) is triangle-free: no simplicial vertex.
+        assert_eq!(decompose(&Query::P5.pattern()).len(), 1);
+    }
+
+    #[test]
+    fn eh_order_on_diamond_is_paper_order() {
+        let p = Query::P2.pattern();
+        assert_eq!(eh_order(&p, p.full_mask()), vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn counts_match_light_on_all_patterns() {
+        let g = generators::barabasi_albert(90, 4, 21);
+        for q in Query::ALL {
+            let expect = light_core::run_query(&q.pattern(), &g, &EngineConfig::light()).matches;
+            let report = EhSim::run(&q.pattern(), &g, &Budget::unlimited());
+            assert_eq!(report.outcome, SimOutcome::Done, "{}", q.name());
+            assert_eq!(report.matches, expect, "{}", q.name());
+        }
+    }
+
+    #[test]
+    fn eh_does_far_more_intersections_on_diamond() {
+        // The non-connected order forces quadratically many candidate
+        // computations vs SE's connected order (the paper's 104x on yt).
+        let g = generators::barabasi_albert(150, 3, 5);
+        let q = Query::P2.pattern();
+        let se = light_core::run_query(
+            &q,
+            &g,
+            &EngineConfig::with_variant(light_core::EngineVariant::Se),
+        );
+        let eh = EhSim::run(&q, &g, &Budget::unlimited());
+        assert!(
+            eh.intersections > 10 * se.stats.intersect.total,
+            "EH {} vs SE {}",
+            eh.intersections,
+            se.stats.intersect.total
+        );
+    }
+
+    #[test]
+    fn component_materialization_trips_space_budget() {
+        let g = generators::barabasi_albert(400, 6, 9);
+        let report = EhSim::run(
+            &Query::P4.pattern(),
+            &g,
+            &Budget::unlimited().with_bytes(5_000),
+        );
+        assert_eq!(report.outcome, SimOutcome::OutOfSpace);
+    }
+
+    #[test]
+    fn time_budget_trips() {
+        let g = generators::barabasi_albert(3000, 6, 9);
+        let report = EhSim::run(
+            &Query::P2.pattern(),
+            &g,
+            &Budget::unlimited().with_time(std::time::Duration::from_millis(5)),
+        );
+        assert_eq!(report.outcome, SimOutcome::OutOfTime);
+    }
+}

@@ -1,0 +1,108 @@
+//! Materialized embedding tables — the intermediate results of BFS-style
+//! subgraph enumeration.
+//!
+//! A table holds the matches of some sub-pattern as flat rows of data
+//! vertices; `verts[c]` names the pattern vertex stored in column `c`.
+//! These tables are exactly what the distributed BFS algorithms must spill
+//! and shuffle, and their byte size is what the budget tracker charges.
+
+use light_graph::VertexId;
+use light_pattern::PatternVertex;
+
+/// A materialized table of partial embeddings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmbeddingTable {
+    verts: Vec<PatternVertex>,
+    data: Vec<VertexId>,
+}
+
+impl EmbeddingTable {
+    /// An empty table over the given pattern-vertex columns.
+    pub fn new(verts: Vec<PatternVertex>) -> Self {
+        assert!(!verts.is_empty());
+        EmbeddingTable {
+            verts,
+            data: Vec::new(),
+        }
+    }
+
+    /// Pattern vertices covered, in column order.
+    pub fn verts(&self) -> &[PatternVertex] {
+        &self.verts
+    }
+
+    /// Bitmask of covered pattern vertices.
+    pub fn vert_mask(&self) -> u16 {
+        self.verts.iter().fold(0, |m, &v| m | (1 << v))
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.verts.len()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.arity()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Bytes held by the row data (what the budget tracker charges).
+    pub fn memory_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<VertexId>()
+    }
+
+    /// Append a row (must match the arity).
+    pub fn push_row(&mut self, row: &[VertexId]) {
+        debug_assert_eq!(row.len(), self.arity());
+        self.data.extend_from_slice(row);
+    }
+
+    /// The `i`-th row.
+    pub fn row(&self, i: usize) -> &[VertexId] {
+        let a = self.arity();
+        &self.data[i * a..(i + 1) * a]
+    }
+
+    /// Iterate over all rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[VertexId]> {
+        self.data.chunks_exact(self.arity())
+    }
+
+    /// Column index of a pattern vertex, if covered.
+    pub fn col_of(&self, v: PatternVertex) -> Option<usize> {
+        self.verts.iter().position(|&x| x == v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_table_ops() {
+        let mut t = EmbeddingTable::new(vec![0, 2]);
+        t.push_row(&[10, 20]);
+        t.push_row(&[11, 21]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.row(1), &[11, 21]);
+        assert_eq!(t.vert_mask(), 0b0101);
+        assert_eq!(t.col_of(2), Some(1));
+        assert_eq!(t.col_of(1), None);
+        assert_eq!(t.memory_bytes(), 16);
+        assert_eq!(t.rows().count(), 2);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = EmbeddingTable::new(vec![3]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.memory_bytes(), 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Hash joins over embedding tables — the per-round operation of the BFS
+//! comparators.
+//!
+//! Joining two tables on their shared pattern vertices models one MapReduce
+//! round: both inputs are "shuffled" (their bytes charged to the shuffle
+//! counter), the smaller side is hashed, the larger side probes, and the
+//! output is materialized (charged against the space budget). Injectivity
+//! across the merged rows is enforced during the join — two pattern vertices
+//! may never map to the same data vertex.
+
+use std::collections::HashMap;
+
+use light_graph::VertexId;
+use light_pattern::PatternVertex;
+
+use crate::budget::{BudgetTracker, SimOutcome};
+use crate::embedding::EmbeddingTable;
+
+/// Hash-join `a ⋈ b` on their common pattern vertices.
+///
+/// Charges `tracker` for shuffle (both inputs + output) and for the
+/// materialized output; returns `Err` as soon as a budget trips, so callers
+/// abort mid-round like a failing reducer.
+pub fn hash_join(
+    a: &EmbeddingTable,
+    b: &EmbeddingTable,
+    tracker: &mut BudgetTracker,
+) -> Result<EmbeddingTable, SimOutcome> {
+    // Hash the smaller side.
+    let (build, probe) = if a.memory_bytes() <= b.memory_bytes() {
+        (a, b)
+    } else {
+        (b, a)
+    };
+
+    tracker.shuffle(a.memory_bytes() + b.memory_bytes());
+
+    let common: Vec<PatternVertex> = build
+        .verts()
+        .iter()
+        .copied()
+        .filter(|&v| probe.col_of(v).is_some())
+        .collect();
+    let build_key_cols: Vec<usize> = common.iter().map(|&v| build.col_of(v).unwrap()).collect();
+    let probe_key_cols: Vec<usize> = common.iter().map(|&v| probe.col_of(v).unwrap()).collect();
+    // Columns of `build` not present in `probe`, appended to the output.
+    let build_extra_cols: Vec<usize> = (0..build.arity())
+        .filter(|&c| probe.col_of(build.verts()[c]).is_none())
+        .collect();
+
+    let mut out_verts: Vec<PatternVertex> = probe.verts().to_vec();
+    out_verts.extend(build_extra_cols.iter().map(|&c| build.verts()[c]));
+    let mut out = EmbeddingTable::new(out_verts);
+
+    // Build phase. Key = common-column tuple. Cartesian products (no common
+    // vertices) hash everything under the empty key.
+    let mut index: HashMap<Vec<VertexId>, Vec<usize>> = HashMap::new();
+    for (i, row) in build.rows().enumerate() {
+        let key: Vec<VertexId> = build_key_cols.iter().map(|&c| row[c]).collect();
+        index.entry(key).or_default().push(i);
+    }
+
+    // Probe phase.
+    let mut key = Vec::with_capacity(probe_key_cols.len());
+    let mut out_row: Vec<VertexId> = Vec::with_capacity(out.arity());
+    let mut probed = 0usize;
+    for prow in probe.rows() {
+        probed += 1;
+        if probed & 0xFFF == 0 {
+            tracker.check_time()?;
+        }
+        key.clear();
+        key.extend(probe_key_cols.iter().map(|&c| prow[c]));
+        let Some(matches) = index.get(&key) else {
+            continue;
+        };
+        for &bi in matches {
+            let brow = build.row(bi);
+            // Injectivity across the merged embedding: extra build columns
+            // must not collide with any probe column.
+            let collides = build_extra_cols
+                .iter()
+                .any(|&c| prow.contains(&brow[c]));
+            if collides {
+                continue;
+            }
+            out_row.clear();
+            out_row.extend_from_slice(prow);
+            out_row.extend(build_extra_cols.iter().map(|&c| brow[c]));
+            out.push_row(&out_row);
+            tracker.alloc(out.arity() * 4)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Filter a final full-pattern table down to the matches satisfying a
+/// symmetry-breaking partial order, returning the surviving count.
+pub fn count_with_partial_order(
+    table: &EmbeddingTable,
+    pairs: &[(PatternVertex, PatternVertex)],
+) -> u64 {
+    let cols: Vec<(usize, usize)> = pairs
+        .iter()
+        .map(|&(x, y)| (table.col_of(x).unwrap(), table.col_of(y).unwrap()))
+        .collect();
+    table
+        .rows()
+        .filter(|row| cols.iter().all(|&(cx, cy)| row[cx] < row[cy]))
+        .count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Budget;
+
+    fn tracker() -> BudgetTracker {
+        BudgetTracker::new(&Budget::unlimited())
+    }
+
+    #[test]
+    fn join_on_common_vertex() {
+        // a over {0,1}: edges (10,20), (11,21); b over {1,2}: (20,30), (20,31).
+        let mut a = EmbeddingTable::new(vec![0, 1]);
+        a.push_row(&[10, 20]);
+        a.push_row(&[11, 21]);
+        let mut b = EmbeddingTable::new(vec![1, 2]);
+        b.push_row(&[20, 30]);
+        b.push_row(&[20, 31]);
+        let mut t = tracker();
+        let out = hash_join(&a, &b, &mut t).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.vert_mask(), 0b0111);
+        // Every output row maps {0,1,2} consistently with both inputs.
+        for row in out.rows() {
+            let (c0, c1, c2) = (
+                out.col_of(0).unwrap(),
+                out.col_of(1).unwrap(),
+                out.col_of(2).unwrap(),
+            );
+            assert_eq!(row[c0], 10);
+            assert_eq!(row[c1], 20);
+            assert!(row[c2] == 30 || row[c2] == 31);
+        }
+        assert!(t.shuffled_bytes > 0);
+        assert!(t.peak_bytes > 0);
+    }
+
+    #[test]
+    fn join_enforces_injectivity() {
+        let mut a = EmbeddingTable::new(vec![0, 1]);
+        a.push_row(&[10, 20]);
+        let mut b = EmbeddingTable::new(vec![1, 2]);
+        b.push_row(&[20, 10]); // would map vertex 2 to 10 = φ(0)
+        b.push_row(&[20, 33]);
+        let mut t = tracker();
+        let out = hash_join(&a, &b, &mut t).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.row(0)[out.col_of(2).unwrap()], 33);
+    }
+
+    #[test]
+    fn cartesian_when_disjoint() {
+        let mut a = EmbeddingTable::new(vec![0]);
+        a.push_row(&[1]);
+        a.push_row(&[2]);
+        let mut b = EmbeddingTable::new(vec![3]);
+        b.push_row(&[7]);
+        b.push_row(&[8]);
+        let mut t = tracker();
+        let out = hash_join(&a, &b, &mut t).unwrap();
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn join_trips_space_budget() {
+        let mut a = EmbeddingTable::new(vec![0]);
+        let mut b = EmbeddingTable::new(vec![1]);
+        for i in 0..100 {
+            a.push_row(&[i]);
+            b.push_row(&[1000 + i]);
+        }
+        // Cartesian product = 10k rows * 2 cols * 4B = 80KB > 1KB budget.
+        let mut t = BudgetTracker::new(&Budget::unlimited().with_bytes(1024));
+        assert_eq!(hash_join(&a, &b, &mut t), Err(SimOutcome::OutOfSpace));
+    }
+
+    #[test]
+    fn partial_order_filter() {
+        let mut t = EmbeddingTable::new(vec![0, 1]);
+        t.push_row(&[1, 2]);
+        t.push_row(&[2, 1]);
+        assert_eq!(count_with_partial_order(&t, &[(0, 1)]), 1);
+        assert_eq!(count_with_partial_order(&t, &[]), 2);
+    }
+}

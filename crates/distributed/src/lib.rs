@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! # light-distributed — simulated comparator systems for the evaluation
+//!
+//! The paper compares LIGHT against four external systems that are not
+//! available here (closed binaries, MapReduce clusters). Per the
+//! substitution policy in DESIGN.md §4, this crate implements *behavioral
+//! analogs* that preserve what the paper measures about each system:
+//!
+//! * [`seed_sim`] — **SEED** [13]: BFS-style join over *clique-star* join
+//!   units with every intermediate embedding table materialized, plus
+//!   simulated shuffle-byte accounting. Its failure mode is running out of
+//!   space on the intermediate results — exactly the paper's focus ("we
+//!   compare with them with a focus on the space cost of the BFS
+//!   approach").
+//! * [`crystal_sim`] — **CRYSTAL** [19]: the same BFS substrate, but the
+//!   pattern is decomposed into a *core* plus *crystals* and crystal
+//!   matches are stored compressed as (core match, bud candidate set)
+//!   pairs. Compression shrinks intermediates but the core table still
+//!   blows up on large inputs.
+//! * [`eh_sim`] — **EmptyHeaded** [1]: WCOJ plans from generalized
+//!   hypertree decompositions. Reproduces the two §VIII-B1 observations:
+//!   its order for P2 is *not connected* (quadratic candidate scans), and
+//!   multi-component plans materialize component results before joining
+//!   (OOM on P4/P6).
+//! * [`cfl_sim`] — **CFL** [5]: a labeled-matching engine whose filters
+//!   carry no signal on unlabeled graphs; SE-grade enumeration with CFL's
+//!   path-based order and its always-binary-search intersection.
+//! * [`dualsim_sim`] — **DUALSIM** [11]: the single-machine baseline; its
+//!   in-memory enumeration is SE-grade (no lazy materialization, no set
+//!   cover), parallelized the same way as LIGHT.
+//!
+//! All simulators run against [`Budget`]s (wall-clock + intermediate bytes)
+//! and return a [`SimReport`] whose [`SimOutcome`] reproduces the paper's
+//! INF (out of time) and missing-bar (out of space) semantics in Fig. 8.
+
+pub mod budget;
+pub mod cfl_sim;
+pub mod crystal_sim;
+pub mod decompose;
+pub mod dualsim_sim;
+pub mod eh_sim;
+pub mod embedding;
+pub mod join;
+pub mod seed_sim;
+pub mod twintwig_sim;
+
+pub use budget::{Budget, SimOutcome, SimReport};
+pub use cfl_sim::CflSim;
+pub use crystal_sim::CrystalSim;
+pub use dualsim_sim::DualSimLike;
+pub use eh_sim::EhSim;
+pub use seed_sim::SeedSim;
+pub use twintwig_sim::TwinTwigSim;

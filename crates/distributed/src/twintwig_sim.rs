@@ -1,0 +1,118 @@
+//! TwinTwig analog: SEED's predecessor with smaller join units.
+//!
+//! TwinTwig [12] decomposes the pattern into *twin twigs* — stars with one
+//! or two edges — so a k-edge pattern needs ~k/2 join rounds, each
+//! materializing and shuffling the full intermediate. SEED's contribution
+//! (clique-star units) was precisely to cut the number of rounds and the
+//! intermediate volume; running both simulators side by side reproduces
+//! that claim (see the `seed_beats_twintwig_on_intermediates` test and the
+//! fig8 harness notes).
+
+
+use light_pattern::{PatternGraph, PatternVertex};
+
+use crate::budget::{Budget, SimReport};
+use crate::decompose::units_cover_edges;
+
+/// The TwinTwig-like BFS join engine.
+pub struct TwinTwigSim;
+
+/// Decompose into twin twigs: greedily pick, per round, a center vertex
+/// with uncovered incident edges and take at most two of them. Units are
+/// vertex masks (center + 1..2 leaves); their induced edges cover `E(P)`.
+pub fn twin_twig(p: &PatternGraph) -> Vec<u16> {
+    let mut uncovered: Vec<(PatternVertex, PatternVertex)> = p.edges();
+    let mut units = Vec::new();
+    while !uncovered.is_empty() {
+        // Center with the most uncovered incident edges.
+        let center = p
+            .vertices()
+            .max_by_key(|&v| uncovered.iter().filter(|&&(a, b)| a == v || b == v).count())
+            .unwrap();
+        let mut mask = 1u16 << center;
+        let mut taken = 0;
+        uncovered.retain(|&(a, b)| {
+            if taken < 2 && (a == center || b == center) {
+                mask |= 1 << a;
+                mask |= 1 << b;
+                taken += 1;
+                false
+            } else {
+                true
+            }
+        });
+        debug_assert!(taken >= 1);
+        units.push(mask);
+    }
+    units
+}
+
+impl TwinTwigSim {
+    /// Run the full pipeline with twin-twig units over the shared BFS join
+    /// substrate.
+    pub fn run(
+        p: &PatternGraph,
+        g: &light_graph::CsrGraph,
+        budget: &Budget,
+    ) -> SimReport {
+        let units = twin_twig(p);
+        debug_assert!(units_cover_edges(p, &units));
+        crate::seed_sim::run_bfs_join(p, g, budget, &units)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::SimOutcome;
+    use crate::seed_sim::SeedSim;
+    use light_core::EngineConfig;
+    use light_graph::generators;
+    use light_pattern::Query;
+
+    #[test]
+    fn twin_twigs_cover_and_are_small() {
+        for q in Query::ALL {
+            let p = q.pattern();
+            let units = twin_twig(&p);
+            assert!(units_cover_edges(&p, &units), "{}", q.name());
+            for &u in &units {
+                // Star of 1-2 edges = 2 or 3 vertices.
+                assert!(u.count_ones() <= 3, "{}: unit {u:#b}", q.name());
+            }
+            // More units than SEED's clique-star on clique-heavy patterns.
+            if matches!(q, Query::P3 | Query::P7) {
+                assert!(units.len() > 1);
+            }
+        }
+    }
+
+    #[test]
+    fn counts_match_light() {
+        let g = generators::barabasi_albert(100, 4, 33);
+        for q in [Query::P1, Query::P2, Query::P3, Query::P4] {
+            let expect = light_core::run_query(&q.pattern(), &g, &EngineConfig::light()).matches;
+            let r = TwinTwigSim::run(&q.pattern(), &g, &Budget::unlimited());
+            assert_eq!(r.outcome, SimOutcome::Done, "{}", q.name());
+            assert_eq!(r.matches, expect, "{}", q.name());
+        }
+    }
+
+    #[test]
+    fn seed_beats_twintwig_on_intermediates() {
+        // SEED's larger join units must shuffle no more than TwinTwig's
+        // edge/wedge units on a clique query — the SEED paper's headline.
+        let g = generators::barabasi_albert(200, 5, 3);
+        let p = Query::P3.pattern(); // 4-clique
+        let seed = SeedSim::run(&p, &g, &Budget::unlimited());
+        let tt = TwinTwigSim::run(&p, &g, &Budget::unlimited());
+        assert_eq!(seed.matches, tt.matches);
+        assert!(seed.rounds <= tt.rounds);
+        assert!(
+            seed.peak_intermediate_bytes <= tt.peak_intermediate_bytes,
+            "seed {} vs twintwig {}",
+            seed.peak_intermediate_bytes,
+            tt.peak_intermediate_bytes
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the BFS join substrate: hash_join against a
+//! brute-force nested-loop reference on arbitrary embedding tables.
+
+use proptest::prelude::*;
+
+use light_distributed::budget::{Budget, BudgetTracker};
+use light_distributed::embedding::EmbeddingTable;
+use light_distributed::join::{count_with_partial_order, hash_join};
+
+/// Nested-loop reference join with injectivity, as a sorted multiset of
+/// output rows keyed by pattern vertex.
+fn reference_join(a: &EmbeddingTable, b: &EmbeddingTable) -> Vec<Vec<(u8, u32)>> {
+    let mut out = Vec::new();
+    for ra in a.rows() {
+        'next: for rb in b.rows() {
+            // Merge the two partial mappings; reject on conflicts and on
+            // non-injective merges.
+            let mut merged: Vec<(u8, u32)> = Vec::new();
+            for (&v, &x) in a.verts().iter().zip(ra) {
+                merged.push((v, x));
+            }
+            for (&v, &x) in b.verts().iter().zip(rb) {
+                if let Some(&(_, existing)) = merged.iter().find(|&&(w, _)| w == v) {
+                    if existing != x {
+                        continue 'next;
+                    }
+                } else {
+                    if merged.iter().any(|&(_, y)| y == x) {
+                        continue 'next; // injectivity
+                    }
+                    merged.push((v, x));
+                }
+            }
+            merged.sort_unstable();
+            out.push(merged);
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+fn table(verts: Vec<u8>, max_val: u32, rows: usize) -> impl Strategy<Value = EmbeddingTable> {
+    let arity = verts.len();
+    proptest::collection::vec(
+        proptest::collection::vec(0..max_val, arity),
+        0..rows,
+    )
+    .prop_map(move |rws| {
+        let mut t = EmbeddingTable::new(verts.clone());
+        for r in rws {
+            // Injective rows only (tables hold injective partial matches).
+            let mut sorted = r.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            if sorted.len() == r.len() {
+                t.push_row(&r);
+            }
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hash_join_matches_nested_loop(
+        a in table(vec![0, 1], 12, 30),
+        b in table(vec![1, 2], 12, 30),
+    ) {
+        let mut tracker = BudgetTracker::new(&Budget::unlimited());
+        let joined = hash_join(&a, &b, &mut tracker).unwrap();
+        let mut got: Vec<Vec<(u8, u32)>> = joined
+            .rows()
+            .map(|r| {
+                let mut m: Vec<(u8, u32)> =
+                    joined.verts().iter().copied().zip(r.iter().copied()).collect();
+                m.sort_unstable();
+                m
+            })
+            .collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, reference_join(&a, &b));
+    }
+
+    #[test]
+    fn cartesian_join_matches_nested_loop(
+        a in table(vec![0], 10, 15),
+        b in table(vec![2, 3], 10, 15),
+    ) {
+        let mut tracker = BudgetTracker::new(&Budget::unlimited());
+        let joined = hash_join(&a, &b, &mut tracker).unwrap();
+        prop_assert_eq!(joined.len(), reference_join(&a, &b).len());
+    }
+
+    #[test]
+    fn two_common_columns(
+        a in table(vec![0, 1, 2], 8, 25),
+        b in table(vec![1, 2, 3], 8, 25),
+    ) {
+        let mut tracker = BudgetTracker::new(&Budget::unlimited());
+        let joined = hash_join(&a, &b, &mut tracker).unwrap();
+        prop_assert_eq!(joined.len(), reference_join(&a, &b).len());
+        // Output covers the union of pattern vertices.
+        prop_assert_eq!(joined.vert_mask(), 0b1111);
+    }
+
+    #[test]
+    fn partial_order_filter_counts(
+        t in table(vec![0, 1], 20, 40),
+    ) {
+        // φ(0) < φ(1) plus φ(1) < φ(0) partitions the injective rows.
+        let lt = count_with_partial_order(&t, &[(0, 1)]);
+        let gt = count_with_partial_order(&t, &[(1, 0)]);
+        prop_assert_eq!(lt + gt, t.len() as u64);
+    }
+}

@@ -1,0 +1,242 @@
+//! Classical graph algorithms over [`CsrGraph`].
+//!
+//! These support the planning and comparator layers:
+//!
+//! * [`k_core`] / [`degeneracy_order`] — peeling decompositions. CRYSTAL's
+//!   core selection and many enumeration orders in the literature are
+//!   core-based; the ordering ablation bench compares degeneracy ordering
+//!   against the paper's Equation 8 optimizer.
+//! * [`connected_components`] — used by dataset validation and the
+//!   comparator simulators.
+//! * [`bfs_distances`] — breadth-first distances (diameter estimation in
+//!   dataset validation).
+
+use crate::csr::CsrGraph;
+use crate::types::VertexId;
+
+/// Core number of every vertex: the largest `k` such that the vertex
+/// belongs to the `k`-core (the maximal subgraph with all degrees ≥ k).
+/// Linear-time peeling (Batagelj–Zaveršnik).
+pub fn core_numbers(g: &CsrGraph) -> Vec<u32> {
+    peel(g).0
+}
+
+/// The peeling algorithm: returns (core numbers, peel sequence). The peel
+/// sequence removes a minimum-remaining-degree vertex at each step, which
+/// is exactly the degeneracy order.
+fn peel(g: &CsrGraph) -> (Vec<u32>, Vec<VertexId>) {
+    let n = g.num_vertices();
+    if n == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let max_d = g.max_degree();
+    let mut degree: Vec<u32> = (0..n as VertexId).map(|v| g.degree(v) as u32).collect();
+
+    // Bucket sort vertices by degree.
+    let mut bin = vec![0usize; max_d + 2];
+    for &d in &degree {
+        bin[d as usize] += 1;
+    }
+    let mut start = 0;
+    for b in bin.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    let mut pos = vec![0usize; n];
+    let mut vert = vec![0 as VertexId; n];
+    {
+        let mut cursor = bin.clone();
+        for v in 0..n {
+            let d = degree[v] as usize;
+            pos[v] = cursor[d];
+            vert[pos[v]] = v as VertexId;
+            cursor[d] += 1;
+        }
+    }
+
+    let mut core = degree.clone();
+    for i in 0..n {
+        let v = vert[i];
+        core[v as usize] = degree[v as usize];
+        for &u in g.neighbors(v) {
+            let (u, v) = (u as usize, v as usize);
+            if degree[u] > degree[v] {
+                // Move u one bucket down: swap it with the first vertex of
+                // its current bucket.
+                let du = degree[u] as usize;
+                let pu = pos[u];
+                let pw = bin[du];
+                let w = vert[pw] as usize;
+                if u != w {
+                    vert.swap(pu, pw);
+                    pos[u] = pw;
+                    pos[w] = pu;
+                }
+                bin[du] += 1;
+                degree[u] -= 1;
+            }
+        }
+    }
+    // `vert` now holds the processing order, which is the peel sequence.
+    (core, vert)
+}
+
+/// The degeneracy of the graph (max core number) and a degeneracy order:
+/// vertices in the order they were peeled (smallest-remaining-degree
+/// first). Every vertex has at most `degeneracy` neighbors later in the
+/// order.
+pub fn degeneracy_order(g: &CsrGraph) -> (u32, Vec<VertexId>) {
+    let (core, order) = peel(g);
+    let degeneracy = core.iter().copied().max().unwrap_or(0);
+    (degeneracy, order)
+}
+
+/// Connected components: returns `(count, component_id_per_vertex)`.
+pub fn connected_components(g: &CsrGraph) -> (usize, Vec<u32>) {
+    let n = g.num_vertices();
+    let mut comp = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut stack = Vec::new();
+    for start in 0..n as VertexId {
+        if comp[start as usize] != u32::MAX {
+            continue;
+        }
+        comp[start as usize] = count;
+        stack.push(start);
+        while let Some(v) = stack.pop() {
+            for &u in g.neighbors(v) {
+                if comp[u as usize] == u32::MAX {
+                    comp[u as usize] = count;
+                    stack.push(u);
+                }
+            }
+        }
+        count += 1;
+    }
+    (count as usize, comp)
+}
+
+/// BFS distances from `src` (u32::MAX for unreachable vertices).
+pub fn bfs_distances(g: &CsrGraph, src: VertexId) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut dist = vec![u32::MAX; n];
+    dist[src as usize] = 0;
+    let mut queue = std::collections::VecDeque::from([src]);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for &u in g.neighbors(v) {
+            if dist[u as usize] == u32::MAX {
+                dist[u as usize] = dv + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+    use crate::generators;
+
+    #[test]
+    fn core_numbers_of_complete_graph() {
+        let g = generators::complete(6);
+        assert_eq!(core_numbers(&g), vec![5; 6]);
+        let (degeneracy, _) = degeneracy_order(&g);
+        assert_eq!(degeneracy, 5);
+    }
+
+    #[test]
+    fn core_numbers_of_star_and_path() {
+        // Star: all vertices are 1-core.
+        let g = generators::star(6);
+        assert!(core_numbers(&g).iter().all(|&c| c == 1));
+        // Path: 1-core everywhere.
+        let g = generators::path(5);
+        assert!(core_numbers(&g).iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn core_numbers_of_clique_with_tail() {
+        // K4 (vertices 0..4) + tail 4-5-6.
+        let g = from_edges([
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 6),
+        ]);
+        let core = core_numbers(&g);
+        assert_eq!(&core[0..4], &[3, 3, 3, 3]);
+        assert_eq!(&core[4..7], &[1, 1, 1]);
+    }
+
+    #[test]
+    fn degeneracy_order_property() {
+        // Every vertex has at most `degeneracy` neighbors later in the
+        // order.
+        let g = generators::barabasi_albert(500, 4, 9);
+        let (degeneracy, order) = degeneracy_order(&g);
+        let mut rank = vec![0usize; g.num_vertices()];
+        for (i, &v) in order.iter().enumerate() {
+            rank[v as usize] = i;
+        }
+        for v in g.vertices() {
+            let later = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| rank[u as usize] > rank[v as usize])
+                .count();
+            assert!(later as u32 <= degeneracy, "v{v}: {later} > {degeneracy}");
+        }
+        // BA(k=4) graphs have degeneracy exactly 4.
+        assert_eq!(degeneracy, 4);
+    }
+
+    #[test]
+    fn components() {
+        let g = from_edges([(0, 1), (1, 2), (3, 4)]);
+        let (count, comp) = connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+    }
+
+    #[test]
+    fn generators_produce_connected_social_graphs() {
+        let g = generators::barabasi_albert(300, 3, 5);
+        let (count, _) = connected_components(&g);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = generators::path(5);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = from_edges([(0, 1), (2, 3)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], u32::MAX);
+    }
+
+    #[test]
+    fn empty_graph_algos() {
+        let g = crate::GraphBuilder::new().build();
+        assert!(core_numbers(&g).is_empty());
+        assert_eq!(connected_components(&g).0, 0);
+    }
+}

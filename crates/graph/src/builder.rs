@@ -1,0 +1,164 @@
+//! Mutable edge accumulator that freezes into a [`CsrGraph`].
+
+use crate::csr::CsrGraph;
+use crate::types::{Edge, VertexId};
+
+/// Accumulates undirected edges and builds a [`CsrGraph`].
+///
+/// * self-loops are silently dropped (simple graphs only);
+/// * duplicate edges are deduplicated;
+/// * the vertex set is `0..=max_endpoint` (isolated vertices up to the
+///   largest mentioned ID are kept so external ID spaces survive a round
+///   trip; use [`GraphBuilder::with_num_vertices`] to force a larger set).
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    edges: Vec<Edge>,
+    min_vertices: usize,
+}
+
+impl GraphBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-size the edge buffer.
+    pub fn with_capacity(edges: usize) -> Self {
+        GraphBuilder {
+            edges: Vec::with_capacity(edges),
+            min_vertices: 0,
+        }
+    }
+
+    /// Ensure the built graph has at least `n` vertices even if some have no
+    /// incident edge.
+    pub fn with_num_vertices(mut self, n: usize) -> Self {
+        self.min_vertices = n;
+        self
+    }
+
+    /// Add an undirected edge; self-loops are ignored.
+    #[inline]
+    pub fn add_edge(&mut self, a: VertexId, b: VertexId) {
+        let e = Edge::canonical(a, b);
+        if !e.is_loop() {
+            self.edges.push(e);
+        }
+    }
+
+    /// Number of edges currently buffered (before dedup).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no edges are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Freeze into CSR form: sort, dedup, count degrees, fill neighbor lists.
+    pub fn build(mut self) -> CsrGraph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        let n = self
+            .edges
+            .iter()
+            .map(|e| e.dst as usize + 1)
+            .max()
+            .unwrap_or(0)
+            .max(self.min_vertices);
+
+        let mut degree = vec![0u64; n];
+        for e in &self.edges {
+            degree[e.src as usize] += 1;
+            degree[e.dst as usize] += 1;
+        }
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u64;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+
+        let mut cursor: Vec<u64> = offsets[..n].to_vec();
+        let mut neighbors = vec![0 as VertexId; acc as usize];
+        for e in &self.edges {
+            neighbors[cursor[e.src as usize] as usize] = e.dst;
+            cursor[e.src as usize] += 1;
+            neighbors[cursor[e.dst as usize] as usize] = e.src;
+            cursor[e.dst as usize] += 1;
+        }
+
+        // Edges were inserted in sorted order of (src, dst); each vertex's
+        // list receives its smaller-ID partners first from the `src` side,
+        // but entries arriving via the `dst` side interleave, so sort each
+        // run. Runs are typically short; `sort_unstable` on slices is fine.
+        for v in 0..n {
+            let (lo, hi) = (offsets[v] as usize, offsets[v + 1] as usize);
+            neighbors[lo..hi].sort_unstable();
+        }
+
+        let g = CsrGraph::from_parts(offsets, neighbors);
+        debug_assert!(g.validate().is_ok());
+        g
+    }
+}
+
+/// Convenience: build a graph straight from an edge list.
+pub fn from_edges(edges: impl IntoIterator<Item = (VertexId, VertexId)>) -> CsrGraph {
+    let mut b = GraphBuilder::new();
+    for (a, bb) in edges {
+        b.add_edge(a, bb);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_loop_removal() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 0); // duplicate in reverse
+        b.add_edge(2, 2); // loop
+        b.add_edge(1, 2);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn isolated_vertices_preserved() {
+        let mut b = GraphBuilder::new().with_num_vertices(10);
+        b.add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.degree(9), 0);
+    }
+
+    #[test]
+    fn from_edges_helper() {
+        let g = from_edges([(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    fn empty_builder() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn neighbor_lists_sorted() {
+        let g = from_edges([(5, 1), (5, 9), (5, 0), (5, 3)]);
+        assert_eq!(g.neighbors(5), &[0, 1, 3, 9]);
+    }
+}

@@ -1,0 +1,223 @@
+//! Compressed sparse row (CSR) storage for undirected graphs.
+//!
+//! The paper (§II-A) stores the data graph as an offset array plus a neighbor
+//! array with neighbor lists **sorted by ID**, so that (a) retrieving `N(v)`
+//! is O(1), and (b) neighbor lists can feed the Merge/Galloping set
+//! intersections directly.
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::VertexId;
+
+/// An immutable undirected graph in CSR format.
+///
+/// Invariants (all enforced by [`crate::GraphBuilder`] and checked by
+/// [`CsrGraph::validate`]):
+///
+/// * `offsets.len() == num_vertices + 1`, monotonically non-decreasing,
+///   `offsets[0] == 0`, `offsets[n] == neighbors.len()`.
+/// * each neighbor list `neighbors[offsets[v]..offsets[v+1]]` is strictly
+///   increasing (sorted, no duplicates) and contains no self-loop.
+/// * the graph is symmetric: `u ∈ N(v)` iff `v ∈ N(u)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsrGraph {
+    offsets: Vec<u64>,
+    neighbors: Vec<VertexId>,
+}
+
+impl CsrGraph {
+    /// Construct from raw parts. Prefer [`crate::GraphBuilder`]; this is for
+    /// deserialization and tests. Panics if the basic shape is wrong; call
+    /// [`CsrGraph::validate`] for the full invariant check.
+    pub fn from_parts(offsets: Vec<u64>, neighbors: Vec<VertexId>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must have at least one entry");
+        assert_eq!(*offsets.first().unwrap(), 0);
+        assert_eq!(*offsets.last().unwrap() as usize, neighbors.len());
+        CsrGraph { offsets, neighbors }
+    }
+
+    /// Number of vertices `N = |V(G)|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `M = |E(G)|`.
+    ///
+    /// Each undirected edge is stored twice (once per endpoint).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// The sorted neighbor list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.neighbors[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Edge test by binary search over the smaller endpoint's list:
+    /// O(log min(d(u), d(v))).
+    #[inline]
+    pub fn contains_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u as usize >= self.num_vertices() || v as usize >= self.num_vertices() {
+            return false;
+        }
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Maximum degree `d_max`, or 0 for the empty graph.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices() as VertexId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Average degree `2M / N` (0.0 for the empty graph).
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.neighbors.len() as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Bytes consumed by the CSR arrays (the "Memory (GB)" column of
+    /// Table II counts exactly this).
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u64>()
+            + self.neighbors.len() * std::mem::size_of::<VertexId>()
+    }
+
+    /// Iterator over all vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// Iterator over each undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Full invariant check; returns a human-readable violation if any.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.offsets.is_empty() || self.offsets[0] != 0 {
+            return Err("offsets must start at 0".into());
+        }
+        if *self.offsets.last().unwrap() as usize != self.neighbors.len() {
+            return Err("last offset must equal neighbor array length".into());
+        }
+        for w in self.offsets.windows(2) {
+            if w[0] > w[1] {
+                return Err("offsets must be non-decreasing".into());
+            }
+        }
+        let n = self.num_vertices() as VertexId;
+        for v in self.vertices() {
+            let ns = self.neighbors(v);
+            for w in ns.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(format!("neighbors of {v} not strictly sorted"));
+                }
+            }
+            for &u in ns {
+                if u == v {
+                    return Err(format!("self-loop at {v}"));
+                }
+                if u >= n {
+                    return Err(format!("neighbor {u} of {v} out of range"));
+                }
+                if self.neighbors(u).binary_search(&v).is_err() {
+                    return Err(format!("edge ({v},{u}) not symmetric"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn triangle() -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        b.build()
+    }
+
+    #[test]
+    fn basic_shape() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.max_degree(), 2);
+        assert!((g.avg_degree() - 2.0).abs() < 1e-9);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn contains_edge_both_directions() {
+        let g = triangle();
+        assert!(g.contains_edge(0, 1));
+        assert!(g.contains_edge(1, 0));
+        assert!(!g.contains_edge(0, 0));
+        assert!(!g.contains_edge(0, 99));
+    }
+
+    #[test]
+    fn edges_iterator_emits_each_edge_once() {
+        let g = triangle();
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let g = triangle();
+        // 4 offsets * 8 bytes + 6 directed neighbors * 4 bytes
+        assert_eq!(g.memory_bytes(), 4 * 8 + 6 * 4);
+    }
+
+    #[test]
+    fn validate_catches_asymmetry() {
+        // 0 -> 1 exists but 1 -> 0 missing.
+        let g = CsrGraph::from_parts(vec![0, 1, 1], vec![1]);
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_parts(vec![0], vec![]);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        g.validate().unwrap();
+    }
+}

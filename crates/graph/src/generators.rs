@@ -1,0 +1,238 @@
+//! Synthetic graph generators.
+//!
+//! The paper evaluates on six real-world datasets (Table II) downloaded from
+//! SNAP / KONECT / WEB. Those downloads are unavailable here, so the dataset
+//! catalog ([`crate::datasets`]) is built on these generators instead
+//! (documented substitution — DESIGN.md §4). The generators control the two
+//! properties that drive relative algorithm behavior in this paper: degree
+//! skew (cardinality skew between intersected sets → Galloping share,
+//! Table III) and density (result blow-up → OOS in BFS comparators, Fig. 8).
+//!
+//! All generators are deterministic given a seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::types::VertexId;
+
+/// Erdős–Rényi `G(n, m)`: `m` distinct uniform random edges over `n`
+/// vertices.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(n >= 2, "need at least two vertices");
+    let max_edges = n * (n - 1) / 2;
+    assert!(m <= max_edges, "requested more edges than the clique has");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(m).with_num_vertices(n);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    while seen.len() < m {
+        let a = rng.random_range(0..n as VertexId);
+        let c = rng.random_range(0..n as VertexId);
+        if a == c {
+            continue;
+        }
+        let key = if a < c {
+            (a as u64) << 32 | c as u64
+        } else {
+            (c as u64) << 32 | a as u64
+        };
+        if seen.insert(key) {
+            b.add_edge(a, c);
+        }
+    }
+    b.build()
+}
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `k` existing vertices chosen proportionally to degree. Produces the
+/// heavy-tailed degree distributions of social networks (yt/lj/ot/fs
+/// analogs).
+pub fn barabasi_albert(n: usize, k: usize, seed: u64) -> CsrGraph {
+    assert!(k >= 1 && n > k, "need n > k >= 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n * k).with_num_vertices(n);
+
+    // `targets` holds one entry per edge endpoint, so sampling uniformly
+    // from it is degree-proportional sampling.
+    let mut targets: Vec<VertexId> = Vec::with_capacity(2 * n * k);
+
+    // Seed clique over the first k+1 vertices.
+    for i in 0..=(k as VertexId) {
+        for j in (i + 1)..=(k as VertexId) {
+            b.add_edge(i, j);
+            targets.push(i);
+            targets.push(j);
+        }
+    }
+
+    let mut chosen = Vec::with_capacity(k);
+    for v in (k + 1)..n {
+        chosen.clear();
+        while chosen.len() < k {
+            let t = targets[rng.random_range(0..targets.len())];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            b.add_edge(v as VertexId, t);
+            targets.push(v as VertexId);
+            targets.push(t);
+        }
+    }
+    b.build()
+}
+
+/// RMAT (recursive matrix) generator with probabilities `(a, b, c, d)`.
+/// High `a` produces the extreme skew of web graphs (eu/uk analogs).
+///
+/// Emits `m` edge samples into a `2^scale`-vertex ID space; duplicates and
+/// self-loops are dropped, so the resulting edge count is slightly below
+/// `m` — matching RMAT's standard behavior.
+pub fn rmat(scale: u32, m: usize, probs: (f64, f64, f64, f64), seed: u64) -> CsrGraph {
+    let (a, bb, c, d) = probs;
+    assert!(
+        (a + bb + c + d - 1.0).abs() < 1e-9,
+        "probabilities must sum to 1"
+    );
+    let n = 1usize << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(m).with_num_vertices(n);
+    for _ in 0..m {
+        let (mut x, mut y) = (0usize, 0usize);
+        for level in (0..scale).rev() {
+            let r: f64 = rng.random();
+            let (dx, dy) = if r < a {
+                (0, 0)
+            } else if r < a + bb {
+                (0, 1)
+            } else if r < a + bb + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            x |= dx << level;
+            y |= dy << level;
+        }
+        builder.add_edge(x as VertexId, y as VertexId);
+    }
+    builder.build()
+}
+
+/// Complete graph `K_n`. The AGM-bound examples (Example II.1) use complete
+/// graphs on `sqrt(M)` vertices; tests use them for exact match counts.
+pub fn complete(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(n * (n - 1) / 2);
+    for i in 0..n as VertexId {
+        for j in (i + 1)..n as VertexId {
+            b.add_edge(i, j);
+        }
+    }
+    b.build()
+}
+
+/// Path graph `P_n` (n vertices, n-1 edges).
+pub fn path(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new().with_num_vertices(n);
+    for i in 1..n as VertexId {
+        b.add_edge(i - 1, i);
+    }
+    b.build()
+}
+
+/// Cycle graph `C_n`.
+pub fn cycle(n: usize) -> CsrGraph {
+    assert!(n >= 3);
+    let mut b = GraphBuilder::new();
+    for i in 0..n as VertexId {
+        b.add_edge(i, ((i + 1) as usize % n) as VertexId);
+    }
+    b.build()
+}
+
+/// Star graph: center `0`, leaves `1..n`.
+pub fn star(leaves: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new();
+    for i in 1..=leaves as VertexId {
+        b.add_edge(0, i);
+    }
+    b.build()
+}
+
+/// 2-D grid graph of `rows x cols` vertices.
+pub fn grid(rows: usize, cols: usize) -> CsrGraph {
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    let mut b = GraphBuilder::new().with_num_vertices(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn er_exact_edge_count() {
+        let g = erdos_renyi(100, 300, 42);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 300);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn er_deterministic() {
+        assert_eq!(erdos_renyi(50, 100, 7), erdos_renyi(50, 100, 7));
+        assert_ne!(erdos_renyi(50, 100, 7), erdos_renyi(50, 100, 8));
+    }
+
+    #[test]
+    fn ba_shape() {
+        let g = barabasi_albert(200, 3, 1);
+        assert_eq!(g.num_vertices(), 200);
+        // Seed clique K4 (6 edges) + 196 vertices * 3 edges.
+        assert_eq!(g.num_edges(), 6 + 196 * 3);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn ba_is_skewed() {
+        let g = barabasi_albert(2000, 2, 3);
+        // Preferential attachment should produce a hub far above average.
+        assert!(g.max_degree() as f64 > 5.0 * g.avg_degree());
+    }
+
+    #[test]
+    fn rmat_shape() {
+        let g = rmat(10, 4000, (0.57, 0.19, 0.19, 0.05), 9);
+        assert_eq!(g.num_vertices(), 1024);
+        assert!(g.num_edges() > 3000 && g.num_edges() <= 4000);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn complete_counts() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(g.max_degree(), 5);
+    }
+
+    #[test]
+    fn fixtures() {
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(cycle(5).num_edges(), 5);
+        assert_eq!(star(7).num_edges(), 7);
+        let g = grid(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4);
+    }
+}

@@ -1,0 +1,203 @@
+//! Graph I/O: plain edge-list text format and a compact binary snapshot.
+//!
+//! The text format is the de-facto standard of SNAP downloads (one
+//! `u v` pair per line, `#` comments), so real datasets drop in unchanged if
+//! they become available. The binary snapshot serializes the CSR arrays with
+//! a small header for fast reload of generated datasets.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::types::VertexId;
+
+/// Magic bytes identifying the binary snapshot format.
+const MAGIC: &[u8; 8] = b"LIGHTCSR";
+/// Snapshot format version.
+const VERSION: u32 = 1;
+
+/// Parse a SNAP-style edge list from a reader.
+///
+/// * lines starting with `#` or `%` are comments;
+/// * blank lines are skipped;
+/// * each data line holds two whitespace-separated vertex IDs;
+/// * self-loops and duplicates are cleaned by the builder.
+pub fn read_edge_list<R: Read>(r: R) -> io::Result<CsrGraph> {
+    let reader = BufReader::new(r);
+    let mut b = GraphBuilder::new();
+    let mut line = String::new();
+    let mut reader = reader;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let (a, c) = match (it.next(), it.next()) {
+            (Some(a), Some(c)) => (a, c),
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed edge line: {t:?}"),
+                ))
+            }
+        };
+        let parse = |s: &str| {
+            s.parse::<VertexId>().map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad vertex id {s:?}: {e}"))
+            })
+        };
+        b.add_edge(parse(a)?, parse(c)?);
+    }
+    Ok(b.build())
+}
+
+/// Load an edge-list file from disk.
+pub fn load_edge_list(path: impl AsRef<Path>) -> io::Result<CsrGraph> {
+    read_edge_list(std::fs::File::open(path)?)
+}
+
+/// Write the graph as an edge list (each undirected edge once, `u < v`).
+pub fn write_edge_list<W: Write>(g: &CsrGraph, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "# light-graph edge list: {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()
+}
+
+/// Serialize to the binary snapshot format.
+pub fn to_snapshot(g: &CsrGraph) -> Bytes {
+    let n = g.num_vertices();
+    let mut buf = BytesMut::with_capacity(24 + (n + 1) * 8 + g.num_edges() * 8);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(n as u64);
+    let mut directed = 0u64;
+    for v in g.vertices() {
+        directed += g.degree(v) as u64;
+    }
+    buf.put_u64_le(directed);
+    for v in g.vertices() {
+        buf.put_u64_le(g.degree(v) as u64);
+    }
+    for v in g.vertices() {
+        for &u in g.neighbors(v) {
+            buf.put_u32_le(u);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserialize a binary snapshot produced by [`to_snapshot`].
+pub fn from_snapshot(mut data: Bytes) -> io::Result<CsrGraph> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if data.remaining() < 28 {
+        return Err(bad("snapshot too short"));
+    }
+    let mut magic = [0u8; 8];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(bad("bad magic"));
+    }
+    if data.get_u32_le() != VERSION {
+        return Err(bad("unsupported version"));
+    }
+    let n = data.get_u64_le() as usize;
+    let directed = data.get_u64_le() as usize;
+    if data.remaining() < n * 8 + directed * 4 {
+        return Err(bad("snapshot truncated"));
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0u64);
+    let mut acc = 0u64;
+    for _ in 0..n {
+        acc += data.get_u64_le();
+        offsets.push(acc);
+    }
+    if acc as usize != directed {
+        return Err(bad("degree sum mismatch"));
+    }
+    let mut neighbors = Vec::with_capacity(directed);
+    for _ in 0..directed {
+        neighbors.push(data.get_u32_le());
+    }
+    let g = CsrGraph::from_parts(offsets, neighbors);
+    g.validate()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    Ok(g)
+}
+
+/// Save a binary snapshot to disk.
+pub fn save_snapshot(g: &CsrGraph, path: impl AsRef<Path>) -> io::Result<()> {
+    std::fs::write(path, to_snapshot(g))
+}
+
+/// Load a binary snapshot from disk.
+pub fn load_snapshot(path: impl AsRef<Path>) -> io::Result<CsrGraph> {
+    from_snapshot(Bytes::from(std::fs::read(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = generators::erdos_renyi(50, 120, 3);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let h = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn edge_list_parses_comments_and_blanks() {
+        let text = "# comment\n% other comment\n\n0 1\n1 2\n2 0\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        assert!(read_edge_list("0\n".as_bytes()).is_err());
+        assert!(read_edge_list("a b\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let g = generators::barabasi_albert(200, 3, 11);
+        let h = from_snapshot(to_snapshot(&g)).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn snapshot_rejects_corruption() {
+        let g = generators::complete(5);
+        let snap = to_snapshot(&g);
+        assert!(from_snapshot(snap.slice(0..10)).is_err());
+        let mut corrupted = snap.to_vec();
+        corrupted[0] = b'X';
+        assert!(from_snapshot(Bytes::from(corrupted)).is_err());
+    }
+
+    #[test]
+    fn snapshot_disk_roundtrip() {
+        let g = generators::cycle(10);
+        let dir = std::env::temp_dir().join("light_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("c10.bin");
+        save_snapshot(&g, &p).unwrap();
+        assert_eq!(load_snapshot(&p).unwrap(), g);
+        std::fs::remove_file(&p).ok();
+    }
+}

@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! # light-graph — data-graph substrate for the LIGHT reproduction
+//!
+//! This crate provides everything the LIGHT subgraph-enumeration engines need
+//! from the *data graph* side (the large graph `G` that is searched):
+//!
+//! * [`CsrGraph`] — an immutable, undirected graph in *compressed sparse row*
+//!   format with **sorted** neighbor lists and 32-bit vertex IDs, exactly as
+//!   described in §II of the paper ("Graph Storage in Memory").
+//! * [`GraphBuilder`] — mutable edge accumulator that deduplicates edges,
+//!   drops self-loops, and freezes into a [`CsrGraph`].
+//! * [`ordered`] — the *ordered graph* relabeling: vertex IDs are reassigned
+//!   so that `v < v'` iff `d(v) < d(v')`, ties broken by original ID. This
+//!   turns the symmetry-breaking partial order `φ(u) < φ(u')` into a plain
+//!   integer comparison on data-vertex IDs (§II-A).
+//! * [`generators`] — synthetic graph generators (Erdős–Rényi, Barabási–
+//!   Albert, RMAT, complete graphs, and simple fixtures) used to *simulate*
+//!   the SNAP/KONECT/WEB datasets of Table II, which are not available in
+//!   this environment (see DESIGN.md §4, Substitutions).
+//! * [`datasets`] — the simulated dataset catalog mirroring Table II
+//!   (`yt`, `eu`, `lj`, `ot`, `uk`, `fs` analogs at reduced scale).
+//! * [`io`] — plain edge-list text I/O and a compact binary snapshot format.
+//! * [`stats`] — degree/triangle statistics used by the cardinality
+//!   estimator in `light-order` and by dataset validation tests.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use light_graph::{GraphBuilder, ordered::into_degree_ordered};
+//!
+//! let mut b = GraphBuilder::new();
+//! b.add_edge(0, 1);
+//! b.add_edge(1, 2);
+//! b.add_edge(2, 0);
+//! let g = b.build();
+//! assert_eq!(g.num_vertices(), 3);
+//! assert_eq!(g.num_edges(), 3);
+//! assert!(g.contains_edge(0, 2));
+//!
+//! // Relabel so IDs respect the (degree, id) total order.
+//! let (g2, _mapping) = into_degree_ordered(&g);
+//! assert_eq!(g2.num_edges(), 3);
+//! ```
+
+pub mod algos;
+pub mod builder;
+pub mod csr;
+pub mod datasets;
+pub mod generators;
+pub mod io;
+pub mod ordered;
+pub mod stats;
+pub mod types;
+
+pub use builder::GraphBuilder;
+pub use csr::CsrGraph;
+pub use types::{VertexId, INVALID_VERTEX};

@@ -1,0 +1,93 @@
+//! Ordered-graph relabeling for symmetry breaking.
+//!
+//! The paper (§II-A) rearranges data-vertex IDs so that the total order used
+//! by symmetry breaking — `v < v'` iff `d(v) < d(v')`, ties broken by
+//! original ID — coincides with the numeric order of the new IDs. After this
+//! relabeling, the engines check `φ(u) < φ(u')` with a single integer
+//! comparison.
+
+use crate::csr::CsrGraph;
+use crate::types::VertexId;
+
+/// Relabel `g` so that new IDs are assigned in increasing (degree, old-ID)
+/// order. Returns the relabeled graph and the mapping `old_id -> new_id`.
+pub fn into_degree_ordered(g: &CsrGraph) -> (CsrGraph, Vec<VertexId>) {
+    let n = g.num_vertices();
+    let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+    order.sort_unstable_by_key(|&v| (g.degree(v), v));
+
+    // order[new] = old; invert to old -> new.
+    let mut mapping = vec![0 as VertexId; n];
+    for (new_id, &old_id) in order.iter().enumerate() {
+        mapping[old_id as usize] = new_id as VertexId;
+    }
+
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0u64);
+    let mut acc = 0u64;
+    for &old in &order {
+        acc += g.degree(old) as u64;
+        offsets.push(acc);
+    }
+
+    let mut neighbors = Vec::with_capacity(acc as usize);
+    for &old in &order {
+        let start = neighbors.len();
+        neighbors.extend(g.neighbors(old).iter().map(|&u| mapping[u as usize]));
+        neighbors[start..].sort_unstable();
+    }
+
+    let out = CsrGraph::from_parts(offsets, neighbors);
+    debug_assert!(out.validate().is_ok());
+    (out, mapping)
+}
+
+/// Check the ordered-graph property: IDs are sorted by degree
+/// (non-decreasing degree along increasing ID).
+pub fn is_degree_ordered(g: &CsrGraph) -> bool {
+    (1..g.num_vertices()).all(|v| g.degree(v as VertexId - 1) <= g.degree(v as VertexId))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+
+    #[test]
+    fn relabel_star() {
+        // Star: center 0 with leaves 1..=4. Center has the max degree, so it
+        // must receive the largest new ID.
+        let g = from_edges([(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let (h, mapping) = into_degree_ordered(&g);
+        assert!(is_degree_ordered(&h));
+        assert_eq!(mapping[0], 4);
+        assert_eq!(h.degree(4), 4);
+        assert_eq!(h.num_edges(), g.num_edges());
+        h.validate().unwrap();
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = from_edges([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let (h, mapping) = into_degree_ordered(&g);
+        assert_eq!(h.num_edges(), g.num_edges());
+        // Every original edge must exist under the mapping.
+        for (u, v) in g.edges() {
+            assert!(h.contains_edge(mapping[u as usize], mapping[v as usize]));
+        }
+    }
+
+    #[test]
+    fn ties_broken_by_original_id() {
+        // All vertices of a cycle have degree 2; order must be by old ID.
+        let g = from_edges([(0, 1), (1, 2), (2, 0)]);
+        let (_, mapping) = into_degree_ordered(&g);
+        assert_eq!(mapping, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn already_ordered_is_detected() {
+        let g = from_edges([(0, 2), (1, 2)]);
+        assert!(is_degree_ordered(&g));
+    }
+}

@@ -1,0 +1,155 @@
+//! Graph statistics used by the cardinality estimator (`light-order`) and by
+//! dataset validation.
+//!
+//! The SEED-style expand-factor estimator needs cheap global statistics:
+//! average degree, second moment of the degree distribution (how skewed the
+//! graph is), and wedge/triangle counts (how likely an added pattern edge is
+//! to close).
+
+use crate::csr::CsrGraph;
+use crate::types::VertexId;
+
+/// Summary statistics of a data graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices `N`.
+    pub num_vertices: usize,
+    /// Number of undirected edges `M`.
+    pub num_edges: usize,
+    /// Maximum degree `d_max`.
+    pub max_degree: usize,
+    /// Average degree `2M / N`.
+    pub avg_degree: f64,
+    /// Second moment of the degree distribution, `E[d^2]`.
+    pub degree_second_moment: f64,
+    /// Number of wedges (paths of length 2), `Σ_v C(d(v), 2)`.
+    pub wedges: u64,
+    /// Number of triangles.
+    pub triangles: u64,
+    /// Global clustering coefficient `3*triangles / wedges` (0 if no wedges).
+    pub clustering: f64,
+}
+
+/// Compute all statistics in one pass (plus a triangle-counting pass).
+pub fn compute_stats(g: &CsrGraph) -> GraphStats {
+    let n = g.num_vertices();
+    let mut sum_d2 = 0.0f64;
+    let mut wedges = 0u64;
+    for v in g.vertices() {
+        let d = g.degree(v) as u64;
+        sum_d2 += (d * d) as f64;
+        wedges += d * (d.saturating_sub(1)) / 2;
+    }
+    let triangles = count_triangles(g);
+    let clustering = if wedges == 0 {
+        0.0
+    } else {
+        3.0 * triangles as f64 / wedges as f64
+    };
+    GraphStats {
+        num_vertices: n,
+        num_edges: g.num_edges(),
+        max_degree: g.max_degree(),
+        avg_degree: g.avg_degree(),
+        degree_second_moment: if n == 0 { 0.0 } else { sum_d2 / n as f64 },
+        wedges,
+        triangles,
+        clustering,
+    }
+}
+
+/// Exact triangle count by forward neighbor intersection: for each edge
+/// `(u, v)` with `u < v`, intersect the higher-ID tails of `N(u)` and `N(v)`.
+/// Every triangle `{a < b < c}` is counted exactly once at edge `(a, b)`.
+pub fn count_triangles(g: &CsrGraph) -> u64 {
+    let mut count = 0u64;
+    for u in g.vertices() {
+        let nu = g.neighbors(u);
+        // Neighbors above u (forward edges).
+        let start = nu.partition_point(|&x| x <= u);
+        let fwd_u = &nu[start..];
+        for &v in fwd_u {
+            let nv = g.neighbors(v);
+            let sv = nv.partition_point(|&x| x <= v);
+            count += sorted_intersection_count(fwd_u, &nv[sv..]);
+        }
+    }
+    count
+}
+
+/// Count common elements of two sorted, duplicate-free slices by merging.
+fn sorted_intersection_count(a: &[VertexId], b: &[VertexId]) -> u64 {
+    let (mut i, mut j, mut c) = (0, 0, 0u64);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                c += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    c
+}
+
+/// Histogram of degrees, `hist[d] = #vertices with degree d`.
+pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in g.vertices() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn triangles_in_complete_graph() {
+        // K_n has C(n,3) triangles.
+        for n in [3usize, 4, 5, 6, 8] {
+            let g = generators::complete(n);
+            let expect = (n * (n - 1) * (n - 2) / 6) as u64;
+            assert_eq!(count_triangles(&g), expect, "K_{n}");
+        }
+    }
+
+    #[test]
+    fn triangles_in_triangle_free_graphs() {
+        assert_eq!(count_triangles(&generators::cycle(8)), 0);
+        assert_eq!(count_triangles(&generators::star(10)), 0);
+        assert_eq!(count_triangles(&generators::grid(4, 4)), 0);
+    }
+
+    #[test]
+    fn stats_on_k4() {
+        let g = generators::complete(4);
+        let s = compute_stats(&g);
+        assert_eq!(s.num_vertices, 4);
+        assert_eq!(s.num_edges, 6);
+        assert_eq!(s.triangles, 4);
+        assert_eq!(s.wedges, 4 * 3); // each vertex: C(3,2)=3 wedges
+        assert!((s.clustering - 1.0).abs() < 1e-9);
+        assert!((s.degree_second_moment - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degree_histogram_star() {
+        let g = generators::star(5);
+        let h = degree_histogram(&g);
+        assert_eq!(h[1], 5);
+        assert_eq!(h[5], 1);
+    }
+
+    #[test]
+    fn clustering_zero_without_wedges() {
+        let g = crate::builder::from_edges([(0, 1)]);
+        let s = compute_stats(&g);
+        assert_eq!(s.wedges, 0);
+        assert_eq!(s.clustering, 0.0);
+    }
+}

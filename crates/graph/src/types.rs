@@ -1,0 +1,59 @@
+//! Fundamental identifier types shared across the workspace.
+
+/// A data-graph vertex identifier.
+///
+/// The paper stores each ID as a 32-bit unsigned integer (§II-A, "Graph
+/// Storage in Memory"); we follow that choice so neighbor arrays are compact
+/// and SIMD lanes hold eight IDs per 256-bit register.
+pub type VertexId = u32;
+
+/// Sentinel for "no vertex". Used by engines for unmapped pattern vertices.
+pub const INVALID_VERTEX: VertexId = VertexId::MAX;
+
+/// An undirected edge as an (unordered) pair of endpoints.
+///
+/// Stored canonically with `src <= dst` by [`Edge::canonical`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    /// Smaller endpoint (after canonicalization).
+    pub src: VertexId,
+    /// Larger endpoint (after canonicalization).
+    pub dst: VertexId,
+}
+
+impl Edge {
+    /// Create an edge, canonicalizing endpoint order so `src <= dst`.
+    #[inline]
+    pub fn canonical(a: VertexId, b: VertexId) -> Self {
+        if a <= b {
+            Edge { src: a, dst: b }
+        } else {
+            Edge { src: b, dst: a }
+        }
+    }
+
+    /// Whether the edge is a self-loop. Self-loops are rejected by the
+    /// builder because subgraph isomorphism on simple graphs never maps to
+    /// them.
+    #[inline]
+    pub fn is_loop(&self) -> bool {
+        self.src == self.dst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_orders_endpoints() {
+        assert_eq!(Edge::canonical(5, 2), Edge { src: 2, dst: 5 });
+        assert_eq!(Edge::canonical(2, 5), Edge { src: 2, dst: 5 });
+    }
+
+    #[test]
+    fn loop_detection() {
+        assert!(Edge::canonical(3, 3).is_loop());
+        assert!(!Edge::canonical(3, 4).is_loop());
+    }
+}

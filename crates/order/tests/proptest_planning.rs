@@ -1,0 +1,129 @@
+//! Property tests for the planning layer over random connected patterns
+//! and random connected orders: σ validity, anchor structure (Prop. IV.1),
+//! set-cover soundness, and Prop. V.1 (w² ≤ w¹).
+
+use proptest::prelude::*;
+
+use light_order::anchor::anchor_info;
+use light_order::exec_order::ExecutionOrder;
+use light_order::setcover::generate_operands;
+use light_pattern::{PatternGraph, PatternVertex};
+
+/// Random connected pattern on 3..=7 vertices.
+fn connected_pattern() -> impl Strategy<Value = PatternGraph> {
+    (3usize..=7).prop_flat_map(|n| {
+        let tree_choices = proptest::collection::vec(0usize..100, n - 1);
+        let extra = proptest::collection::vec((0u8..n as u8, 0u8..n as u8), 0..8);
+        (Just(n), tree_choices, extra).prop_map(|(n, tree, extra)| {
+            let mut p = PatternGraph::empty(n);
+            for (i, r) in tree.iter().enumerate() {
+                p.add_edge((i + 1) as u8, (r % (i + 1)) as u8);
+            }
+            for (a, b) in extra {
+                if a != b {
+                    p.add_edge(a, b);
+                }
+            }
+            p
+        })
+    })
+}
+
+/// A random connected enumeration order of `p` derived from choice seeds.
+fn random_connected_order(p: &PatternGraph, seeds: &[usize]) -> Vec<PatternVertex> {
+    let n = p.num_vertices();
+    let mut order = Vec::with_capacity(n);
+    let mut placed = 0u16;
+    for (i, &s) in seeds.iter().take(n).enumerate() {
+        let candidates: Vec<PatternVertex> = p
+            .vertices()
+            .filter(|&v| placed & (1 << v) == 0)
+            .filter(|&v| i == 0 || p.neighbors_mask(v) & placed != 0)
+            .collect();
+        let v = candidates[s % candidates.len()];
+        order.push(v);
+        placed |= 1 << v;
+    }
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn sigma_always_validates(
+        p in connected_pattern(),
+        seeds in proptest::collection::vec(0usize..100, 7),
+    ) {
+        let pi = random_connected_order(&p, &seeds);
+        let lazy = ExecutionOrder::generate(&p, &pi);
+        prop_assert!(lazy.validate(&p).is_ok(), "{:?}", lazy.validate(&p));
+        let eager = ExecutionOrder::eager(&p, &pi);
+        prop_assert!(eager.validate(&p).is_ok());
+        prop_assert_eq!(lazy.sigma().len(), 2 * p.num_vertices() - 1);
+    }
+
+    #[test]
+    fn anchors_satisfy_proposition_iv1(
+        p in connected_pattern(),
+        seeds in proptest::collection::vec(0usize..100, 7),
+    ) {
+        let pi = random_connected_order(&p, &seeds);
+        let eo = ExecutionOrder::generate(&p, &pi);
+        let ai = anchor_info(&p, &eo);
+        for (i, &u) in pi.iter().enumerate().skip(1) {
+            let partial: u16 = pi[..i].iter().fold(0, |m, &w| m | (1 << w));
+            let a = ai.anchors[u as usize];
+            prop_assert!(a != 0, "anchors must include the backward neighbors");
+            prop_assert!(
+                p.is_vertex_cover_of_induced(a, partial),
+                "A({u}) not a vertex cover of P_{i}"
+            );
+            prop_assert!(p.is_connected_induced(a), "A({u}) not connected");
+            // Backward neighbors are always anchors.
+            prop_assert_eq!(p.backward_neighbors(&pi, i) & !a, 0);
+        }
+    }
+
+    #[test]
+    fn set_cover_is_sound_and_never_worse(
+        p in connected_pattern(),
+        seeds in proptest::collection::vec(0usize..100, 7),
+    ) {
+        let pi = random_connected_order(&p, &seeds);
+        let ops = generate_operands(&p, &pi);
+        for (i, &u) in pi.iter().enumerate().skip(1) {
+            let universe = p.backward_neighbors(&pi, i);
+            // Coverage: K1 singletons + K2 backward-neighbor sets == U.
+            let mut covered = 0u16;
+            for &w in &ops[u as usize].k1 {
+                prop_assert!(universe & (1 << w) != 0, "K1 operand outside U");
+                covered |= 1 << w;
+            }
+            for &w in &ops[u as usize].k2 {
+                let j = pi.iter().position(|&x| x == w).unwrap();
+                prop_assert!(j < i, "K2 operand not before u in pi");
+                let bn = p.backward_neighbors(&pi, j);
+                prop_assert_eq!(bn & !universe, 0, "K2 set not a subset of U");
+                covered |= bn;
+            }
+            prop_assert_eq!(covered, universe, "operands do not cover U");
+            // Proposition V.1.
+            let w1 = universe.count_ones() as usize - 1;
+            prop_assert!(ops[u as usize].intersections() <= w1);
+        }
+    }
+
+    #[test]
+    fn mat_order_is_a_permutation(
+        p in connected_pattern(),
+        seeds in proptest::collection::vec(0usize..100, 7),
+    ) {
+        let pi = random_connected_order(&p, &seeds);
+        let eo = ExecutionOrder::generate(&p, &pi);
+        let mut mat = eo.mat_order();
+        mat.sort_unstable();
+        let expect: Vec<PatternVertex> = (0..p.num_vertices() as PatternVertex).collect();
+        prop_assert_eq!(mat, expect);
+    }
+}

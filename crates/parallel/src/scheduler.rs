@@ -1,0 +1,483 @@
+//! The sender-initiated work-stealing scheduler.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+
+use light_core::{CountVisitor, EngineConfig, EnumStats, Enumerator, Outcome, Report};
+use light_graph::{CsrGraph, VertexId};
+use light_order::QueryPlan;
+use light_pattern::PatternGraph;
+
+/// A unit of work: root vertices `[lo, hi)` for `π[1]`.
+type Task = (VertexId, VertexId);
+
+/// Load-balancing policy.
+///
+/// The paper's scheduler is sender-initiated work stealing ([`DonateHalf`]
+/// by default). [`Static`] reproduces the *naive distributed LIGHT* of
+/// §VIII-A — "dividing the search space by partitioning C_φ(π[1]) evenly"
+/// with no rebalancing — whose "speedup is very limited because of the load
+/// imbalance". The fig7 harness and the stealing ablation bench compare
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BalancePolicy {
+    /// Donate half of the remaining root range (the paper's strategy,
+    /// after Acar et al. [2]).
+    DonateHalf,
+    /// Donate a single root vertex per request — finer grained, more
+    /// queue traffic.
+    DonateOne,
+    /// Never donate: even initial partition only (naive distributed mode).
+    Static,
+}
+
+/// How the root candidate range is split into initial tasks.
+///
+/// §VIII-A observes that the naive distributed LIGHT was missing "the
+/// estimation of workload given a partition of the candidate set":
+/// [`InitialPartition::DegreeWeighted`] supplies exactly that — ranges are
+/// cut so each holds roughly the same total degree (a proxy for subtree
+/// work), which matters most under [`BalancePolicy::Static`] where no
+/// stealing can repair a bad split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitialPartition {
+    /// Equal-width vertex ranges (the naive split).
+    Even,
+    /// Ranges balanced by total vertex degree.
+    DegreeWeighted,
+}
+
+/// Parallel driver configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelConfig {
+    /// Number of worker threads (the paper scales 1..64).
+    pub num_threads: usize,
+    /// Initial tasks seeded per thread (the rest of the balance comes from
+    /// donations). 1 matches the paper's even initial partitioning.
+    pub initial_tasks_per_thread: usize,
+    /// Load-balancing policy (default: the paper's donate-half stealing).
+    pub policy: BalancePolicy,
+    /// Initial range split (default: even widths; stealing fixes skew).
+    pub initial_partition: InitialPartition,
+}
+
+impl ParallelConfig {
+    /// `num_threads` workers, donate-half stealing, even partition.
+    pub fn new(num_threads: usize) -> Self {
+        assert!(num_threads >= 1);
+        ParallelConfig {
+            num_threads,
+            initial_tasks_per_thread: 1,
+            policy: BalancePolicy::DonateHalf,
+            initial_partition: InitialPartition::Even,
+        }
+    }
+
+    /// Builder-style policy override.
+    pub fn policy(mut self, policy: BalancePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Builder-style initial-partition override.
+    pub fn partition(mut self, p: InitialPartition) -> Self {
+        self.initial_partition = p;
+        self
+    }
+}
+
+/// Per-worker accounting, reported for scheduler diagnostics (the Fig. 7
+/// harness prints these to show the load balance on a 1-core host).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerStats {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Matches this worker found.
+    pub matches: u64,
+    /// Tasks this worker executed.
+    pub tasks: u64,
+    /// Range donations this worker made.
+    pub donations: u64,
+}
+
+/// Result of a parallel run.
+#[derive(Debug, Clone)]
+pub struct ParallelReport {
+    /// Merged totals (matches, intersections, peak memory across workers).
+    pub report: Report,
+    /// Per-worker breakdown.
+    pub workers: Vec<WorkerStats>,
+}
+
+struct QueueState {
+    queue: Vec<Task>,
+    in_progress: usize,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    idle: AtomicUsize,
+    queue_len: AtomicUsize,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    fn push_task(&self, t: Task) {
+        let mut st = self.state.lock();
+        st.queue.push(t);
+        self.queue_len.store(st.queue.len(), Ordering::Relaxed);
+        self.cv.notify_one();
+    }
+
+    /// Pop a task, or park until one appears or the run drains. `None`
+    /// means the run is over.
+    fn pop_task(&self) -> Option<Task> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(t) = st.queue.pop() {
+                self.queue_len.store(st.queue.len(), Ordering::Relaxed);
+                st.in_progress += 1;
+                return Some(t);
+            }
+            if st.in_progress == 0 || self.stop.load(Ordering::Relaxed) {
+                // Drained (or globally stopped): wake everyone so they can
+                // observe the same condition and exit.
+                self.cv.notify_all();
+                return None;
+            }
+            self.idle.fetch_add(1, Ordering::Relaxed);
+            self.cv.wait(&mut st);
+            self.idle.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    fn finish_task(&self) {
+        let mut st = self.state.lock();
+        st.in_progress -= 1;
+        if st.in_progress == 0 && st.queue.is_empty() {
+            self.cv.notify_all();
+        }
+    }
+
+    /// The sender-initiated donation condition (§VII-B): somebody is idle
+    /// and the global queue is empty.
+    #[inline]
+    fn wants_donation(&self) -> bool {
+        self.idle.load(Ordering::Relaxed) > 0 && self.queue_len.load(Ordering::Relaxed) == 0
+    }
+}
+
+/// Plan a query and run it with `k` workers, counting matches.
+pub fn run_query_parallel(
+    pattern: &PatternGraph,
+    g: &CsrGraph,
+    config: &EngineConfig,
+    pcfg: &ParallelConfig,
+) -> ParallelReport {
+    let plan = config.plan(pattern, g);
+    run_plan_parallel(&plan, g, config, pcfg)
+}
+
+/// Run a prepared plan with `k` workers, counting matches.
+pub fn run_plan_parallel(
+    plan: &QueryPlan,
+    g: &CsrGraph,
+    config: &EngineConfig,
+    pcfg: &ParallelConfig,
+) -> ParallelReport {
+    let start = Instant::now();
+    let n = g.num_vertices() as VertexId;
+
+    // Seed the queue with initial tasks over the root candidate range.
+    let initial = (pcfg.num_threads * pcfg.initial_tasks_per_thread).max(1) as VertexId;
+    let mut queue = Vec::new();
+    match pcfg.initial_partition {
+        InitialPartition::Even => {
+            let chunk = n.div_ceil(initial).max(1);
+            let mut lo = 0;
+            while lo < n {
+                let hi = (lo + chunk).min(n);
+                queue.push((lo, hi));
+                lo = hi;
+            }
+        }
+        InitialPartition::DegreeWeighted => {
+            // Cut the range so each task holds ~total_degree/initial, the
+            // workload estimate the paper's naive distribution lacked.
+            let total: u64 = (0..n).map(|v| g.degree(v) as u64).sum();
+            let target = (total / initial as u64).max(1);
+            let (mut lo, mut acc) = (0, 0u64);
+            for v in 0..n {
+                acc += g.degree(v) as u64;
+                if acc >= target && v + 1 < n {
+                    queue.push((lo, v + 1));
+                    lo = v + 1;
+                    acc = 0;
+                }
+            }
+            if lo < n {
+                queue.push((lo, n));
+            }
+        }
+    }
+    // LIFO pop order: reverse so low ranges run first (cosmetic).
+    queue.reverse();
+
+    let shared = Shared {
+        state: Mutex::new(QueueState {
+            queue,
+            in_progress: 0,
+        }),
+        cv: Condvar::new(),
+        idle: AtomicUsize::new(0),
+        queue_len: AtomicUsize::new(0),
+        stop: AtomicBool::new(false),
+    };
+    {
+        let st = shared.state.lock();
+        shared.queue_len.store(st.queue.len(), Ordering::Relaxed);
+    }
+
+    let results: Mutex<Vec<(WorkerStats, EnumStats, bool)>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for worker_id in 0..pcfg.num_threads {
+            let shared = &shared;
+            let results = &results;
+            scope.spawn(move || {
+                let mut visitor = CountVisitor::default();
+                let mut enumerator = Enumerator::new(plan, g, config, &mut visitor);
+                let mut ws = WorkerStats {
+                    worker: worker_id,
+                    ..Default::default()
+                };
+                while let Some((mut lo, mut hi)) = shared.pop_task() {
+                    ws.tasks += 1;
+                    // Process the range one root at a time so donation can
+                    // happen mid-task.
+                    while lo < hi {
+                        if shared.stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        // Donate part of the remaining range if someone is
+                        // starving and there is enough left to split.
+                        if pcfg.policy != BalancePolicy::Static
+                            && hi - lo >= 2
+                            && shared.wants_donation()
+                        {
+                            let mid = match pcfg.policy {
+                                BalancePolicy::DonateHalf => lo + (hi - lo) / 2,
+                                BalancePolicy::DonateOne => hi - 1,
+                                BalancePolicy::Static => unreachable!(),
+                            };
+                            shared.push_task((mid, hi));
+                            ws.donations += 1;
+                            hi = mid;
+                            continue;
+                        }
+                        enumerator.run_range(lo, lo + 1);
+                        lo += 1;
+                        if enumerator.timed_out() || enumerator.stopped() {
+                            shared.stop.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                    shared.finish_task();
+                }
+                ws.matches = enumerator.matches();
+                let stats = *enumerator.stats();
+                let timed_out = enumerator.timed_out();
+                results.lock().push((ws, stats, timed_out));
+            });
+        }
+    });
+
+    let mut workers: Vec<(WorkerStats, EnumStats, bool)> = results.into_inner();
+    workers.sort_by_key(|(w, _, _)| w.worker);
+
+    let mut total_stats = EnumStats::default();
+    let mut matches = 0u64;
+    let mut any_timeout = false;
+    for (w, s, t) in &workers {
+        matches += w.matches;
+        total_stats.merge_from(s);
+        any_timeout |= *t;
+    }
+    let outcome = if any_timeout {
+        Outcome::OutOfTime
+    } else {
+        Outcome::Complete
+    };
+
+    ParallelReport {
+        report: Report {
+            matches,
+            outcome,
+            elapsed: start.elapsed(),
+            stats: total_stats,
+        },
+        workers: workers.into_iter().map(|(w, _, _)| w).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use light_graph::generators;
+    use light_pattern::Query;
+
+    fn serial_count(p: &PatternGraph, g: &CsrGraph, cfg: &EngineConfig) -> u64 {
+        light_core::run_query(p, g, cfg).matches
+    }
+
+    #[test]
+    fn matches_serial_counts() {
+        let g = generators::barabasi_albert(400, 5, 77);
+        let cfg = EngineConfig::light();
+        for q in [Query::Triangle, Query::P1, Query::P2, Query::P3] {
+            let expect = serial_count(&q.pattern(), &g, &cfg);
+            for threads in [1, 2, 4, 8] {
+                let pr = run_query_parallel(
+                    &q.pattern(),
+                    &g,
+                    &cfg,
+                    &ParallelConfig::new(threads),
+                );
+                assert_eq!(pr.report.matches, expect, "{} x{threads}", q.name());
+                assert_eq!(pr.report.outcome, Outcome::Complete);
+            }
+        }
+    }
+
+    #[test]
+    fn worker_stats_cover_all_work() {
+        let g = generators::barabasi_albert(500, 4, 3);
+        let pr = run_query_parallel(
+            &Query::Triangle.pattern(),
+            &g,
+            &EngineConfig::light(),
+            &ParallelConfig::new(4),
+        );
+        let by_worker: u64 = pr.workers.iter().map(|w| w.matches).sum();
+        assert_eq!(by_worker, pr.report.matches);
+        let tasks: u64 = pr.workers.iter().map(|w| w.tasks).sum();
+        assert!(tasks >= 1);
+        assert_eq!(pr.workers.len(), 4);
+    }
+
+    #[test]
+    fn single_thread_equals_serial_stats() {
+        let g = generators::barabasi_albert(300, 4, 5);
+        let cfg = EngineConfig::light();
+        let serial = light_core::run_query(&Query::P2.pattern(), &g, &cfg);
+        let par = run_query_parallel(
+            &Query::P2.pattern(),
+            &g,
+            &cfg,
+            &ParallelConfig::new(1),
+        );
+        assert_eq!(par.report.matches, serial.matches);
+        assert_eq!(
+            par.report.stats.intersect.total,
+            serial.stats.intersect.total
+        );
+    }
+
+    #[test]
+    fn more_threads_than_vertices() {
+        let g = generators::complete(5);
+        let pr = run_query_parallel(
+            &Query::Triangle.pattern(),
+            &g,
+            &EngineConfig::light(),
+            &ParallelConfig::new(16),
+        );
+        assert_eq!(pr.report.matches, 10);
+    }
+
+    #[test]
+    fn timeout_propagates() {
+        let g = generators::complete(120);
+        let cfg = EngineConfig::light().budget(std::time::Duration::from_millis(5));
+        let pr = run_query_parallel(
+            &Query::P7.pattern(),
+            &g,
+            &cfg,
+            &ParallelConfig::new(2),
+        );
+        assert_eq!(pr.report.outcome, Outcome::OutOfTime);
+    }
+
+    #[test]
+    fn all_policies_agree_on_counts() {
+        let g = generators::barabasi_albert(300, 4, 41);
+        let cfg = EngineConfig::light();
+        let expect = serial_count(&Query::P2.pattern(), &g, &cfg);
+        for policy in [
+            BalancePolicy::DonateHalf,
+            BalancePolicy::DonateOne,
+            BalancePolicy::Static,
+        ] {
+            let pr = run_query_parallel(
+                &Query::P2.pattern(),
+                &g,
+                &cfg,
+                &ParallelConfig::new(3).policy(policy),
+            );
+            assert_eq!(pr.report.matches, expect, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn degree_weighted_partition_agrees_and_balances() {
+        // A skewed graph: the hubs sit at the top of the ID range after
+        // degree ordering, so even splits are badly unbalanced.
+        let g = {
+            let raw = generators::rmat(11, 12_000, (0.55, 0.2, 0.2, 0.05), 7);
+            light_graph::ordered::into_degree_ordered(&raw).0
+        };
+        let cfg = EngineConfig::light();
+        let q = Query::P2.pattern();
+        let expect = serial_count(&q, &g, &cfg);
+        for partition in [InitialPartition::Even, InitialPartition::DegreeWeighted] {
+            // Static policy isolates the initial split from stealing.
+            let pr = run_query_parallel(
+                &q,
+                &g,
+                &cfg,
+                &ParallelConfig::new(4)
+                    .policy(BalancePolicy::Static)
+                    .partition(partition),
+            );
+            assert_eq!(pr.report.matches, expect, "{partition:?}");
+        }
+    }
+
+    #[test]
+    fn static_policy_never_donates() {
+        let g = generators::barabasi_albert(500, 4, 7);
+        let pr = run_query_parallel(
+            &Query::P2.pattern(),
+            &g,
+            &EngineConfig::light(),
+            &ParallelConfig::new(4).policy(BalancePolicy::Static),
+        );
+        assert_eq!(pr.workers.iter().map(|w| w.donations).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = light_graph::GraphBuilder::new().with_num_vertices(3).build();
+        let pr = run_query_parallel(
+            &Query::Triangle.pattern(),
+            &g,
+            &EngineConfig::light(),
+            &ParallelConfig::new(2),
+        );
+        assert_eq!(pr.report.matches, 0);
+        assert_eq!(pr.report.outcome, Outcome::Complete);
+    }
+}

@@ -1,0 +1,141 @@
+//! Automorphism enumeration for pattern graphs.
+//!
+//! `Aut(P)` — matches from `P` to itself (§II-A) — drives symmetry breaking:
+//! without constraints, each subgraph of `G` isomorphic to `P` is reported
+//! `|Aut(P)|` times. Patterns have at most 16 vertices and the evaluation
+//! uses n ≤ 6, so pruned backtracking over permutations is instant.
+
+use crate::small_graph::{PatternGraph, PatternVertex};
+
+/// A permutation of pattern vertices: `perm[v] = image of v`.
+pub type Permutation = Vec<PatternVertex>;
+
+/// Enumerate all automorphisms of `p`, identity included, in lexicographic
+/// order of the permutation vector.
+pub fn automorphisms(p: &PatternGraph) -> Vec<Permutation> {
+    let n = p.num_vertices();
+    let mut out = Vec::new();
+    let mut perm: Vec<PatternVertex> = vec![0; n];
+    let mut used = vec![false; n];
+    backtrack(p, 0, &mut perm, &mut used, &mut out);
+    out
+}
+
+fn backtrack(
+    p: &PatternGraph,
+    depth: usize,
+    perm: &mut Vec<PatternVertex>,
+    used: &mut Vec<bool>,
+    out: &mut Vec<Permutation>,
+) {
+    let n = p.num_vertices();
+    if depth == n {
+        out.push(perm.clone());
+        return;
+    }
+    let v = depth as PatternVertex;
+    for img in 0..n as PatternVertex {
+        if used[img as usize] || p.degree(v) != p.degree(img) {
+            continue;
+        }
+        // Adjacency with all previously mapped vertices must be preserved
+        // both ways (automorphisms are edge-preserving bijections on a
+        // single graph, hence induced-subgraph-preserving).
+        let ok = (0..depth).all(|w| {
+            p.has_edge(v, w as PatternVertex) == p.has_edge(img, perm[w])
+        });
+        if ok {
+            perm[depth] = img;
+            used[img as usize] = true;
+            backtrack(p, depth + 1, perm, used, out);
+            used[img as usize] = false;
+        }
+    }
+}
+
+/// The orbit of `v` under a set of permutations: all images of `v`.
+/// Returned as a bitmask.
+pub fn orbit(perms: &[Permutation], v: PatternVertex) -> u16 {
+    perms
+        .iter()
+        .fold(0u16, |m, p| m | (1 << p[v as usize]))
+}
+
+/// Restrict a permutation set to the stabilizer of `v` (permutations fixing
+/// `v`).
+pub fn stabilizer(perms: &[Permutation], v: PatternVertex) -> Vec<Permutation> {
+    perms
+        .iter()
+        .filter(|p| p[v as usize] == v)
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_has_six_automorphisms() {
+        let t = PatternGraph::complete(3);
+        assert_eq!(automorphisms(&t).len(), 6);
+    }
+
+    #[test]
+    fn clique_automorphisms_are_factorial() {
+        assert_eq!(automorphisms(&PatternGraph::complete(4)).len(), 24);
+        assert_eq!(automorphisms(&PatternGraph::complete(5)).len(), 120);
+    }
+
+    #[test]
+    fn square_has_dihedral_group() {
+        let sq = PatternGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(automorphisms(&sq).len(), 8); // D4
+    }
+
+    #[test]
+    fn diamond_has_four() {
+        let d = PatternGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        // Z2 x Z2: swap the degree-3 pair {u0,u2}, swap the degree-2 pair
+        // {u1,u3}.
+        assert_eq!(automorphisms(&d).len(), 4);
+    }
+
+    #[test]
+    fn path_has_two() {
+        let p = PatternGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(automorphisms(&p).len(), 2); // identity + reversal
+    }
+
+    #[test]
+    fn asymmetric_pattern_has_only_identity() {
+        // Smallest asymmetric graph: 6 vertices.
+        let g = PatternGraph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 4), (1, 3), (2, 5)],
+        );
+        let a = automorphisms(&g);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0], vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn all_results_are_automorphisms() {
+        let d = PatternGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]);
+        for perm in automorphisms(&d) {
+            for (a, b) in d.edges() {
+                assert!(d.has_edge(perm[a as usize], perm[b as usize]));
+            }
+        }
+    }
+
+    #[test]
+    fn orbit_and_stabilizer() {
+        let sq = PatternGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let autos = automorphisms(&sq);
+        assert_eq!(orbit(&autos, 0), 0b1111); // vertex-transitive
+        let stab = stabilizer(&autos, 0);
+        assert_eq!(stab.len(), 2); // identity + the reflection fixing 0
+        assert_eq!(orbit(&stab, 1), 0b1010); // 1 <-> 3 under the reflection
+    }
+}

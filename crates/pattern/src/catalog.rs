@@ -1,0 +1,264 @@
+//! The query-pattern catalog of the paper's evaluation (Fig. 3).
+//!
+//! The paper evaluates seven patterns P1–P7 taken from SEED [13] with
+//! n ∈ [4, 6] and m ∈ [4, 10]. The figure itself is not recoverable from
+//! text, so the catalog reconstructs a set consistent with every textual
+//! constraint (see DESIGN.md §3 for the evidence per pattern):
+//!
+//! * P2 is the running example (Fig. 1a): the *diamond*.
+//! * P4 is the *house* (EH splits it into a square and a triangle sharing
+//!   the wall edge, matching §VIII-B1's description of P4' and P4'').
+//! * P5 is the unique 6-vertex query (Table V: "P5 has more vertices than
+//!   the other pattern graphs").
+//! * P6 is a 5-vertex, 8-edge pattern (MSC reduces per-path intersections
+//!   from 4 to 2, which forces m − (n−1) = 4).
+
+use crate::small_graph::PatternGraph;
+use crate::symmetry::PartialOrder;
+
+/// A named query pattern from the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Query {
+    /// Square (4-cycle): n=4, m=4.
+    P1,
+    /// Diamond (square + one chord), the running example of Fig. 1: n=4, m=5.
+    P2,
+    /// 4-clique: n=4, m=6.
+    P3,
+    /// House (square + triangle sharing an edge): n=5, m=6.
+    P4,
+    /// Double square (two squares sharing an edge): n=6, m=7.
+    P5,
+    /// 4-clique plus a pendant triangle vertex (adjacent to u0, u1):
+    /// n=5, m=8.
+    P6,
+    /// 5-clique: n=5, m=10.
+    P7,
+    /// Triangle — not part of Fig. 3, but used in examples and tests.
+    Triangle,
+}
+
+impl Query {
+    /// The seven evaluation patterns in Fig. 3 order.
+    pub const ALL: [Query; 7] = [
+        Query::P1,
+        Query::P2,
+        Query::P3,
+        Query::P4,
+        Query::P5,
+        Query::P6,
+        Query::P7,
+    ];
+
+    /// Short name as used in the paper ("P1".."P7").
+    pub fn name(self) -> &'static str {
+        match self {
+            Query::P1 => "P1",
+            Query::P2 => "P2",
+            Query::P3 => "P3",
+            Query::P4 => "P4",
+            Query::P5 => "P5",
+            Query::P6 => "P6",
+            Query::P7 => "P7",
+            Query::Triangle => "triangle",
+        }
+    }
+
+    /// Human-readable shape description.
+    pub fn shape(self) -> &'static str {
+        match self {
+            Query::P1 => "square (4-cycle)",
+            Query::P2 => "diamond (square + chord)",
+            Query::P3 => "4-clique",
+            Query::P4 => "house (square + triangle)",
+            Query::P5 => "double square",
+            Query::P6 => "4-clique + pendant triangle vertex",
+            Query::P7 => "5-clique",
+            Query::Triangle => "triangle",
+        }
+    }
+
+    /// Build the pattern graph.
+    pub fn pattern(self) -> PatternGraph {
+        match self {
+            Query::P1 => PatternGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]),
+            Query::P2 => {
+                PatternGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+            }
+            Query::P3 => PatternGraph::complete(4),
+            Query::P4 => PatternGraph::from_edges(
+                5,
+                // Square u0-u1-u4-u3 + triangle u0-u2-u3 sharing wall (u0,u3):
+                // P4' = {u0,u1,u3,u4} induces the square,
+                // P4'' = {u0,u2,u3} induces the triangle (cf. §VIII-B1).
+                &[(0, 1), (1, 4), (4, 3), (3, 0), (0, 2), (2, 3)],
+            ),
+            Query::P5 => PatternGraph::from_edges(
+                6,
+                // Two squares sharing edge (u2,u3).
+                &[(0, 1), (1, 2), (2, 3), (3, 0), (3, 4), (4, 5), (5, 2)],
+            ),
+            Query::P6 => PatternGraph::from_edges(
+                5,
+                // 4-clique on {u0..u3} plus u4 adjacent to u0 and u1.
+                // Forced by §VIII-B1: EH splits P6 into P6' = {u0,u1,u2,u3}
+                // and P6'' = {u0,u1,u4}, whose induced edges must cover
+                // E(P6); and MSC reduces per-path intersections from 4 to 2,
+                // which requires m − (n−1) = 4 ⇒ m = 8.
+                &[
+                    (0, 1),
+                    (0, 2),
+                    (0, 3),
+                    (1, 2),
+                    (1, 3),
+                    (2, 3),
+                    (0, 4),
+                    (1, 4),
+                ],
+            ),
+            Query::P7 => PatternGraph::complete(5),
+            Query::Triangle => PatternGraph::complete(3),
+        }
+    }
+
+    /// The symmetry-breaking partial order for this pattern (derived from
+    /// its automorphism group; the paper lists these under each pattern in
+    /// Fig. 3).
+    pub fn partial_order(self) -> PartialOrder {
+        PartialOrder::for_pattern(&self.pattern())
+    }
+
+    /// Parse a query name as used on harness command lines ("P1".."P7",
+    /// case-insensitive, or "triangle").
+    pub fn parse(s: &str) -> Option<Query> {
+        match s.to_ascii_lowercase().as_str() {
+            "p1" => Some(Query::P1),
+            "p2" => Some(Query::P2),
+            "p3" => Some(Query::P3),
+            "p4" => Some(Query::P4),
+            "p5" => Some(Query::P5),
+            "p6" => Some(Query::P6),
+            "p7" => Some(Query::P7),
+            "triangle" | "k3" => Some(Query::Triangle),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automorphism::automorphisms;
+
+    #[test]
+    fn catalog_matches_paper_size_bounds() {
+        // "n varies from 4 to 6, and m varies from 4 to 10" (§VIII-A).
+        for q in Query::ALL {
+            let p = q.pattern();
+            assert!(
+                (4..=6).contains(&p.num_vertices()),
+                "{}: n={}",
+                q.name(),
+                p.num_vertices()
+            );
+            assert!(
+                (4..=10).contains(&p.num_edges()),
+                "{}: m={}",
+                q.name(),
+                p.num_edges()
+            );
+            assert!(p.is_connected(), "{} disconnected", q.name());
+        }
+    }
+
+    #[test]
+    fn expected_sizes() {
+        let sizes: Vec<(usize, usize)> = Query::ALL
+            .iter()
+            .map(|q| {
+                let p = q.pattern();
+                (p.num_vertices(), p.num_edges())
+            })
+            .collect();
+        assert_eq!(
+            sizes,
+            vec![(4, 4), (4, 5), (4, 6), (5, 6), (6, 7), (5, 8), (5, 10)]
+        );
+    }
+
+    #[test]
+    fn p5_is_the_unique_six_vertex_query() {
+        let six: Vec<_> = Query::ALL
+            .iter()
+            .filter(|q| q.pattern().num_vertices() == 6)
+            .collect();
+        assert_eq!(six.len(), 1);
+        assert_eq!(*six[0], Query::P5);
+    }
+
+    #[test]
+    fn p4_decomposes_as_paper_describes() {
+        // EH splits P4 into P4' = {u0,u1,u3,u4} (a square) and
+        // P4'' = {u0,u2,u3} (a triangle).
+        let p4 = Query::P4.pattern();
+        let (sq, _) = p4.induced(0b11011);
+        assert_eq!(sq.num_vertices(), 4);
+        assert_eq!(sq.num_edges(), 4);
+        assert_eq!(automorphisms(&sq).len(), 8); // it's a 4-cycle
+        let (tri, _) = p4.induced(0b01101);
+        assert_eq!(tri.num_edges(), 3); // it's a triangle
+    }
+
+    #[test]
+    fn automorphism_counts() {
+        assert_eq!(automorphisms(&Query::P1.pattern()).len(), 8);
+        assert_eq!(automorphisms(&Query::P2.pattern()).len(), 4);
+        assert_eq!(automorphisms(&Query::P3.pattern()).len(), 24);
+        assert_eq!(automorphisms(&Query::P4.pattern()).len(), 2);
+        assert_eq!(automorphisms(&Query::P5.pattern()).len(), 4);
+        assert_eq!(automorphisms(&Query::P7.pattern()).len(), 120);
+    }
+
+    #[test]
+    fn p6_structure() {
+        // 4-clique {u0..u3} + u4 attached to the edge (u0, u1).
+        let p6 = Query::P6.pattern();
+        let (k4, _) = p6.induced(0b01111);
+        assert_eq!(k4.num_edges(), 6);
+        assert_eq!(p6.degree(4), 2);
+        assert!(p6.has_edge(4, 0) && p6.has_edge(4, 1));
+        // EH's split P6'' = {u0, u1, u4} is a triangle.
+        let (tri, _) = p6.induced(0b10011);
+        assert_eq!(tri.num_edges(), 3);
+        // The two components' induced edges cover E(P6).
+        assert_eq!(k4.num_edges() + 2, p6.num_edges());
+    }
+
+    #[test]
+    fn p6_msc_constraint_from_paper() {
+        // §VIII-B1: per-path intersections 4 (SE) -> requires m-(n-1) = 4.
+        let p6 = Query::P6.pattern();
+        assert_eq!(p6.num_edges() - (p6.num_vertices() - 1), 4);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for q in Query::ALL {
+            assert_eq!(Query::parse(q.name()), Some(q));
+            assert_eq!(Query::parse(&q.name().to_lowercase()), Some(q));
+        }
+        assert_eq!(Query::parse("triangle"), Some(Query::Triangle));
+        assert_eq!(Query::parse("bogus"), None);
+    }
+
+    #[test]
+    fn partial_orders_exist_for_symmetric_patterns() {
+        for q in Query::ALL {
+            let po = q.partial_order();
+            let n_autos = automorphisms(&q.pattern()).len();
+            if n_autos > 1 {
+                assert!(!po.is_empty(), "{} has symmetry but no constraints", q.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # light-pattern — pattern-graph substrate for the LIGHT reproduction
+//!
+//! Pattern graphs `P` in this paper are tiny (n = 4–6, the code supports up
+//! to 16), unlabeled, undirected, and connected. This crate provides:
+//!
+//! * [`PatternGraph`] — a dense small-graph type with per-vertex adjacency
+//!   bitmasks, supporting the vertex-induced-subgraph and vertex-cover
+//!   queries the planner needs (Definitions II.2–II.5, Proposition IV.1).
+//! * [`automorphism`] — enumeration of `Aut(P)` by pruned backtracking.
+//! * [`symmetry`] — symmetry-breaking partial orders à la Grochow–Kellis
+//!   [7]: a set of constraints `φ(u) < φ(u')` such that each subgraph of
+//!   `G` isomorphic to `P` yields exactly one constrained match.
+//! * [`catalog`] — the query set P1–P7 (Fig. 3, reconstructed from the
+//!   paper's textual constraints; see DESIGN.md §3) plus small fixtures.
+//!
+//! ```
+//! use light_pattern::{PatternGraph, Query};
+//!
+//! let diamond = Query::P2.pattern(); // the running example of Fig. 1a
+//! assert_eq!(diamond.num_vertices(), 4);
+//! assert_eq!(diamond.num_edges(), 5);
+//! assert!(diamond.is_connected());
+//!
+//! let autos = light_pattern::automorphism::automorphisms(&diamond);
+//! assert_eq!(autos.len(), 4); // identity, u1<->u3, u0<->u2, both
+//! ```
+
+pub mod automorphism;
+pub mod catalog;
+pub mod small_graph;
+pub mod symmetry;
+
+pub use catalog::Query;
+pub use small_graph::{PatternGraph, PatternVertex, MAX_PATTERN_VERTICES};
+pub use symmetry::PartialOrder;

@@ -1,0 +1,396 @@
+//! Dense small-graph type for pattern graphs.
+
+/// Index of a pattern vertex (`u8` is ample: patterns have ≤ 16 vertices).
+pub type PatternVertex = u8;
+
+/// Maximum number of pattern vertices supported (bitmask width).
+pub const MAX_PATTERN_VERTICES: usize = 16;
+
+/// An undirected unlabeled pattern graph with at most
+/// [`MAX_PATTERN_VERTICES`] vertices, stored as per-vertex adjacency
+/// bitmasks.
+///
+/// Vertex sets throughout the planner are `u16` bitmasks over the pattern
+/// vertices, which makes vertex-cover / induced-subgraph / subset tests one
+/// or two machine instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PatternGraph {
+    n: u8,
+    adj: [u16; MAX_PATTERN_VERTICES],
+}
+
+impl PatternGraph {
+    /// An edgeless pattern on `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        assert!(
+            (1..=MAX_PATTERN_VERTICES).contains(&n),
+            "pattern must have 1..={MAX_PATTERN_VERTICES} vertices"
+        );
+        PatternGraph {
+            n: n as u8,
+            adj: [0; MAX_PATTERN_VERTICES],
+        }
+    }
+
+    /// Build from an explicit edge list over vertices `0..n`.
+    pub fn from_edges(n: usize, edges: &[(PatternVertex, PatternVertex)]) -> Self {
+        let mut g = Self::empty(n);
+        for &(a, b) in edges {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    /// The complete pattern `K_n`.
+    pub fn complete(n: usize) -> Self {
+        let mut g = Self::empty(n);
+        for i in 0..n as PatternVertex {
+            for j in (i + 1)..n as PatternVertex {
+                g.add_edge(i, j);
+            }
+        }
+        g
+    }
+
+    /// Add an undirected edge. Panics on self-loops or out-of-range
+    /// vertices: pattern construction errors are programming errors.
+    pub fn add_edge(&mut self, a: PatternVertex, b: PatternVertex) {
+        assert!(a != b, "pattern graphs are simple (no self-loops)");
+        assert!(
+            (a as usize) < self.num_vertices() && (b as usize) < self.num_vertices(),
+            "edge ({a},{b}) out of range for n={}",
+            self.n
+        );
+        self.adj[a as usize] |= 1 << b;
+        self.adj[b as usize] |= 1 << a;
+    }
+
+    #[inline]
+    /// Number of pattern vertices `n`.
+    pub fn num_vertices(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Number of pattern edges `m`.
+    pub fn num_edges(&self) -> usize {
+        self.adj[..self.num_vertices()]
+            .iter()
+            .map(|m| m.count_ones() as usize)
+            .sum::<usize>()
+            / 2
+    }
+
+    #[inline]
+    /// Whether the edge `(a, b)` exists.
+    pub fn has_edge(&self, a: PatternVertex, b: PatternVertex) -> bool {
+        self.adj[a as usize] & (1 << b) != 0
+    }
+
+    #[inline]
+    /// Degree of `v` within the pattern.
+    pub fn degree(&self, v: PatternVertex) -> usize {
+        self.adj[v as usize].count_ones() as usize
+    }
+
+    /// Neighbors of `v` as a bitmask.
+    #[inline]
+    pub fn neighbors_mask(&self, v: PatternVertex) -> u16 {
+        self.adj[v as usize]
+    }
+
+    /// Neighbors of `v` as an iterator of vertices.
+    pub fn neighbors(&self, v: PatternVertex) -> impl Iterator<Item = PatternVertex> + '_ {
+        BitIter(self.adj[v as usize])
+    }
+
+    /// All vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = PatternVertex> {
+        0..self.n
+    }
+
+    /// Bitmask of the full vertex set.
+    #[inline]
+    pub fn full_mask(&self) -> u16 {
+        ((1u32 << self.n) - 1) as u16
+    }
+
+    /// Each undirected edge once, `(a, b)` with `a < b`.
+    pub fn edges(&self) -> Vec<(PatternVertex, PatternVertex)> {
+        let mut out = Vec::with_capacity(self.num_edges());
+        for a in self.vertices() {
+            for b in self.neighbors(a) {
+                if a < b {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether the subgraph induced on `mask` is connected (the empty mask
+    /// and singletons count as connected).
+    pub fn is_connected_induced(&self, mask: u16) -> bool {
+        if mask == 0 {
+            return true;
+        }
+        let start = mask.trailing_zeros() as usize;
+        let mut seen = 1u16 << start;
+        let mut frontier = seen;
+        while frontier != 0 {
+            let mut next = 0u16;
+            let mut f = frontier;
+            while f != 0 {
+                let v = f.trailing_zeros() as usize;
+                f &= f - 1;
+                next |= self.adj[v] & mask;
+            }
+            frontier = next & !seen;
+            seen |= next;
+        }
+        seen & mask == mask
+    }
+
+    /// Whether the whole pattern is connected.
+    pub fn is_connected(&self) -> bool {
+        self.is_connected_induced(self.full_mask())
+    }
+
+    /// Whether `cover` (a bitmask) is a vertex cover of the subgraph induced
+    /// on `within`: every induced edge has at least one endpoint in `cover`.
+    /// Used to check Proposition IV.1 on anchor-vertex sets.
+    pub fn is_vertex_cover_of_induced(&self, cover: u16, within: u16) -> bool {
+        for a in self.vertices() {
+            if within & (1 << a) == 0 {
+                continue;
+            }
+            let induced_nbrs = self.adj[a as usize] & within;
+            // Edges with both endpoints outside the cover are uncovered.
+            if cover & (1 << a) == 0 && induced_nbrs & !cover != 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The vertex-induced subgraph on `mask`, with vertices relabeled to
+    /// `0..popcount(mask)` in increasing original-ID order. Returns the
+    /// subgraph and the mapping `new -> old`.
+    pub fn induced(&self, mask: u16) -> (PatternGraph, Vec<PatternVertex>) {
+        let old_ids: Vec<PatternVertex> = BitIter(mask).collect();
+        let mut sub = PatternGraph::empty(old_ids.len().max(1));
+        if old_ids.is_empty() {
+            return (sub, old_ids);
+        }
+        for (new_a, &old_a) in old_ids.iter().enumerate() {
+            for (new_b, &old_b) in old_ids.iter().enumerate().skip(new_a + 1) {
+                if self.has_edge(old_a, old_b) {
+                    sub.add_edge(new_a as PatternVertex, new_b as PatternVertex);
+                }
+            }
+        }
+        (sub, old_ids)
+    }
+
+    /// Parse a compact edge-list syntax: comma-separated `a-b` pairs, e.g.
+    /// `"0-1,1-2,2-0"` for a triangle. The vertex count is
+    /// `max endpoint + 1`. Used by the CLI and harness command lines.
+    pub fn parse(s: &str) -> Result<PatternGraph, String> {
+        let mut edges: Vec<(PatternVertex, PatternVertex)> = Vec::new();
+        let mut max_v = 0usize;
+        for part in s.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (a, b) = part
+                .split_once('-')
+                .ok_or_else(|| format!("bad edge {part:?}: expected `a-b`"))?;
+            let pa: usize = a.trim().parse().map_err(|e| format!("bad vertex {a:?}: {e}"))?;
+            let pb: usize = b.trim().parse().map_err(|e| format!("bad vertex {b:?}: {e}"))?;
+            if pa == pb {
+                return Err(format!("self-loop {part:?} not allowed"));
+            }
+            if pa >= MAX_PATTERN_VERTICES || pb >= MAX_PATTERN_VERTICES {
+                return Err(format!(
+                    "vertex id in {part:?} exceeds the maximum of {}",
+                    MAX_PATTERN_VERTICES - 1
+                ));
+            }
+            max_v = max_v.max(pa).max(pb);
+            edges.push((pa as PatternVertex, pb as PatternVertex));
+        }
+        if edges.is_empty() {
+            return Err("pattern needs at least one edge".into());
+        }
+        Ok(PatternGraph::from_edges(max_v + 1, &edges))
+    }
+
+    /// Backward neighbors `N+^π(u)` of `u` under enumeration order `π`
+    /// (Definition II.3): neighbors of `u` positioned before `u` in `π`.
+    /// Returned as a bitmask of pattern vertices.
+    pub fn backward_neighbors(&self, pi: &[PatternVertex], u_pos: usize) -> u16 {
+        let u = pi[u_pos];
+        let before: u16 = pi[..u_pos].iter().fold(0, |m, &w| m | (1 << w));
+        self.adj[u as usize] & before
+    }
+
+    /// Whether `π` is a *connected enumeration order*: every vertex except
+    /// the first has at least one backward neighbor (§II-A).
+    pub fn is_connected_order(&self, pi: &[PatternVertex]) -> bool {
+        pi.len() == self.num_vertices()
+            && (1..pi.len()).all(|i| self.backward_neighbors(pi, i) != 0)
+    }
+}
+
+/// Iterator over set bits of a `u16`, yielding bit positions.
+struct BitIter(u16);
+
+impl Iterator for BitIter {
+    type Item = PatternVertex;
+    #[inline]
+    fn next(&mut self) -> Option<PatternVertex> {
+        if self.0 == 0 {
+            None
+        } else {
+            let v = self.0.trailing_zeros() as PatternVertex;
+            self.0 &= self.0 - 1;
+            Some(v)
+        }
+    }
+}
+
+/// Iterate the set bits of any mask (exposed for planner code).
+pub fn bits(mask: u16) -> impl Iterator<Item = PatternVertex> {
+    BitIter(mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> PatternGraph {
+        // Fig. 1a: square u0-u1-u2-u3 + chord u0-u2.
+        PatternGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 5);
+        assert!(g.has_edge(0, 2) && g.has_edge(2, 0));
+        assert!(!g.has_edge(1, 3));
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(1), 2);
+        let n0: Vec<_> = g.neighbors(0).collect();
+        assert_eq!(n0, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn edges_listing() {
+        let g = diamond();
+        assert_eq!(g.edges(), vec![(0, 1), (0, 2), (0, 3), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn connectivity() {
+        let g = diamond();
+        assert!(g.is_connected());
+        // {u1, u3} induces no edges -> disconnected (2 components).
+        assert!(!g.is_connected_induced(0b1010));
+        // {u0, u2} induces the chord -> connected.
+        assert!(g.is_connected_induced(0b0101));
+        // Singleton and empty are connected.
+        assert!(g.is_connected_induced(0b0001));
+        assert!(g.is_connected_induced(0));
+    }
+
+    #[test]
+    fn vertex_cover() {
+        let g = diamond();
+        // {u0, u2} covers all 5 edges.
+        assert!(g.is_vertex_cover_of_induced(0b0101, g.full_mask()));
+        // {u1, u3} leaves edge (u0,u2) uncovered.
+        assert!(!g.is_vertex_cover_of_induced(0b1010, g.full_mask()));
+        // Within {u0,u1,u2}: {u0} misses edge (u1,u2); {u0,u1} covers.
+        assert!(!g.is_vertex_cover_of_induced(0b0001, 0b0111));
+        assert!(g.is_vertex_cover_of_induced(0b0011, 0b0111));
+    }
+
+    #[test]
+    fn induced_subgraph() {
+        let g = diamond();
+        let (sub, ids) = g.induced(0b0111); // {u0, u1, u2} -> triangle
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 3);
+        let (sub2, ids2) = g.induced(0b1010); // {u1, u3} -> no edges
+        assert_eq!(ids2, vec![1, 3]);
+        assert_eq!(sub2.num_edges(), 0);
+    }
+
+    #[test]
+    fn backward_neighbors_match_example() {
+        // Example I.1: π = (u0, u2, u1, u3); N+(u1) = {u0, u2},
+        // N+(u3) = {u0, u2}.
+        let g = diamond();
+        let pi = [0, 2, 1, 3];
+        assert_eq!(g.backward_neighbors(&pi, 2), 0b0101);
+        assert_eq!(g.backward_neighbors(&pi, 3), 0b0101);
+        assert_eq!(g.backward_neighbors(&pi, 1), 0b0001); // N+(u2)={u0}
+        assert_eq!(g.backward_neighbors(&pi, 0), 0);
+        assert!(g.is_connected_order(&pi));
+    }
+
+    #[test]
+    fn disconnected_order_detected() {
+        // Path 0-1-2-3: order (0, 3, ...) is not connected at position 1.
+        let p = PatternGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert!(!p.is_connected_order(&[0, 3, 1, 2]));
+        assert!(p.is_connected_order(&[1, 0, 2, 3]));
+    }
+
+    #[test]
+    fn complete_pattern() {
+        let k5 = PatternGraph::complete(5);
+        assert_eq!(k5.num_edges(), 10);
+        assert!(k5.is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loop() {
+        let mut g = PatternGraph::empty(3);
+        g.add_edge(1, 1);
+    }
+
+    #[test]
+    fn bits_helper() {
+        let got: Vec<_> = bits(0b1011).collect();
+        assert_eq!(got, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn parse_triangle() {
+        let p = PatternGraph::parse("0-1,1-2,2-0").unwrap();
+        assert_eq!(p.num_vertices(), 3);
+        assert_eq!(p.num_edges(), 3);
+        assert_eq!(p, PatternGraph::complete(3));
+    }
+
+    #[test]
+    fn parse_with_whitespace() {
+        let p = PatternGraph::parse(" 0-1 , 1-2 ").unwrap();
+        assert_eq!(p.num_vertices(), 3);
+        assert_eq!(p.num_edges(), 2);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(PatternGraph::parse("").is_err());
+        assert!(PatternGraph::parse("0").is_err());
+        assert!(PatternGraph::parse("0-0").is_err());
+        assert!(PatternGraph::parse("0-x").is_err());
+        assert!(PatternGraph::parse("0-99").is_err());
+    }
+}

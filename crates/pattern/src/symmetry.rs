@@ -1,0 +1,197 @@
+//! Symmetry-breaking partial orders (Grochow–Kellis [7]).
+//!
+//! Because of automorphisms, a subgraph of `G` isomorphic to `P` produces
+//! `|Aut(P)|` duplicate matches. The fix (§II-A) assigns a partial order `<`
+//! to pattern vertices and keeps only matches with `φ(u) < φ(u')` whenever
+//! `u < u'`. On the degree-ordered data graph, the comparison is numeric.
+//!
+//! The construction is the standard one: repeatedly pick the smallest vertex
+//! `v` lying in a non-trivial orbit of the remaining automorphism group, emit
+//! `v < u` for every other `u` in `v`'s orbit, and restrict the group to the
+//! stabilizer of `v`. When only the identity remains, every isomorphic
+//! subgraph admits exactly one constrained match.
+
+use crate::automorphism::{automorphisms, orbit, stabilizer, Permutation};
+use crate::small_graph::{bits, PatternGraph, PatternVertex};
+
+/// A symmetry-breaking partial order: pairs `(a, b)` meaning the constraint
+/// `φ(a) < φ(b)` must hold in every reported match.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PartialOrder {
+    pairs: Vec<(PatternVertex, PatternVertex)>,
+}
+
+impl PartialOrder {
+    /// No constraints (used when symmetry breaking is disabled or the
+    /// pattern is asymmetric).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Build from explicit pairs.
+    pub fn from_pairs(pairs: Vec<(PatternVertex, PatternVertex)>) -> Self {
+        PartialOrder { pairs }
+    }
+
+    /// Derive the partial order for `p` from its automorphism group.
+    pub fn for_pattern(p: &PatternGraph) -> Self {
+        let mut group: Vec<Permutation> = automorphisms(p);
+        let mut pairs = Vec::new();
+        while group.len() > 1 {
+            // Smallest vertex with a non-trivial orbit.
+            let v = p
+                .vertices()
+                .find(|&v| orbit(&group, v).count_ones() > 1)
+                .expect("non-identity group must move some vertex");
+            let orb = orbit(&group, v);
+            for u in bits(orb) {
+                if u != v {
+                    pairs.push((v, u));
+                }
+            }
+            group = stabilizer(&group, v);
+        }
+        PartialOrder { pairs }
+    }
+
+    /// The constraint pairs `(a, b)` ⇒ `φ(a) < φ(b)`.
+    pub fn pairs(&self) -> &[(PatternVertex, PatternVertex)] {
+        &self.pairs
+    }
+
+    /// Whether there are no constraints.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Pattern vertices constrained on either side of some pair. The order
+    /// optimizer (§VI) prioritizes these when breaking cost ties.
+    pub fn constrained_mask(&self) -> u16 {
+        self.pairs
+            .iter()
+            .fold(0u16, |m, &(a, b)| m | (1 << a) | (1 << b))
+    }
+
+    /// Constraints `(a, b)` restricted to those where *both* endpoints are
+    /// already mapped, expressed per vertex: for vertex `u`, the list of
+    /// vertices `w` that must satisfy `φ(w) < φ(u)` (`smaller`), and those
+    /// that must satisfy `φ(u) < φ(w)` (`larger`). Engines use this to check
+    /// constraints incrementally at bind time.
+    pub fn per_vertex(&self, n: usize) -> Vec<VertexConstraints> {
+        let mut out = vec![VertexConstraints::default(); n];
+        for &(a, b) in &self.pairs {
+            // φ(a) < φ(b): when binding b, a must be smaller; when binding
+            // a, b must be larger.
+            out[b as usize].must_be_larger_than.push(a);
+            out[a as usize].must_be_smaller_than.push(b);
+        }
+        out
+    }
+
+    /// Whether the pattern-vertex pair `(a, b)` is constrained as `a < b`.
+    pub fn requires_less(&self, a: PatternVertex, b: PatternVertex) -> bool {
+        self.pairs.contains(&(a, b))
+    }
+}
+
+/// Per-vertex view of the partial order (see [`PartialOrder::per_vertex`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VertexConstraints {
+    /// Vertices `w` with constraint `φ(w) < φ(self)`.
+    pub must_be_larger_than: Vec<PatternVertex>,
+    /// Vertices `w` with constraint `φ(self) < φ(w)`.
+    pub must_be_smaller_than: Vec<PatternVertex>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Count constrained automorphic images: the number of automorphisms
+    /// that map every constraint pair order-consistently when vertices are
+    /// assigned distinct values by identity. This equals the duplication
+    /// factor that symmetry breaking leaves, and must be 1.
+    fn surviving_automorphisms(p: &PatternGraph, po: &PartialOrder) -> usize {
+        // Treat a hypothetical match φ as injective with arbitrary distinct
+        // images. An automorphism σ yields a duplicate constrained match iff
+        // for EVERY total order of images consistent with po, σ also
+        // satisfies po. Equivalent check used in the literature: count
+        // permutations σ in Aut(P) such that the relabeled constraint set is
+        // satisfiable together with the original; for the GK construction it
+        // suffices to count σ that fix the constraint system. We instead
+        // verify semantically in integration tests against real graphs; here
+        // we check the group-theoretic property: iteratively stabilizing
+        // constrained vertices kills the group.
+        let mut group = automorphisms(p);
+        let mut constrained: Vec<PatternVertex> = po.pairs().iter().map(|&(a, _)| a).collect();
+        constrained.dedup();
+        for v in constrained {
+            group = crate::automorphism::stabilizer(&group, v);
+        }
+        group.len()
+    }
+
+    #[test]
+    fn asymmetric_pattern_needs_no_constraints() {
+        let g = PatternGraph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 4), (1, 3), (2, 5)],
+        );
+        let po = PartialOrder::for_pattern(&g);
+        assert!(po.is_empty());
+    }
+
+    #[test]
+    fn triangle_constraints_form_total_order() {
+        let t = PatternGraph::complete(3);
+        let po = PartialOrder::for_pattern(&t);
+        // First round: orbit of 0 = {0,1,2} -> 0<1, 0<2; stabilizer swaps
+        // 1,2 -> second round 1<2. Total 3 pairs.
+        assert_eq!(po.pairs().len(), 3);
+        assert_eq!(surviving_automorphisms(&t, &po), 1);
+    }
+
+    #[test]
+    fn clique_constraints_total_order() {
+        let k5 = PatternGraph::complete(5);
+        let po = PartialOrder::for_pattern(&k5);
+        assert_eq!(po.pairs().len(), 4 + 3 + 2 + 1);
+        assert_eq!(surviving_automorphisms(&k5, &po), 1);
+    }
+
+    #[test]
+    fn square_constraints_kill_dihedral_group() {
+        let sq = PatternGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let po = PartialOrder::for_pattern(&sq);
+        assert_eq!(surviving_automorphisms(&sq, &po), 1);
+    }
+
+    #[test]
+    fn diamond_constraints() {
+        let d = PatternGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let po = PartialOrder::for_pattern(&d);
+        // Orbits: {0,2} and {1,3} -> constraints 0<2 and 1<3.
+        assert_eq!(po.pairs(), &[(0, 2), (1, 3)]);
+        assert_eq!(surviving_automorphisms(&d, &po), 1);
+    }
+
+    #[test]
+    fn per_vertex_view() {
+        let d = PatternGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let po = PartialOrder::for_pattern(&d);
+        let pv = po.per_vertex(4);
+        assert_eq!(pv[2].must_be_larger_than, vec![0]);
+        assert_eq!(pv[0].must_be_smaller_than, vec![2]);
+        assert_eq!(pv[3].must_be_larger_than, vec![1]);
+        assert!(pv[1].must_be_larger_than.is_empty());
+    }
+
+    #[test]
+    fn constrained_mask() {
+        let d = PatternGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let po = PartialOrder::for_pattern(&d);
+        assert_eq!(po.constrained_mask(), 0b1111);
+        assert!(po.requires_less(0, 2));
+        assert!(!po.requires_less(2, 0));
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests for the pattern substrate: automorphism group laws and
+//! symmetry-breaking invariants over random small patterns.
+
+use proptest::prelude::*;
+
+use light_pattern::automorphism::{automorphisms, orbit, stabilizer};
+use light_pattern::{PartialOrder, PatternGraph};
+
+/// Random connected pattern on 3..=6 vertices: a random spanning tree plus
+/// random extra edges.
+fn connected_pattern() -> impl Strategy<Value = PatternGraph> {
+    (3usize..=6).prop_flat_map(|n| {
+        let tree_choices = proptest::collection::vec(0usize..100, n - 1);
+        let extra = proptest::collection::vec((0u8..n as u8, 0u8..n as u8), 0..6);
+        (Just(n), tree_choices, extra).prop_map(|(n, tree, extra)| {
+            let mut p = PatternGraph::empty(n);
+            for (i, r) in tree.iter().enumerate() {
+                let child = (i + 1) as u8;
+                let parent = (r % (i + 1)) as u8;
+                p.add_edge(child, parent);
+            }
+            for (a, b) in extra {
+                if a != b {
+                    p.add_edge(a, b);
+                }
+            }
+            p
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn automorphisms_form_a_group(p in connected_pattern()) {
+        let autos = automorphisms(&p);
+        let n = p.num_vertices();
+        // Contains identity.
+        let id: Vec<u8> = (0..n as u8).collect();
+        prop_assert!(autos.contains(&id));
+        // Closed under composition and inverse (checked via membership).
+        let contains = |perm: &Vec<u8>| autos.contains(perm);
+        for a in &autos {
+            for b in &autos {
+                let comp: Vec<u8> = (0..n).map(|i| a[b[i] as usize]).collect();
+                prop_assert!(contains(&comp), "not closed under composition");
+            }
+            let mut inv = vec![0u8; n];
+            for (i, &img) in a.iter().enumerate() {
+                inv[img as usize] = i as u8;
+            }
+            prop_assert!(contains(&inv), "not closed under inverse");
+        }
+        // Group order divides n! (Lagrange).
+        let fact: usize = (1..=n).product();
+        prop_assert_eq!(fact % autos.len(), 0);
+    }
+
+    #[test]
+    fn automorphisms_preserve_edges(p in connected_pattern()) {
+        for a in automorphisms(&p) {
+            for (x, y) in p.edges() {
+                prop_assert!(p.has_edge(a[x as usize], a[y as usize]));
+            }
+        }
+    }
+
+    #[test]
+    fn stabilizer_chain_reaches_identity(p in connected_pattern()) {
+        // Iteratively stabilizing the constrained vertices of the GK
+        // partial order must kill the whole group — the correctness
+        // condition for exactly-once reporting.
+        let po = PartialOrder::for_pattern(&p);
+        let mut group = automorphisms(&p);
+        let mut firsts: Vec<u8> = po.pairs().iter().map(|&(a, _)| a).collect();
+        firsts.dedup();
+        for v in firsts {
+            group = stabilizer(&group, v);
+        }
+        prop_assert_eq!(group.len(), 1, "constraints leave residual symmetry");
+    }
+
+    #[test]
+    fn partial_order_is_acyclic(p in connected_pattern()) {
+        // The GK pairs must admit a topological order (no a<b<...<a).
+        let po = PartialOrder::for_pattern(&p);
+        let n = p.num_vertices();
+        let mut indeg = vec![0usize; n];
+        for &(_, b) in po.pairs() {
+            indeg[b as usize] += 1;
+        }
+        let mut removed = 0;
+        let mut queue: Vec<u8> = (0..n as u8).filter(|&v| indeg[v as usize] == 0).collect();
+        let mut pairs: Vec<(u8, u8)> = po.pairs().to_vec();
+        while let Some(v) = queue.pop() {
+            removed += 1;
+            pairs.retain(|&(a, b)| {
+                if a == v {
+                    indeg[b as usize] -= 1;
+                    if indeg[b as usize] == 0 {
+                        queue.push(b);
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        prop_assert_eq!(removed, n, "cycle in partial order");
+    }
+
+    #[test]
+    fn orbits_partition_under_full_group(p in connected_pattern()) {
+        let autos = automorphisms(&p);
+        // v is always in its own orbit, and orbit relation is symmetric.
+        for v in p.vertices() {
+            let ov = orbit(&autos, v);
+            prop_assert!(ov & (1 << v) != 0);
+            for w in p.vertices() {
+                if ov & (1 << w) != 0 {
+                    prop_assert!(orbit(&autos, w) & (1 << v) != 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_edge_counts(p in connected_pattern(), mask_seed in 0u16..64) {
+        let mask = mask_seed & p.full_mask();
+        let (sub, ids) = p.induced(mask);
+        if ids.is_empty() {
+            return Ok(());
+        }
+        prop_assert_eq!(sub.num_vertices(), ids.len());
+        let mut expect = 0;
+        for (i, &a) in ids.iter().enumerate() {
+            for &b in &ids[i + 1..] {
+                if p.has_edge(a, b) {
+                    expect += 1;
+                }
+            }
+        }
+        prop_assert_eq!(sub.num_edges(), expect);
+    }
+}

@@ -1,0 +1,249 @@
+//! The Hybrid dispatch of Algorithm 4 and the kernel selector.
+//!
+//! `Hybrid(S1, S2)` chooses Merge when the sizes are within a factor of `δ`
+//! of each other and Galloping otherwise (the *cardinality skew* case). The
+//! paper sets `δ = 50` based on the performance study of Lemire et al. [14].
+
+use crate::scalar;
+use crate::simd;
+use crate::stats::IntersectStats;
+
+/// Default skew threshold δ from the paper (§VII-A).
+pub const DEFAULT_DELTA: usize = 50;
+
+/// Which intersection implementation an engine uses. The four variants of
+/// the paper's SIMD evaluation (§VIII-B2, Fig. 6) plus the pure scalar
+/// galloping used in unit tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntersectKind {
+    /// Merge only, scalar ("Merge" in Fig. 6).
+    MergeScalar,
+    /// Merge only, AVX2 ("MergeAVX2").
+    MergeAvx2,
+    /// Hybrid merge/galloping, scalar ("Hybrid").
+    HybridScalar,
+    /// Hybrid merge/galloping, AVX2 ("HybridAVX2") — the default for LIGHT.
+    HybridAvx2,
+}
+
+impl IntersectKind {
+    /// All four variants, in Fig. 6 order.
+    pub const ALL: [IntersectKind; 4] = [
+        IntersectKind::MergeScalar,
+        IntersectKind::MergeAvx2,
+        IntersectKind::HybridScalar,
+        IntersectKind::HybridAvx2,
+    ];
+
+    /// Display name as used in Fig. 6.
+    pub fn name(self) -> &'static str {
+        match self {
+            IntersectKind::MergeScalar => "Merge",
+            IntersectKind::MergeAvx2 => "MergeAVX2",
+            IntersectKind::HybridScalar => "Hybrid",
+            IntersectKind::HybridAvx2 => "HybridAVX2",
+        }
+    }
+
+    /// The best kind available on this machine (HybridAVX2 when the CPU has
+    /// AVX2, otherwise scalar Hybrid).
+    pub fn best_available() -> IntersectKind {
+        if simd::avx2_available() {
+            IntersectKind::HybridAvx2
+        } else {
+            IntersectKind::HybridScalar
+        }
+    }
+
+    /// Whether this kind uses the AVX2 kernels.
+    pub fn uses_simd(self) -> bool {
+        matches!(self, IntersectKind::MergeAvx2 | IntersectKind::HybridAvx2)
+    }
+}
+
+/// A configured intersector: kernel kind + skew threshold.
+#[derive(Debug, Clone, Copy)]
+pub struct Intersector {
+    kind: IntersectKind,
+    delta: usize,
+}
+
+impl Intersector {
+    /// Create with the paper's default δ = 50.
+    pub fn new(kind: IntersectKind) -> Self {
+        Intersector {
+            kind,
+            delta: DEFAULT_DELTA,
+        }
+    }
+
+    /// Override δ (ablation benches sweep this).
+    pub fn with_delta(kind: IntersectKind, delta: usize) -> Self {
+        assert!(delta >= 1, "delta must be >= 1");
+        Intersector { kind, delta }
+    }
+
+    /// The configured kernel kind.
+    pub fn kind(&self) -> IntersectKind {
+        self.kind
+    }
+
+    /// The configured skew threshold δ.
+    pub fn delta(&self) -> usize {
+        self.delta
+    }
+
+    /// Whether Hybrid would pick Galloping for these sizes.
+    #[inline]
+    fn is_skewed(&self, la: usize, lb: usize) -> bool {
+        // |S1|/|S2| >= δ or |S2|/|S1| >= δ  (Algorithm 4, negated guard).
+        la >= lb.saturating_mul(self.delta) || lb >= la.saturating_mul(self.delta)
+    }
+
+    /// Intersect two sorted duplicate-free sets into `out` (cleared first),
+    /// recording one intersection in `stats`.
+    pub fn intersect_into(
+        &self,
+        a: &[u32],
+        b: &[u32],
+        out: &mut Vec<u32>,
+        stats: &mut IntersectStats,
+    ) {
+        stats.total += 1;
+        let scanned = match self.kind {
+            IntersectKind::MergeScalar => {
+                stats.merge += 1;
+                scalar::merge_into(a, b, out)
+            }
+            IntersectKind::MergeAvx2 => {
+                stats.merge += 1;
+                simd::merge_avx2_into(a, b, out)
+            }
+            IntersectKind::HybridScalar => {
+                if self.is_skewed(a.len(), b.len()) {
+                    stats.galloping += 1;
+                    scalar::galloping_into(a, b, out)
+                } else {
+                    stats.merge += 1;
+                    scalar::merge_into(a, b, out)
+                }
+            }
+            IntersectKind::HybridAvx2 => {
+                if self.is_skewed(a.len(), b.len()) {
+                    stats.galloping += 1;
+                    simd::galloping_avx2_into(a, b, out)
+                } else {
+                    stats.merge += 1;
+                    simd::merge_avx2_into(a, b, out)
+                }
+            }
+        };
+        stats.elements_scanned += scanned;
+    }
+}
+
+impl Default for Intersector {
+    fn default() -> Self {
+        Intersector::new(IntersectKind::best_available())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::reference_intersection;
+
+    #[test]
+    fn all_kinds_agree() {
+        let a: Vec<u32> = (0..500).map(|x| x * 2).collect();
+        let b: Vec<u32> = (0..500).map(|x| x * 3).collect();
+        let expect = reference_intersection(&a, &b);
+        for kind in IntersectKind::ALL {
+            let isec = Intersector::new(kind);
+            let mut out = Vec::new();
+            let mut st = IntersectStats::default();
+            isec.intersect_into(&a, &b, &mut out, &mut st);
+            assert_eq!(out, expect, "{}", kind.name());
+            assert_eq!(st.total, 1);
+        }
+    }
+
+    #[test]
+    fn hybrid_dispatch_follows_delta() {
+        let small: Vec<u32> = (0..10).collect();
+        let large: Vec<u32> = (0..10_000).collect();
+        let similar: Vec<u32> = (0..15).collect();
+
+        let isec = Intersector::new(IntersectKind::HybridScalar);
+        let mut out = Vec::new();
+        let mut st = IntersectStats::default();
+        // 10 vs 10000: ratio 1000 >= 50 -> galloping.
+        isec.intersect_into(&small, &large, &mut out, &mut st);
+        assert_eq!(st.galloping, 1);
+        assert_eq!(st.merge, 0);
+        // 10 vs 15: ratio < 50 -> merge.
+        isec.intersect_into(&small, &similar, &mut out, &mut st);
+        assert_eq!(st.galloping, 1);
+        assert_eq!(st.merge, 1);
+        assert_eq!(st.total, 2);
+    }
+
+    #[test]
+    fn delta_boundary() {
+        // Exactly δx difference must dispatch to galloping (strict '<' in
+        // Algorithm 4's merge guard).
+        let a: Vec<u32> = (0..2).collect();
+        let b: Vec<u32> = (0..100).collect(); // ratio exactly 50
+        let isec = Intersector::new(IntersectKind::HybridScalar);
+        let mut out = Vec::new();
+        let mut st = IntersectStats::default();
+        isec.intersect_into(&a, &b, &mut out, &mut st);
+        assert_eq!(st.galloping, 1);
+
+        let c: Vec<u32> = (0..99).collect(); // ratio 49.5 < 50
+        isec.intersect_into(&a, &c, &mut out, &mut st);
+        assert_eq!(st.merge, 1);
+    }
+
+    #[test]
+    fn custom_delta() {
+        let a: Vec<u32> = (0..10).collect();
+        let b: Vec<u32> = (0..30).collect();
+        let isec = Intersector::with_delta(IntersectKind::HybridScalar, 2);
+        let mut out = Vec::new();
+        let mut st = IntersectStats::default();
+        isec.intersect_into(&a, &b, &mut out, &mut st); // ratio 3 >= 2
+        assert_eq!(st.galloping, 1);
+    }
+
+    #[test]
+    fn merge_kinds_never_gallop() {
+        let a: Vec<u32> = (0..2).collect();
+        let b: Vec<u32> = (0..10_000).collect();
+        for kind in [IntersectKind::MergeScalar, IntersectKind::MergeAvx2] {
+            let mut st = IntersectStats::default();
+            let mut out = Vec::new();
+            Intersector::new(kind).intersect_into(&a, &b, &mut out, &mut st);
+            assert_eq!(st.galloping, 0, "{}", kind.name());
+            assert_eq!(st.merge, 1);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_counted() {
+        let isec = Intersector::default();
+        let mut out = vec![7];
+        let mut st = IntersectStats::default();
+        isec.intersect_into(&[], &[1, 2], &mut out, &mut st);
+        assert!(out.is_empty());
+        assert_eq!(st.total, 1);
+    }
+
+    #[test]
+    fn names_and_flags() {
+        assert_eq!(IntersectKind::HybridAvx2.name(), "HybridAVX2");
+        assert!(IntersectKind::HybridAvx2.uses_simd());
+        assert!(!IntersectKind::HybridScalar.uses_simd());
+        let _ = IntersectKind::best_available();
+    }
+}

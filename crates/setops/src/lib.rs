@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # light-setops — sorted-set intersection kernels for LIGHT
+//!
+//! Candidate-set computation in subgraph enumeration is set intersection
+//! over sorted `u32` arrays (CSR neighbor lists and cached candidate sets).
+//! This crate implements the paper's §VII-A kernel family:
+//!
+//! * **Merge** — linear two-pointer merge, `O(|S1| + |S2|)`. Best when the
+//!   inputs have similar sizes.
+//! * **Galloping** — for each element of the smaller set, exponential +
+//!   binary search in the larger set, `O(|S1| log |S2|)`. Best under
+//!   *cardinality skew*.
+//! * **Hybrid** (Algorithm 4) — picks Merge when `|S1|/|S2| < δ` and
+//!   `|S2|/|S1| < δ`, otherwise Galloping. The paper configures `δ = 50`
+//!   following the study of Lemire et al. [14].
+//! * **AVX2 variants** of both, using `core::arch::x86_64` intrinsics behind
+//!   runtime feature detection (`is_x86_feature_detected!`), with automatic
+//!   scalar fallback on other hardware.
+//!
+//! Every kernel records into an [`IntersectStats`] so the experiment
+//! harnesses can reproduce Fig. 5 (number of set intersections) and
+//! Table III (percentage of Galloping searches).
+//!
+//! ```
+//! use light_setops::{Intersector, IntersectKind, IntersectStats};
+//!
+//! let a = vec![1u32, 3, 5, 7, 9];
+//! let b = vec![3u32, 4, 5, 6, 7];
+//! let isec = Intersector::new(IntersectKind::HybridAvx2); // falls back if no AVX2
+//! let mut out = Vec::new();
+//! let mut stats = IntersectStats::default();
+//! isec.intersect_into(&a, &b, &mut out, &mut stats);
+//! assert_eq!(out, vec![3, 5, 7]);
+//! assert_eq!(stats.total, 1);
+//! ```
+
+pub mod hybrid;
+pub mod multi;
+pub mod scalar;
+pub mod simd;
+pub mod stats;
+
+pub use hybrid::{Intersector, IntersectKind, DEFAULT_DELTA};
+pub use multi::intersect_many;
+pub use stats::IntersectStats;

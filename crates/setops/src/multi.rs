@@ -1,0 +1,114 @@
+//! k-way intersection with the *min property*.
+//!
+//! Definition II.6 requires multi-set intersections whose cost is
+//! proportional to the smallest input. Intersecting the two smallest sets
+//! first and folding the (only-shrinking) result through the remaining sets
+//! achieves this for Hybrid kernels: every subsequent call has one side no
+//! larger than the current result.
+
+use crate::hybrid::Intersector;
+use crate::stats::IntersectStats;
+
+/// Intersect `k >= 1` sorted sets into `out`.
+///
+/// `scratch` is a caller-provided buffer reused across calls so the hot
+/// path never allocates (the engines keep one per recursion depth).
+pub fn intersect_many(
+    isec: &Intersector,
+    sets: &[&[u32]],
+    out: &mut Vec<u32>,
+    scratch: &mut Vec<u32>,
+    stats: &mut IntersectStats,
+) {
+    match sets.len() {
+        0 => out.clear(),
+        1 => {
+            out.clear();
+            out.extend_from_slice(sets[0]);
+        }
+        _ => {
+            // Order inputs by size ascending (indices, cheap for small k).
+            let mut order: Vec<usize> = (0..sets.len()).collect();
+            order.sort_unstable_by_key(|&i| sets[i].len());
+
+            isec.intersect_into(sets[order[0]], sets[order[1]], out, stats);
+            for &i in &order[2..] {
+                if out.is_empty() {
+                    return;
+                }
+                std::mem::swap(out, scratch);
+                isec.intersect_into(scratch, sets[i], out, stats);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hybrid::IntersectKind;
+
+    fn run(sets: &[&[u32]]) -> (Vec<u32>, IntersectStats) {
+        let isec = Intersector::new(IntersectKind::HybridScalar);
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        let mut st = IntersectStats::default();
+        intersect_many(&isec, sets, &mut out, &mut scratch, &mut st);
+        (out, st)
+    }
+
+    #[test]
+    fn zero_and_one_sets() {
+        assert_eq!(run(&[]).0, Vec::<u32>::new());
+        assert_eq!(run(&[&[1, 2, 3]]).0, vec![1, 2, 3]);
+        assert_eq!(run(&[&[1, 2, 3]]).1.total, 0); // copying is not an intersection
+    }
+
+    #[test]
+    fn two_sets() {
+        let (out, st) = run(&[&[1, 2, 3, 4], &[2, 4, 6]]);
+        assert_eq!(out, vec![2, 4]);
+        assert_eq!(st.total, 1);
+    }
+
+    #[test]
+    fn three_sets() {
+        let (out, st) = run(&[&[1, 2, 3, 4, 5], &[2, 3, 4, 5], &[3, 4, 5, 9]]);
+        assert_eq!(out, vec![3, 4, 5]);
+        assert_eq!(st.total, 2); // k-1 pairwise intersections
+    }
+
+    #[test]
+    fn early_exit_on_empty_intermediate() {
+        let (out, st) = run(&[&[1], &[2], &[1, 2, 3]]);
+        assert!(out.is_empty());
+        // The second intersection is skipped once the intermediate is empty.
+        assert_eq!(st.total, 1);
+    }
+
+    #[test]
+    fn smallest_first_ordering() {
+        // The first intersection must involve the smallest set, bounding
+        // every later operand by its size (min property).
+        let huge: Vec<u32> = (0..10_000).collect();
+        let big: Vec<u32> = (0..5_000).collect();
+        let tiny = vec![3u32, 4000, 9999];
+        let (out, st) = run(&[&huge, &big, &tiny]);
+        assert_eq!(out, vec![3, 4000]);
+        // With smallest-first ordering, scanning is tiny: well below the
+        // merge cost of |huge ∩ big| pass.
+        assert!(st.elements_scanned < 200, "scanned {}", st.elements_scanned);
+    }
+
+    #[test]
+    fn four_sets() {
+        let a: Vec<u32> = (0..100).collect();
+        let b: Vec<u32> = (0..100).map(|x| x * 2).collect();
+        let c: Vec<u32> = (0..100).map(|x| x * 3).collect();
+        let d: Vec<u32> = (0..100).map(|x| x * 5).collect();
+        let (out, st) = run(&[&a, &b, &c, &d]);
+        // 0..100 ∩ evens ∩ multiples of 3 ∩ multiples of 5 = multiples of 30 < 100.
+        assert_eq!(out, vec![0, 30, 60, 90]);
+        assert_eq!(st.total, 3);
+    }
+}

@@ -1,0 +1,151 @@
+//! Scalar (portable) intersection kernels: Merge and Galloping.
+//!
+//! Both kernels take two **sorted, duplicate-free** `u32` slices and append
+//! their intersection to `out` (which they clear first). They return the
+//! number of elements scanned, the work measure recorded in
+//! [`crate::IntersectStats::elements_scanned`].
+
+/// Two-pointer merge intersection, `O(|a| + |b|)`.
+pub fn merge_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) -> u64 {
+    out.clear();
+    out.reserve(a.len().min(b.len()));
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut scanned = 0u64;
+    while i < a.len() && j < b.len() {
+        scanned += 1;
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    scanned
+}
+
+/// Galloping (exponential + binary search) intersection,
+/// `O(|small| * log |large|)`. The caller passes sets in any order; the
+/// kernel gallops with the smaller one.
+pub fn galloping_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) -> u64 {
+    out.clear();
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    out.reserve(small.len());
+    let mut pos = 0usize; // search cursor in `large`; only advances
+    let mut scanned = 0u64;
+    for &x in small {
+        if pos >= large.len() {
+            break;
+        }
+        // Exponential probe for an upper bound on the lower-bound position.
+        let mut bound = 1usize;
+        while pos + bound < large.len() && large[pos + bound] < x {
+            bound <<= 1;
+            scanned += 1;
+        }
+        let hi = (pos + bound).min(large.len());
+        // Lower bound of x within large[pos..hi].
+        let window = &large[pos..hi];
+        pos += window.partition_point(|&y| y < x);
+        scanned += (window.len().max(1)).ilog2() as u64 + 1;
+        if pos < large.len() && large[pos] == x {
+            out.push(x);
+            pos += 1;
+        }
+    }
+    scanned
+}
+
+/// Count-only merge intersection (no output materialization); used by
+/// statistics code and tests.
+pub fn merge_count(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut c) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                c += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    c
+}
+
+/// Reference implementation used by property tests: intersection via
+/// binary search of each element, trivially correct.
+pub fn reference_intersection(a: &[u32], b: &[u32]) -> Vec<u32> {
+    a.iter()
+        .copied()
+        .filter(|x| b.binary_search(x).is_ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(a: &[u32], b: &[u32], expect: &[u32]) {
+        let mut out = Vec::new();
+        merge_into(a, b, &mut out);
+        assert_eq!(out, expect, "merge {a:?} ∩ {b:?}");
+        galloping_into(a, b, &mut out);
+        assert_eq!(out, expect, "galloping {a:?} ∩ {b:?}");
+        galloping_into(b, a, &mut out);
+        assert_eq!(out, expect, "galloping swapped {b:?} ∩ {a:?}");
+        assert_eq!(reference_intersection(a, b), expect);
+        assert_eq!(merge_count(a, b), expect.len());
+    }
+
+    #[test]
+    fn basic_cases() {
+        check(&[1, 3, 5, 7], &[3, 4, 5, 6, 7], &[3, 5, 7]);
+        check(&[], &[1, 2, 3], &[]);
+        check(&[1, 2, 3], &[], &[]);
+        check(&[], &[], &[]);
+        check(&[5], &[5], &[5]);
+        check(&[1, 2, 3], &[4, 5, 6], &[]);
+        check(&[1, 2, 3], &[1, 2, 3], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn disjoint_interleaved() {
+        check(&[0, 2, 4, 6, 8], &[1, 3, 5, 7, 9], &[]);
+    }
+
+    #[test]
+    fn skewed_sizes() {
+        let large: Vec<u32> = (0..10_000).map(|x| x * 3).collect();
+        let small = vec![3, 2_997, 29_997, 50_000];
+        check(&small, &large, &[3, 2_997, 29_997]);
+    }
+
+    #[test]
+    fn boundary_elements() {
+        let large: Vec<u32> = (100..200).collect();
+        check(&[100], &large, &[100]);
+        check(&[199], &large, &[199]);
+        check(&[99], &large, &[]);
+        check(&[200], &large, &[]);
+        check(&[99, 100, 199, 200], &large, &[100, 199]);
+    }
+
+    #[test]
+    fn u32_extremes() {
+        check(&[0, u32::MAX], &[0, 1, u32::MAX], &[0, u32::MAX]);
+    }
+
+    #[test]
+    fn output_buffer_is_cleared() {
+        let mut out = vec![42, 43];
+        merge_into(&[1], &[2], &mut out);
+        assert!(out.is_empty());
+        out.push(99);
+        galloping_into(&[1], &[1], &mut out);
+        assert_eq!(out, vec![1]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Instrumentation counters for set intersections.
+//!
+//! The paper reports two instrumented quantities: the *number of set
+//! intersections* performed by each algorithm variant (Fig. 5) and the
+//! *percentage of Galloping searches* chosen by Hybrid (Table III). The
+//! kernels record both into this plain struct, which engines own per run
+//! (and per worker in the parallel driver, merged at the end) — no atomics
+//! on the hot path.
+
+/// Counters accumulated across intersection calls.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IntersectStats {
+    /// Total pairwise set intersections performed.
+    pub total: u64,
+    /// Intersections dispatched to the Merge kernel.
+    pub merge: u64,
+    /// Intersections dispatched to the Galloping kernel.
+    pub galloping: u64,
+    /// Total elements scanned (comparisons are proportional); a finer
+    /// work measure than call counts, used by ablation benches.
+    pub elements_scanned: u64,
+}
+
+impl IntersectStats {
+    /// Percentage of intersections that used Galloping (Table III).
+    /// Returns 0.0 when no intersections happened.
+    pub fn galloping_pct(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            100.0 * self.galloping as f64 / self.total as f64
+        }
+    }
+
+    /// Merge another counter set into this one (used when joining parallel
+    /// workers).
+    pub fn merge_from(&mut self, other: &IntersectStats) {
+        self.total += other.total;
+        self.merge += other.merge;
+        self.galloping += other.galloping;
+        self.elements_scanned += other.elements_scanned;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn galloping_pct_empty() {
+        assert_eq!(IntersectStats::default().galloping_pct(), 0.0);
+    }
+
+    #[test]
+    fn galloping_pct() {
+        let s = IntersectStats {
+            total: 8,
+            merge: 6,
+            galloping: 2,
+            elements_scanned: 100,
+        };
+        assert!((s.galloping_pct() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_from_accumulates() {
+        let mut a = IntersectStats {
+            total: 1,
+            merge: 1,
+            galloping: 0,
+            elements_scanned: 10,
+        };
+        let b = IntersectStats {
+            total: 2,
+            merge: 0,
+            galloping: 2,
+            elements_scanned: 5,
+        };
+        a.merge_from(&b);
+        assert_eq!(a.total, 3);
+        assert_eq!(a.merge, 1);
+        assert_eq!(a.galloping, 2);
+        assert_eq!(a.elements_scanned, 15);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests: every intersection kernel must agree with the trivially
+//! correct reference implementation on arbitrary sorted inputs, including
+//! adversarial size skews and values spanning the full u32 range.
+
+use proptest::collection::btree_set;
+use proptest::prelude::*;
+
+use light_setops::scalar::{galloping_into, merge_into, reference_intersection};
+use light_setops::simd::{galloping_avx2_into, merge_avx2_into};
+use light_setops::{intersect_many, IntersectKind, IntersectStats, Intersector};
+
+fn sorted_vec(max: u32, size: usize) -> impl Strategy<Value = Vec<u32>> {
+    btree_set(0..max, 0..size).prop_map(|s| s.into_iter().collect())
+}
+
+proptest! {
+    #[test]
+    fn scalar_merge_matches_reference(
+        a in sorted_vec(1000, 200),
+        b in sorted_vec(1000, 200),
+    ) {
+        let mut out = Vec::new();
+        merge_into(&a, &b, &mut out);
+        prop_assert_eq!(out, reference_intersection(&a, &b));
+    }
+
+    #[test]
+    fn scalar_galloping_matches_reference(
+        a in sorted_vec(1000, 200),
+        b in sorted_vec(1000, 200),
+    ) {
+        let mut out = Vec::new();
+        galloping_into(&a, &b, &mut out);
+        prop_assert_eq!(out, reference_intersection(&a, &b));
+    }
+
+    #[test]
+    fn avx2_merge_matches_reference(
+        a in sorted_vec(500, 300),
+        b in sorted_vec(500, 300),
+    ) {
+        let mut out = Vec::new();
+        merge_avx2_into(&a, &b, &mut out);
+        prop_assert_eq!(out, reference_intersection(&a, &b));
+    }
+
+    #[test]
+    fn avx2_galloping_matches_reference(
+        a in sorted_vec(500, 300),
+        b in sorted_vec(500, 300),
+    ) {
+        let mut out = Vec::new();
+        galloping_avx2_into(&a, &b, &mut out);
+        prop_assert_eq!(out, reference_intersection(&a, &b));
+    }
+
+    #[test]
+    fn kernels_handle_full_u32_range(
+        a in sorted_vec(u32::MAX, 100),
+        b in sorted_vec(u32::MAX, 100),
+    ) {
+        let expect = reference_intersection(&a, &b);
+        let mut out = Vec::new();
+        merge_avx2_into(&a, &b, &mut out);
+        prop_assert_eq!(&out, &expect);
+        galloping_avx2_into(&a, &b, &mut out);
+        prop_assert_eq!(&out, &expect);
+        galloping_into(&a, &b, &mut out);
+        prop_assert_eq!(&out, &expect);
+    }
+
+    #[test]
+    fn skewed_inputs(
+        small in sorted_vec(100_000, 8),
+        large in sorted_vec(100_000, 3000),
+    ) {
+        let expect = reference_intersection(&small, &large);
+        for kind in IntersectKind::ALL {
+            let isec = Intersector::new(kind);
+            let mut out = Vec::new();
+            let mut st = IntersectStats::default();
+            isec.intersect_into(&small, &large, &mut out, &mut st);
+            prop_assert_eq!(&out, &expect, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn intersection_is_commutative(
+        a in sorted_vec(2000, 300),
+        b in sorted_vec(2000, 300),
+    ) {
+        for kind in IntersectKind::ALL {
+            let isec = Intersector::new(kind);
+            let mut st = IntersectStats::default();
+            let (mut ab, mut ba) = (Vec::new(), Vec::new());
+            isec.intersect_into(&a, &b, &mut ab, &mut st);
+            isec.intersect_into(&b, &a, &mut ba, &mut st);
+            prop_assert_eq!(&ab, &ba, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn output_is_sorted_subset(
+        a in sorted_vec(3000, 400),
+        b in sorted_vec(3000, 400),
+    ) {
+        for kind in IntersectKind::ALL {
+            let isec = Intersector::new(kind);
+            let mut out = Vec::new();
+            let mut st = IntersectStats::default();
+            isec.intersect_into(&a, &b, &mut out, &mut st);
+            prop_assert!(out.windows(2).all(|w| w[0] < w[1]), "not strictly sorted");
+            prop_assert!(out.iter().all(|x| a.binary_search(x).is_ok()));
+            prop_assert!(out.iter().all(|x| b.binary_search(x).is_ok()));
+        }
+    }
+
+    #[test]
+    fn multiway_matches_pairwise_fold(
+        a in sorted_vec(500, 150),
+        b in sorted_vec(500, 150),
+        c in sorted_vec(500, 150),
+    ) {
+        let expect: Vec<u32> = reference_intersection(&reference_intersection(&a, &b), &c);
+        let isec = Intersector::new(IntersectKind::HybridAvx2);
+        let (mut out, mut scratch) = (Vec::new(), Vec::new());
+        let mut st = IntersectStats::default();
+        intersect_many(&isec, &[&a, &b, &c], &mut out, &mut scratch, &mut st);
+        prop_assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn stats_counts_are_consistent(
+        a in sorted_vec(1000, 200),
+        b in sorted_vec(1000, 200),
+    ) {
+        for kind in IntersectKind::ALL {
+            let isec = Intersector::new(kind);
+            let mut out = Vec::new();
+            let mut st = IntersectStats::default();
+            isec.intersect_into(&a, &b, &mut out, &mut st);
+            prop_assert_eq!(st.total, 1);
+            prop_assert_eq!(st.merge + st.galloping, st.total);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Graphlet-kernel graph comparison [22]: represent each graph by its
+//! vector of 4-vertex graphlet frequencies and compare graphs by cosine
+//! similarity — subgraph enumeration as a feature extractor.
+//!
+//! Run with: `cargo run --release --example graphlet_kernel`
+
+use light::prelude::*;
+
+fn graphlets() -> Vec<PatternGraph> {
+    vec![
+        PatternGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]), // path
+        PatternGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]), // star
+        PatternGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]), // cycle
+        PatternGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (0, 3)]), // paw
+        PatternGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]), // diamond
+        PatternGraph::complete(4),                              // clique
+    ]
+}
+
+/// Normalized graphlet frequency vector.
+fn signature(g: &CsrGraph) -> Vec<f64> {
+    let counts: Vec<f64> = graphlets()
+        .iter()
+        .map(|p| run_query(p, g, &EngineConfig::light()).matches as f64)
+        .collect();
+    let total: f64 = counts.iter().sum::<f64>().max(1.0);
+    counts.into_iter().map(|c| c / total).collect()
+}
+
+fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+fn main() {
+    let build = |raw: CsrGraph| light::graph::ordered::into_degree_ordered(&raw).0;
+    let graphs = [("BA seed A", build(light::graph::generators::barabasi_albert(2_000, 4, 1))),
+        ("BA seed B", build(light::graph::generators::barabasi_albert(2_000, 4, 2))),
+        ("ER", build(light::graph::generators::erdos_renyi(2_000, 8_000, 1))),
+        ("grid", build(light::graph::generators::grid(45, 45)))];
+
+    println!("4-vertex graphlet signatures (path star cycle paw diamond clique):\n");
+    let sigs: Vec<(&str, Vec<f64>)> = graphs
+        .iter()
+        .map(|(name, g)| {
+            let s = signature(g);
+            println!(
+                "  {name:<10} [{}]",
+                s.iter().map(|x| format!("{x:.4}")).collect::<Vec<_>>().join(" ")
+            );
+            (*name, s)
+        })
+        .collect();
+
+    println!("\npairwise cosine similarity:");
+    for i in 0..sigs.len() {
+        for j in (i + 1)..sigs.len() {
+            println!(
+                "  {:<10} vs {:<10} {:.4}",
+                sigs[i].0,
+                sigs[j].0,
+                cosine(&sigs[i].1, &sigs[j].1)
+            );
+        }
+    }
+    println!(
+        "\nTwo BA graphs from different seeds are near-identical under the kernel;\n\
+         both differ from the ER graph and dramatically from the grid."
+    );
+}

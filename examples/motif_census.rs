@@ -1,0 +1,79 @@
+//! Network-motif census: count every connected 4-vertex motif.
+//!
+//! Network motif discovery [26] is the first application the paper's
+//! introduction motivates: find which small subgraphs are over-represented
+//! in a network. This example counts all six connected 4-vertex motifs in
+//! two graphs with identical size but different structure and compares
+//! their motif profiles.
+//!
+//! Run with: `cargo run --release --example motif_census`
+
+use light::prelude::*;
+
+/// The six connected 4-vertex graphs.
+fn motifs() -> Vec<(&'static str, PatternGraph)> {
+    vec![
+        ("path-4", PatternGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)])),
+        ("star-4", PatternGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)])),
+        (
+            "cycle-4",
+            PatternGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]),
+        ),
+        (
+            "paw", // triangle + pendant edge
+            PatternGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (0, 3)]),
+        ),
+        (
+            "diamond",
+            PatternGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]),
+        ),
+        ("clique-4", PatternGraph::complete(4)),
+    ]
+}
+
+fn census(g: &CsrGraph) -> Vec<(&'static str, u64)> {
+    motifs()
+        .into_iter()
+        .map(|(name, p)| {
+            let r = run_query(&p, g, &EngineConfig::light());
+            (name, r.matches)
+        })
+        .collect()
+}
+
+fn main() {
+    let n = 3_000;
+    // Same vertex count, similar edge count, different wiring.
+    let social = {
+        let raw = light::graph::generators::barabasi_albert(n, 3, 7);
+        light::graph::ordered::into_degree_ordered(&raw).0
+    };
+    let random = {
+        let raw = light::graph::generators::erdos_renyi(n, social.num_edges(), 7);
+        light::graph::ordered::into_degree_ordered(&raw).0
+    };
+
+    println!(
+        "motif census over two graphs with N={n}, M={}\n",
+        social.num_edges()
+    );
+    println!(
+        "{:<10} {:>16} {:>16} {:>10}",
+        "motif", "BA (social-like)", "ER (random)", "ratio"
+    );
+    for ((name, ba), (_, er)) in census(&social).into_iter().zip(census(&random)) {
+        let ratio = if er > 0 {
+            format!("{:.1}x", ba as f64 / er as f64)
+        } else if ba > 0 {
+            "inf".into()
+        } else {
+            "-".into()
+        };
+        println!("{name:<10} {ba:>16} {er:>16} {ratio:>10}");
+    }
+    println!(
+        "\nThe preferential-attachment graph is dramatically enriched in dense motifs\n\
+         (diamond, clique) relative to the degree-matched random graph — the kind of\n\
+         signal motif-discovery pipelines are built on."
+    );
+}

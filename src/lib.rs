@@ -1,0 +1,42 @@
+//! # LIGHT — efficient parallel subgraph enumeration on a single machine
+//!
+//! Umbrella crate re-exporting the full workspace. This is a from-scratch
+//! Rust reproduction of:
+//!
+//! > Shixuan Sun, Yulin Che, Lipeng Wang, Qiong Luo.
+//! > *Efficient Parallel Subgraph Enumeration on a Single Machine.*
+//! > ICDE 2019.
+//!
+//! See the `README.md` for a tour and `DESIGN.md` for the system inventory.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use light::prelude::*;
+//!
+//! // A small social-like data graph and the "diamond" pattern (Fig. 1a).
+//! let g = light::graph::generators::barabasi_albert(500, 4, 42);
+//! let pattern = Query::P2.pattern();
+//!
+//! // Plan and run the LIGHT engine (lazy materialization + set cover).
+//! let report = run_query(&pattern, &g, &EngineConfig::light());
+//! println!("{} diamonds", report.matches);
+//! # assert!(report.matches > 0);
+//! ```
+
+pub use light_core as core;
+pub use light_distributed as distributed;
+pub use light_graph as graph;
+pub use light_order as order;
+pub use light_parallel as parallel;
+pub use light_pattern as pattern;
+pub use light_setops as setops;
+
+/// Common imports for applications.
+pub mod prelude {
+    pub use light_core::{run_query, EngineConfig, EngineVariant, Report};
+    pub use light_graph::{CsrGraph, GraphBuilder, VertexId};
+    pub use light_parallel::{run_query_parallel, ParallelConfig};
+    pub use light_pattern::{PatternGraph, Query};
+    pub use light_setops::IntersectKind;
+}

@@ -1,0 +1,106 @@
+//! Cross-engine equivalence: every engine variant, the parallel driver, and
+//! every simulated comparator must report the same match counts as the
+//! brute-force reference on arbitrary random graphs.
+
+use proptest::prelude::*;
+
+use light::core::{reference, EngineConfig, EngineVariant};
+use light::distributed::{Budget, CflSim, CrystalSim, DualSimLike, EhSim, SeedSim};
+use light::graph::{generators, CsrGraph};
+use light::parallel::{run_query_parallel, ParallelConfig};
+use light::pattern::Query;
+
+fn reference_count(q: Query, g: &CsrGraph) -> u64 {
+    let po = q.partial_order();
+    reference::count_matches(&q.pattern(), g, Some(&po))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn all_variants_match_reference_on_er(
+        n in 8usize..40,
+        edge_factor in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        let m = (n * edge_factor).min(n * (n - 1) / 2);
+        let g = generators::erdos_renyi(n, m, seed);
+        for q in [Query::Triangle, Query::P1, Query::P2, Query::P3] {
+            let expect = reference_count(q, &g);
+            for variant in EngineVariant::ALL {
+                let cfg = EngineConfig::with_variant(variant);
+                let got = light::core::run_query(&q.pattern(), &g, &cfg).matches;
+                prop_assert_eq!(got, expect, "{} {}", q.name(), variant.name());
+            }
+        }
+    }
+
+    #[test]
+    fn five_vertex_patterns_match_reference(
+        n in 8usize..25,
+        seed in 0u64..500,
+    ) {
+        let m = (2 * n).min(n * (n - 1) / 2);
+        let g = generators::erdos_renyi(n, m, seed);
+        for q in [Query::P4, Query::P5, Query::P6, Query::P7] {
+            let expect = reference_count(q, &g);
+            let got = light::core::run_query(&q.pattern(), &g, &EngineConfig::light()).matches;
+            prop_assert_eq!(got, expect, "{}", q.name());
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial(
+        n in 20usize..60,
+        seed in 0u64..200,
+        threads in 1usize..6,
+    ) {
+        let g = generators::barabasi_albert(n, 3, seed);
+        for q in [Query::Triangle, Query::P2, Query::P4] {
+            let serial = light::core::run_query(&q.pattern(), &g, &EngineConfig::light()).matches;
+            let par = run_query_parallel(
+                &q.pattern(),
+                &g,
+                &EngineConfig::light(),
+                &ParallelConfig::new(threads),
+            );
+            prop_assert_eq!(par.report.matches, serial, "{} x{}", q.name(), threads);
+        }
+    }
+
+    #[test]
+    fn simulators_match_light(
+        n in 15usize..45,
+        seed in 0u64..200,
+    ) {
+        let g = generators::barabasi_albert(n, 3, seed);
+        let budget = Budget::unlimited();
+        for q in [Query::P1, Query::P2, Query::P4, Query::P6] {
+            let p = q.pattern();
+            let expect = light::core::run_query(&p, &g, &EngineConfig::light()).matches;
+            prop_assert_eq!(SeedSim::run(&p, &g, &budget).matches, expect, "seed {}", q.name());
+            prop_assert_eq!(CrystalSim::run(&p, &g, &budget).matches, expect, "crystal {}", q.name());
+            prop_assert_eq!(EhSim::run(&p, &g, &budget).matches, expect, "eh {}", q.name());
+            prop_assert_eq!(CflSim::run(&p, &g, &budget).matches, expect, "cfl {}", q.name());
+            prop_assert_eq!(DualSimLike::run(&p, &g, &budget, 2).matches, expect, "dualsim {}", q.name());
+        }
+    }
+
+    #[test]
+    fn intersect_kind_never_changes_counts(
+        n in 20usize..60,
+        seed in 0u64..200,
+    ) {
+        let g = generators::barabasi_albert(n, 4, seed);
+        let q = Query::P2;
+        let counts: Vec<u64> = light::setops::IntersectKind::ALL
+            .iter()
+            .map(|&k| {
+                let cfg = EngineConfig::light().intersect(k);
+                light::core::run_query(&q.pattern(), &g, &cfg).matches
+            })
+            .collect();
+        prop_assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+    }
+}

@@ -1,0 +1,76 @@
+//! Symmetry breaking: constrained counts times |Aut(P)| must equal raw
+//! (duplicate-inclusive) counts — the defining identity of the
+//! Grochow–Kellis construction — across engines and graph families.
+
+use light::core::{EngineConfig, EngineVariant};
+use light::graph::generators;
+use light::pattern::automorphism::automorphisms;
+use light::pattern::Query;
+
+fn check_identity(q: Query, g: &light::graph::CsrGraph) {
+    let p = q.pattern();
+    let autos = automorphisms(&p).len() as u64;
+    let with_sb = light::core::run_query(&p, g, &EngineConfig::light()).matches;
+    let raw = light::core::run_query(&p, g, &EngineConfig::light().symmetry(false)).matches;
+    assert_eq!(raw, with_sb * autos, "{}: raw {raw} != {with_sb} * {autos}", q.name());
+}
+
+#[test]
+fn identity_on_er_graphs() {
+    let g = generators::erdos_renyi(60, 200, 5);
+    for q in Query::ALL {
+        check_identity(q, &g);
+    }
+}
+
+#[test]
+fn identity_on_ba_graphs() {
+    let g = generators::barabasi_albert(80, 4, 17);
+    for q in Query::ALL {
+        check_identity(q, &g);
+    }
+}
+
+#[test]
+fn identity_on_complete_graph() {
+    let g = generators::complete(9);
+    for q in Query::ALL {
+        check_identity(q, &g);
+    }
+}
+
+#[test]
+fn identity_holds_for_every_variant() {
+    let g = generators::barabasi_albert(60, 3, 3);
+    let q = Query::P2;
+    let autos = automorphisms(&q.pattern()).len() as u64;
+    for variant in EngineVariant::ALL {
+        let cfg = EngineConfig::with_variant(variant);
+        let with_sb = light::core::run_query(&q.pattern(), &g, &cfg).matches;
+        let raw =
+            light::core::run_query(&q.pattern(), &g, &cfg.clone().symmetry(false)).matches;
+        assert_eq!(raw, with_sb * autos, "{}", variant.name());
+    }
+}
+
+#[test]
+fn constrained_matches_respect_partial_order() {
+    let g = generators::barabasi_albert(50, 4, 9);
+    let q = Query::P3; // 4-clique: total order constraints
+    let cfg = EngineConfig::light();
+    let (_, matches) = light::core::run_query_collecting(&q.pattern(), &g, &cfg);
+    let po = q.partial_order();
+    for m in &matches {
+        for &(a, b) in po.pairs() {
+            assert!(
+                m[a as usize] < m[b as usize],
+                "constraint {a}<{b} violated in {m:?}"
+            );
+        }
+    }
+    // For the 4-clique the constraints are a total order, so every match is
+    // strictly increasing.
+    for m in &matches {
+        assert!(m.windows(2).all(|w| w[0] < w[1]));
+    }
+}
