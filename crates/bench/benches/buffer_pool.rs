@@ -1,0 +1,74 @@
+//! Criterion micro-benchmarks of the core-layer allocation strategy
+//! (DESIGN.md §6): the [`light_core::BufferPool`] recycle path against
+//! fresh `Vec` allocation, and the end-to-end effect — a steady-state
+//! `run_range` pass where every candidate buffer comes from the pool.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use light_core::{BufferPool, CountVisitor, EngineConfig, Enumerator};
+use light_graph::{generators, VertexId};
+use light_pattern::Query;
+
+/// Fill a buffer the way COMP does: clear + extend to a working size.
+fn fill(buf: &mut Vec<VertexId>, n: usize) {
+    buf.clear();
+    buf.extend(0..n as VertexId);
+}
+
+fn bench_acquire_release(c: &mut Criterion) {
+    const WORKING: usize = 256;
+    let mut group = c.benchmark_group("buffer_acquire_fill_release");
+    group.throughput(Throughput::Elements(WORKING as u64));
+
+    group.bench_function("pooled", |b| {
+        let mut pool = BufferPool::new();
+        // Warm one buffer to steady-state capacity.
+        let mut warm = pool.acquire();
+        fill(&mut warm, WORKING);
+        pool.release(warm);
+        b.iter(|| {
+            let mut buf = pool.acquire();
+            fill(&mut buf, WORKING);
+            let len = buf.len();
+            pool.release(buf);
+            len
+        });
+    });
+
+    group.bench_function("fresh_vec", |b| {
+        b.iter(|| {
+            let mut buf: Vec<VertexId> = Vec::new();
+            fill(&mut buf, WORKING);
+            buf.len()
+        });
+    });
+    group.finish();
+}
+
+fn bench_steady_state_run(c: &mut Criterion) {
+    let g = generators::barabasi_albert(2_000, 8, 29);
+    let n = g.num_vertices() as VertexId;
+    let cfg = EngineConfig::light();
+
+    let mut group = c.benchmark_group("engine_steady_state_run_range");
+    for q in [Query::P2, Query::P4] {
+        let pattern = q.pattern();
+        let plan = cfg.plan(&pattern, &g);
+        group.bench_with_input(BenchmarkId::from_parameter(q.name()), &plan, |b, plan| {
+            let mut visitor = CountVisitor::default();
+            let mut e = Enumerator::new(plan, &g, &cfg, &mut visitor);
+            // Warm-up grows every pooled buffer to steady-state capacity;
+            // the timed region then runs allocation-free (zero_alloc.rs
+            // proves this).
+            e.run_range(0, n);
+            b.iter(|| e.run_range(n / 2, n).matches);
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_acquire_release, bench_steady_state_run
+}
+criterion_main!(benches);

@@ -13,7 +13,13 @@ fn bench_candidate_sets(c: &mut Criterion) {
     let edges: Vec<(u32, u32)> = g.edges().take(256).collect();
     let wedges: Vec<(u32, u32, u32)> = g
         .edges()
-        .filter_map(|(u, v)| g.neighbors(v).iter().copied().find(|&w| w > v).map(|w| (u, v, w)))
+        .filter_map(|(u, v)| {
+            g.neighbors(v)
+                .iter()
+                .copied()
+                .find(|&w| w > v)
+                .map(|w| (u, v, w))
+        })
         .take(256)
         .collect();
 

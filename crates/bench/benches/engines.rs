@@ -18,8 +18,8 @@ fn bench_engines(c: &mut Criterion) {
                 BenchmarkId::new(q.name(), variant.name()),
                 &variant,
                 |bench, &variant| {
-                    let cfg = EngineConfig::with_variant(variant)
-                        .intersect(IntersectKind::MergeScalar);
+                    let cfg =
+                        EngineConfig::with_variant(variant).intersect(IntersectKind::MergeScalar);
                     bench.iter(|| run_query(&p, &g, &cfg).matches);
                 },
             );

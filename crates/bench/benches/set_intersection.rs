@@ -9,7 +9,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn sorted_set(rng: &mut StdRng, len: usize, universe: u32) -> Vec<u32> {
-    let mut v: Vec<u32> = (0..len * 2).map(|_| rng.random_range(0..universe)).collect();
+    let mut v: Vec<u32> = (0..len * 2)
+        .map(|_| rng.random_range(0..universe))
+        .collect();
     v.sort_unstable();
     v.dedup();
     v.truncate(len);

@@ -23,7 +23,11 @@ fn main() {
     let s = scale(0.05);
     let tb = time_budget(60);
     let sb = space_budget(256);
-    println!("Fig. 4: serial execution time (s), scale {s}, budget {}s/{}MB", tb.as_secs(), sb >> 20);
+    println!(
+        "Fig. 4: serial execution time (s), scale {s}, budget {}s/{}MB",
+        tb.as_secs(),
+        sb >> 20
+    );
     println!("algorithms: EH, CFL, SE, LM, MSC, LIGHT (serial, scalar Merge — no SIMD)\n");
 
     let queries = [Query::P2, Query::P4, Query::P6];

@@ -29,7 +29,15 @@ fn main() {
     let thread_counts = [1usize, 2, 4, 8, 16, 32, 64];
 
     let mut t = TablePrinter::new(&[
-        "case", "t=1", "t=2", "t=4", "t=8", "t=16", "t=32", "t=64", "speedup@64",
+        "case",
+        "t=1",
+        "t=2",
+        "t=4",
+        "t=8",
+        "t=16",
+        "t=32",
+        "t=64",
+        "speedup@64",
     ]);
     let mut balance_notes = Vec::new();
     for d in datasets {
@@ -49,12 +57,17 @@ fn main() {
                 if k == 64 {
                     t64 = Some(pr.report.elapsed);
                     let donations: u64 = pr.workers.iter().map(|w| w.donations).sum();
+                    let steals: u64 = pr.workers.iter().map(|w| w.steals).sum();
+                    let tickets: u64 = pr.workers.iter().map(|w| w.tickets).sum();
                     let busy = pr.workers.iter().filter(|w| w.matches > 0).count();
                     balance_notes.push(format!(
-                        "{} on {}: {} donations, {} of 64 workers produced matches",
+                        "{} on {}: {} donations ({} tickets), {} tasks stolen, \
+                         {} of 64 workers produced matches",
                         q.name(),
                         d.name(),
                         donations,
+                        tickets,
+                        steals,
                         busy
                     ));
                 }
@@ -98,6 +111,15 @@ fn main() {
             "  {name:<22} time {}s, per-worker match imbalance max/min = {imb}",
             fmt_secs(pr.report.elapsed)
         );
+        // Per-worker task/steal distribution: under stealing, donated
+        // ranges show up as stolen tasks spread across workers; under the
+        // static partition every worker runs exactly its seed task.
+        let dist: Vec<String> = pr
+            .workers
+            .iter()
+            .map(|w| format!("{}:{}t/{}s", w.worker, w.tasks, w.steals))
+            .collect();
+        println!("    tasks/steals per worker: {}", dist.join(" "));
     }
 
     println!("\npaper shape: near-linear to 16 threads on 20 cores, up to 25x at 64 threads");

@@ -23,14 +23,7 @@ fn main() {
     let queries = [Query::P2, Query::P4, Query::P6];
     let datasets = [Dataset::Yt, Dataset::Lj];
 
-    let mut t = TablePrinter::new(&[
-        "case",
-        "T_SE",
-        "T_SE+P",
-        "T_LIGHT",
-        "T_LIGHT+P",
-        "speedup",
-    ]);
+    let mut t = TablePrinter::new(&["case", "T_SE", "T_SE+P", "T_LIGHT", "T_LIGHT+P", "speedup"]);
     for d in datasets {
         let g = dataset(d, s);
         for q in queries {

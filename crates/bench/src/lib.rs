@@ -53,10 +53,7 @@ pub fn scale(default: f64) -> f64 {
 
 /// Per-case time budget (env `LIGHT_TIME_BUDGET_SECS` overrides).
 pub fn time_budget(default_secs: u64) -> Duration {
-    Duration::from_secs_f64(env_f64(
-        "LIGHT_TIME_BUDGET_SECS",
-        default_secs as f64,
-    ))
+    Duration::from_secs_f64(env_f64("LIGHT_TIME_BUDGET_SECS", default_secs as f64))
 }
 
 /// Per-case space budget in bytes (env `LIGHT_SPACE_BUDGET_MB` overrides).

@@ -46,10 +46,7 @@ impl EngineVariant {
     /// The (materialization, candidate-strategy) pair of this variant.
     pub fn knobs(self) -> (Materialization, CandidateStrategy) {
         match self {
-            EngineVariant::Se => (
-                Materialization::Eager,
-                CandidateStrategy::BackwardNeighbors,
-            ),
+            EngineVariant::Se => (Materialization::Eager, CandidateStrategy::BackwardNeighbors),
             EngineVariant::Lm => (Materialization::Lazy, CandidateStrategy::BackwardNeighbors),
             EngineVariant::Msc => (Materialization::Eager, CandidateStrategy::MinSetCover),
             EngineVariant::Light => (Materialization::Lazy, CandidateStrategy::MinSetCover),
@@ -191,10 +188,7 @@ mod tests {
         );
         assert_eq!(
             EngineVariant::Se.knobs(),
-            (
-                Materialization::Eager,
-                CandidateStrategy::BackwardNeighbors
-            )
+            (Materialization::Eager, CandidateStrategy::BackwardNeighbors)
         );
     }
 

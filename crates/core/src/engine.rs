@@ -8,9 +8,13 @@
 //!
 //! ## Hot-path design (see DESIGN.md §6 and the Rust perf-book guidance)
 //!
-//! * One candidate buffer per pattern vertex, reused across siblings — the
-//!   engine allocates nothing after warm-up (the paper's `O(n · d_max)`
-//!   memory bound per worker).
+//! * One candidate buffer per pattern vertex, reused across siblings, with
+//!   a [`BufferPool`] free list recycling buffers across slot transitions —
+//!   the engine allocates nothing after warm-up (the paper's `O(n · d_max)`
+//!   memory bound per worker; proven by the counting-allocator test in
+//!   `tests/zero_alloc.rs`).
+//! * COMP operand slices are gathered into a stack array (operand counts
+//!   are bounded by the `u8` pattern-vertex space), not a heap `Vec`.
 //! * Single-operand candidate computations (`C(u3) := C(u1)` in Example
 //!   V.1) are *aliases*, not copies: `CandRef` records where the set lives.
 //! * Duplicate-vertex and symmetry checks are O(n) scans over φ — n ≤ 16.
@@ -26,8 +30,14 @@ use light_order::QueryPlan;
 use light_setops::{intersect_many, Intersector};
 
 use crate::config::EngineConfig;
+use crate::pool::BufferPool;
 use crate::report::{EnumStats, Outcome, Report};
 use crate::visitor::MatchVisitor;
+
+/// COMP operand lists up to this length are gathered on the stack; the
+/// planners emit at most one operand per pattern vertex and patterns are
+/// far smaller than this in practice.
+const STACK_OPERANDS: usize = 32;
 
 /// Where a pattern vertex's candidate set currently lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +63,7 @@ pub struct Enumerator<'a, V: MatchVisitor> {
     cands: Vec<Vec<VertexId>>,
     cand_ref: Vec<CandRef>,
     scratch: Vec<VertexId>,
+    pool: BufferPool,
 
     cand_bytes: usize,
     matches: u64,
@@ -83,6 +94,7 @@ impl<'a, V: MatchVisitor> Enumerator<'a, V> {
             cands: vec![Vec::new(); n],
             cand_ref: vec![CandRef::Owned; n],
             scratch: Vec::new(),
+            pool: BufferPool::new(),
             cand_bytes: 0,
             matches: 0,
             stats: EnumStats::default(),
@@ -125,6 +137,7 @@ impl<'a, V: MatchVisitor> Enumerator<'a, V> {
         } else {
             Outcome::Complete
         };
+        self.stats.pool = self.pool.stats();
         Report {
             matches: self.matches,
             outcome,
@@ -205,6 +218,12 @@ impl<'a, V: MatchVisitor> Enumerator<'a, V> {
 
         if ops.num_operands() == 1 {
             // Assignment, not intersection (Example V.1): record an alias.
+            // The slot's previous owned buffer would strand its capacity
+            // behind the alias; recycle it through the pool instead.
+            if self.cands[u as usize].capacity() > 0 {
+                let buf = std::mem::take(&mut self.cands[u as usize]);
+                self.pool.release(buf);
+            }
             let new_ref = if let Some(&w) = ops.k1.first() {
                 CandRef::AliasNbr(self.phi[w as usize])
             } else {
@@ -215,9 +234,28 @@ impl<'a, V: MatchVisitor> Enumerator<'a, V> {
             // Real intersection: gather operand slices, smallest-first
             // ordering happens inside intersect_many (min property).
             let mut out = std::mem::take(&mut self.cands[u as usize]);
+            if out.capacity() == 0 {
+                // First use of this slot (or its buffer moved to the pool
+                // while aliased): recycle pooled capacity if any.
+                out = self.pool.acquire();
+            }
             let mut scratch = std::mem::take(&mut self.scratch);
             let mut istats = self.stats.intersect;
-            {
+            if ops.num_operands() <= STACK_OPERANDS {
+                let mut sets: [&[VertexId]; STACK_OPERANDS] = [&[]; STACK_OPERANDS];
+                let mut k = 0;
+                for &w in &ops.k1 {
+                    debug_assert_ne!(self.phi[w as usize], INVALID_VERTEX);
+                    sets[k] = self.g.neighbors(self.phi[w as usize]);
+                    k += 1;
+                }
+                for &w in &ops.k2 {
+                    sets[k] = self.cand_slice(w);
+                    k += 1;
+                }
+                intersect_many(&self.isec, &sets[..k], &mut out, &mut scratch, &mut istats);
+            } else {
+                // Cold path for absurdly wide patterns.
                 let mut sets: Vec<&[VertexId]> = Vec::with_capacity(ops.num_operands());
                 for &w in &ops.k1 {
                     debug_assert_ne!(self.phi[w as usize], INVALID_VERTEX);
@@ -315,11 +353,11 @@ pub fn run_plan<V: MatchVisitor>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::Duration;
     use crate::config::{EngineConfig, EngineVariant};
     use crate::visitor::{CollectVisitor, CountVisitor, FirstKVisitor};
     use light_graph::generators;
     use light_pattern::Query;
+    use std::time::Duration;
 
     fn count(pattern: &light_pattern::PatternGraph, g: &CsrGraph, cfg: &EngineConfig) -> u64 {
         let plan = cfg.plan(pattern, g);
@@ -516,7 +554,9 @@ mod tests {
     fn empty_and_tiny_graphs() {
         let p = Query::Triangle.pattern();
         let cfg = EngineConfig::light();
-        let empty = light_graph::GraphBuilder::new().with_num_vertices(5).build();
+        let empty = light_graph::GraphBuilder::new()
+            .with_num_vertices(5)
+            .build();
         assert_eq!(count(&p, &empty, &cfg), 0);
         let edge = light_graph::builder::from_edges([(0, 1)]);
         assert_eq!(count(&p, &edge, &cfg), 0);

@@ -53,10 +53,7 @@ impl std::fmt::Display for QueryError {
 impl std::error::Error for QueryError {}
 
 /// Validate a (pattern, graph) query pair.
-pub fn validate_query(
-    pattern: &PatternGraph,
-    graph_vertices: usize,
-) -> Result<(), QueryError> {
+pub fn validate_query(pattern: &PatternGraph, graph_vertices: usize) -> Result<(), QueryError> {
     if pattern.num_vertices() > MAX_PATTERN_VERTICES {
         return Err(QueryError::PatternTooLarge {
             got: pattern.num_vertices(),

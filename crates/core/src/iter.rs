@@ -142,8 +142,7 @@ impl<'a> MatchIter<'a> {
         c.must_be_larger_than
             .iter()
             .all(|&w| self.phi[w as usize] == INVALID_VERTEX || self.phi[w as usize] < v)
-            && c
-                .must_be_smaller_than
+            && c.must_be_smaller_than
                 .iter()
                 .all(|&w| self.phi[w as usize] == INVALID_VERTEX || v < self.phi[w as usize])
     }
@@ -282,11 +281,7 @@ mod tests {
     use light_graph::generators;
     use light_pattern::Query;
 
-    fn collect_recursive(
-        plan: &QueryPlan,
-        g: &CsrGraph,
-        cfg: &EngineConfig,
-    ) -> Vec<Vec<VertexId>> {
+    fn collect_recursive(plan: &QueryPlan, g: &CsrGraph, cfg: &EngineConfig) -> Vec<Vec<VertexId>> {
         let mut v = CollectVisitor::default();
         engine::run_plan(plan, g, cfg, &mut v);
         v.into_matches()

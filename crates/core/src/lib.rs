@@ -35,6 +35,7 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod iter;
+pub mod pool;
 pub mod reference;
 pub mod report;
 pub mod visitor;
@@ -43,6 +44,7 @@ pub use config::{EngineConfig, EngineVariant};
 pub use engine::Enumerator;
 pub use error::{validate_query, QueryError};
 pub use iter::MatchIter;
+pub use pool::{BufferPool, PoolStats};
 pub use report::{EnumStats, Outcome, Report};
 pub use visitor::{CollectVisitor, CountVisitor, FirstKVisitor, MatchVisitor};
 

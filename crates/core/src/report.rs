@@ -4,6 +4,8 @@ use std::time::Duration;
 
 use light_setops::IntersectStats;
 
+use crate::pool::PoolStats;
+
 /// How a run ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Outcome {
@@ -24,6 +26,8 @@ pub struct EnumStats {
     pub bindings: u64,
     /// Peak bytes held in candidate sets (drives Table V).
     pub peak_candidate_bytes: usize,
+    /// Candidate-buffer pool effectiveness counters.
+    pub pool: PoolStats,
 }
 
 impl EnumStats {
@@ -34,6 +38,9 @@ impl EnumStats {
         // Workers hold candidate sets concurrently, so peaks add (the
         // paper's O(k · n · d_max) bound, §VII-B).
         self.peak_candidate_bytes += other.peak_candidate_bytes;
+        self.pool.reused += other.pool.reused;
+        self.pool.fresh += other.pool.fresh;
+        self.pool.released += other.pool.released;
     }
 }
 

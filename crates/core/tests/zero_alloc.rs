@@ -1,0 +1,90 @@
+//! Counting-allocator proof of the zero-allocation steady state.
+//!
+//! The engine's hot-path contract (DESIGN.md §6): after a warm-up pass,
+//! `run_range` performs **zero heap allocations** — candidate buffers are
+//! recycled through the [`light_core::BufferPool`], COMP operand slices
+//! live on the stack, and the k-way intersection orders operands in a
+//! stack array. This test installs a counting `#[global_allocator]` and
+//! asserts the allocation count does not move across a second `run_range`.
+//!
+//! This file must stay a single `#[test]`: integration-test binaries run
+//! tests on multiple threads, and a concurrent test's allocations would
+//! show up in the global counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use light_core::{CountVisitor, EngineConfig, Enumerator};
+use light_graph::{generators, VertexId};
+use light_pattern::Query;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A realloc acquires a (possibly) new block: count it.
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn run_range_allocates_nothing_after_warm_up() {
+    // A scale-free graph gives skewed candidate sizes, exercising both
+    // kernels and buffer growth during warm-up.
+    let g = generators::barabasi_albert(400, 6, 71);
+    let n = g.num_vertices() as VertexId;
+
+    for query in [Query::P2, Query::P4] {
+        let pattern = query.pattern();
+        let cfg = EngineConfig::light();
+        let plan = cfg.plan(&pattern, &g);
+        let mut visitor = CountVisitor::default();
+        let mut e = Enumerator::new(&plan, &g, &cfg, &mut visitor);
+
+        // Warm-up: the first half of the root range grows every candidate
+        // buffer to its steady-state capacity (root candidates cover the
+        // whole degree distribution, including the early hubs).
+        let warm = e.run_range(0, n / 2);
+        assert!(
+            warm.matches > 0,
+            "{}: warm-up found no matches",
+            query.name()
+        );
+
+        // Steady state: the rest of the roots must not touch the heap.
+        let before = allocs();
+        let steady = e.run_range(n / 2, n);
+        let delta = allocs() - before;
+        assert!(
+            steady.matches > 0,
+            "{}: steady run found no matches",
+            query.name()
+        );
+        assert_eq!(
+            delta,
+            0,
+            "{}: {} heap allocations during steady-state run_range",
+            query.name(),
+            delta
+        );
+    }
+}

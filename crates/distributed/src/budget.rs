@@ -80,7 +80,13 @@ pub struct SimReport {
 
 impl SimReport {
     /// Build a failure report with zeroed result fields.
-    pub fn failed(outcome: SimOutcome, start: Instant, peak: usize, shuffled: usize, rounds: usize) -> Self {
+    pub fn failed(
+        outcome: SimOutcome,
+        start: Instant,
+        peak: usize,
+        shuffled: usize,
+        rounds: usize,
+    ) -> Self {
         SimReport {
             outcome,
             matches: 0,

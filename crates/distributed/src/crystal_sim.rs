@@ -34,7 +34,13 @@ impl CrystalSim {
         let core_table = match materialize_unit(p, core_mask, g, &mut tracker) {
             Ok(t) => t,
             Err(o) => {
-                return SimReport::failed(o, tracker.start, tracker.peak_bytes, tracker.shuffled_bytes, 1)
+                return SimReport::failed(
+                    o,
+                    tracker.start,
+                    tracker.peak_bytes,
+                    tracker.shuffled_bytes,
+                    1,
+                )
             }
         };
         // The core table is shuffled to the crystal-assembly round.
@@ -50,9 +56,8 @@ impl CrystalSim {
             .iter()
             .map(|&v| (v, core_table.col_of(v).unwrap()))
             .collect();
-        let col_of = |v: PatternVertex| -> usize {
-            core_cols.iter().find(|&&(w, _)| w == v).unwrap().1
-        };
+        let col_of =
+            |v: PatternVertex| -> usize { core_cols.iter().find(|&&(w, _)| w == v).unwrap().1 };
 
         let mut matches = 0u64;
         let mut cand_bufs: Vec<Vec<VertexId>> = vec![Vec::new(); crystals.len()];
@@ -81,9 +86,7 @@ impl CrystalSim {
             }
             let core_ok = po.pairs().iter().all(|&(a, b)| {
                 let (pa, pb) = (phi[a as usize], phi[b as usize]);
-                pa == light_graph::INVALID_VERTEX
-                    || pb == light_graph::INVALID_VERTEX
-                    || pa < pb
+                pa == light_graph::INVALID_VERTEX || pb == light_graph::INVALID_VERTEX || pa < pb
             });
             if !core_ok {
                 for &v in core_table.verts() {
@@ -96,9 +99,8 @@ impl CrystalSim {
             // representation: charged but never expanded into rows).
             let mut viable = true;
             for (ci, &(_, attach)) in crystals.iter().enumerate() {
-                let sets: Vec<&[VertexId]> = bits(attach)
-                    .map(|w| g.neighbors(row[col_of(w)]))
-                    .collect();
+                let sets: Vec<&[VertexId]> =
+                    bits(attach).map(|w| g.neighbors(row[col_of(w)])).collect();
                 let mut out = std::mem::take(&mut cand_bufs[ci]);
                 intersect_many(&isec, &sets, &mut out, &mut scratch, &mut istats);
                 cand_bufs[ci] = out;

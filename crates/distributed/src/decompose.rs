@@ -89,12 +89,7 @@ pub fn clique_star(p: &PatternGraph) -> Vec<u16> {
         // Center = vertex incident to the most uncovered edges.
         let center = p
             .vertices()
-            .max_by_key(|&v| {
-                uncovered
-                    .iter()
-                    .filter(|&&(a, b)| a == v || b == v)
-                    .count()
-            })
+            .max_by_key(|&v| uncovered.iter().filter(|&&(a, b)| a == v || b == v).count())
             .unwrap();
         let mut mask = 1u16 << center;
         for &(a, b) in &uncovered {
@@ -118,9 +113,10 @@ pub fn core_crystal(p: &PatternGraph) -> (u16, Vec<(PatternVertex, u16)>) {
     let mut core = max_clique(p);
     // Absorb vertices until the outside is an independent set.
     loop {
-        let outside_edge = p.edges().into_iter().find(|&(a, b)| {
-            core & (1 << a) == 0 && core & (1 << b) == 0
-        });
+        let outside_edge = p
+            .edges()
+            .into_iter()
+            .find(|&(a, b)| core & (1 << a) == 0 && core & (1 << b) == 0);
         let Some((a, b)) = outside_edge else { break };
         // Prefer the endpoint adjacent to the current core (keeps the core
         // connected); break degree ties toward the denser vertex.

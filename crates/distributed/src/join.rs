@@ -78,9 +78,7 @@ pub fn hash_join(
             let brow = build.row(bi);
             // Injectivity across the merged embedding: extra build columns
             // must not collide with any probe column.
-            let collides = build_extra_cols
-                .iter()
-                .any(|&c| prow.contains(&brow[c]));
+            let collides = build_extra_cols.iter().any(|&c| prow.contains(&brow[c]));
             if collides {
                 continue;
             }

@@ -8,7 +8,6 @@
 //! that claim (see the `seed_beats_twintwig_on_intermediates` test and the
 //! fig8 harness notes).
 
-
 use light_pattern::{PatternGraph, PatternVertex};
 
 use crate::budget::{Budget, SimReport};
@@ -50,11 +49,7 @@ pub fn twin_twig(p: &PatternGraph) -> Vec<u16> {
 impl TwinTwigSim {
     /// Run the full pipeline with twin-twig units over the shared BFS join
     /// substrate.
-    pub fn run(
-        p: &PatternGraph,
-        g: &light_graph::CsrGraph,
-        budget: &Budget,
-    ) -> SimReport {
+    pub fn run(p: &PatternGraph, g: &light_graph::CsrGraph, budget: &Budget) -> SimReport {
         let units = twin_twig(p);
         debug_assert!(units_cover_edges(p, &units));
         crate::seed_sim::run_bfs_join(p, g, budget, &units)

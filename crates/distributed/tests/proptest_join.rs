@@ -41,23 +41,21 @@ fn reference_join(a: &EmbeddingTable, b: &EmbeddingTable) -> Vec<Vec<(u8, u32)>>
 
 fn table(verts: Vec<u8>, max_val: u32, rows: usize) -> impl Strategy<Value = EmbeddingTable> {
     let arity = verts.len();
-    proptest::collection::vec(
-        proptest::collection::vec(0..max_val, arity),
-        0..rows,
-    )
-    .prop_map(move |rws| {
-        let mut t = EmbeddingTable::new(verts.clone());
-        for r in rws {
-            // Injective rows only (tables hold injective partial matches).
-            let mut sorted = r.clone();
-            sorted.sort_unstable();
-            sorted.dedup();
-            if sorted.len() == r.len() {
-                t.push_row(&r);
+    proptest::collection::vec(proptest::collection::vec(0..max_val, arity), 0..rows).prop_map(
+        move |rws| {
+            let mut t = EmbeddingTable::new(verts.clone());
+            for r in rws {
+                // Injective rows only (tables hold injective partial matches).
+                let mut sorted = r.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                if sorted.len() == r.len() {
+                    t.push_row(&r);
+                }
             }
-        }
-        t
-    })
+            t
+        },
+    )
 }
 
 proptest! {

@@ -5,8 +5,6 @@
 //! is O(1), and (b) neighbor lists can feed the Merge/Galloping set
 //! intersections directly.
 
-use serde::{Deserialize, Serialize};
-
 use crate::types::VertexId;
 
 /// An immutable undirected graph in CSR format.
@@ -19,7 +17,7 @@ use crate::types::VertexId;
 /// * each neighbor list `neighbors[offsets[v]..offsets[v+1]]` is strictly
 ///   increasing (sorted, no duplicates) and contains no self-loop.
 /// * the graph is symmetric: `u ∈ N(v)` iff `v ∈ N(u)`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CsrGraph {
     offsets: Vec<u64>,
     neighbors: Vec<VertexId>,

@@ -51,7 +51,10 @@ pub fn read_edge_list<R: Read>(r: R) -> io::Result<CsrGraph> {
         };
         let parse = |s: &str| {
             s.parse::<VertexId>().map_err(|e| {
-                io::Error::new(io::ErrorKind::InvalidData, format!("bad vertex id {s:?}: {e}"))
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad vertex id {s:?}: {e}"),
+                )
             })
         };
         b.add_edge(parse(a)?, parse(c)?);
@@ -67,7 +70,12 @@ pub fn load_edge_list(path: impl AsRef<Path>) -> io::Result<CsrGraph> {
 /// Write the graph as an edge list (each undirected edge once, `u < v`).
 pub fn write_edge_list<W: Write>(g: &CsrGraph, w: W) -> io::Result<()> {
     let mut w = BufWriter::new(w);
-    writeln!(w, "# light-graph edge list: {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        w,
+        "# light-graph edge list: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for (u, v) in g.edges() {
         writeln!(w, "{u} {v}")?;
     }

@@ -49,11 +49,7 @@ pub fn order_cost(p: &PatternGraph, pi: &[PatternVertex], est: &Estimator) -> f6
 /// symmetry-breaking partial order, and return the one minimizing
 /// Equation 8. Ties prefer orders whose constrained vertices appear
 /// earliest.
-pub fn choose_order(
-    p: &PatternGraph,
-    po: &PartialOrder,
-    est: &Estimator,
-) -> Vec<PatternVertex> {
+pub fn choose_order(p: &PatternGraph, po: &PartialOrder, est: &Estimator) -> Vec<PatternVertex> {
     let n = p.num_vertices();
     let mut best: Option<(f64, u64, Vec<PatternVertex>)> = None;
     let mut current: Vec<PatternVertex> = Vec::with_capacity(n);
@@ -78,7 +74,8 @@ pub fn choose_order(
         }
     });
 
-    best.expect("connected pattern must admit a connected order").2
+    best.expect("connected pattern must admit a connected order")
+        .2
 }
 
 /// Backtracking enumeration of connected orders compatible with `po`
@@ -148,7 +145,11 @@ mod tests {
             for &(a, b) in po.pairs() {
                 let pa = pi.iter().position(|&x| x == a).unwrap();
                 let pb = pi.iter().position(|&x| x == b).unwrap();
-                assert!(pa < pb, "{}: constraint {a}<{b} violated in {pi:?}", q.name());
+                assert!(
+                    pa < pb,
+                    "{}: constraint {a}<{b} violated in {pi:?}",
+                    q.name()
+                );
             }
         }
     }

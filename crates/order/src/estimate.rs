@@ -159,7 +159,10 @@ mod tests {
         let e = est(&g);
         let tri = e.cardinality(&PatternGraph::complete(3), 0b0111);
         let exact = 30.0 * 29.0 * 28.0; // ordered triangles
-        assert!(tri >= exact && tri < exact * 1.2, "est {tri} vs exact {exact}");
+        assert!(
+            tri >= exact && tri < exact * 1.2,
+            "est {tri} vs exact {exact}"
+        );
     }
 
     #[test]

@@ -204,8 +204,7 @@ impl QueryPlan {
             if ops.num_operands() == 0 {
                 let _ = writeln!(s, "  C(u{u}) = V(G)  [root]");
             } else {
-                let k1: Vec<String> =
-                    ops.k1.iter().map(|w| format!("N(phi(u{w}))")).collect();
+                let k1: Vec<String> = ops.k1.iter().map(|w| format!("N(phi(u{w}))")).collect();
                 let k2: Vec<String> = ops.k2.iter().map(|w| format!("C(u{w})")).collect();
                 let all = [k1, k2].concat().join(" \u{2229} ");
                 let _ = writeln!(

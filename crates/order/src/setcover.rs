@@ -159,9 +159,9 @@ mod tests {
         assert_eq!(ops[3].k1, Vec::<u8>::new());
         assert_eq!(ops[3].k2, vec![1]);
         assert_eq!(ops[3].intersections(), 0); // assignment, not intersection
-        // u1: U = {u0, u2}; no earlier N+ equals a usable subset except
-        // N+(u2) = {u0}; min cover is the two singletons or {u0}+{u2};
-        // either way 2 operands -> 1 intersection.
+                                               // u1: U = {u0, u2}; no earlier N+ equals a usable subset except
+                                               // N+(u2) = {u0}; min cover is the two singletons or {u0}+{u2};
+                                               // either way 2 operands -> 1 intersection.
         assert_eq!(ops[1].num_operands(), 2);
         assert_eq!(ops[1].intersections(), 1);
         // u2: U = {u0} -> single operand.
@@ -180,9 +180,7 @@ mod tests {
         let ops = generate_operands(&p, &pi);
         let msc_total: usize = ops.iter().map(|o| o.intersections()).sum();
         let se_total: usize = (1..4)
-            .map(|i| {
-                (p.backward_neighbors(&pi, i).count_ones() as usize).saturating_sub(1)
-            })
+            .map(|i| (p.backward_neighbors(&pi, i).count_ones() as usize).saturating_sub(1))
             .sum();
         assert_eq!(se_total, 2);
         assert_eq!(msc_total, 1);
@@ -201,11 +199,7 @@ mod tests {
             for (i, &u) in pi.iter().enumerate().skip(1) {
                 let w1 = (p.backward_neighbors(&pi, i).count_ones() as usize) - 1;
                 let w2 = ops[u as usize].intersections();
-                assert!(
-                    w2 <= w1,
-                    "{}: w2={w2} > w1={w1} at vertex {u}",
-                    q.name()
-                );
+                assert!(w2 <= w1, "{}: w2={w2} > w1={w1} at vertex {u}", q.name());
             }
         }
     }

@@ -42,6 +42,6 @@
 pub mod scheduler;
 
 pub use scheduler::{
-    BalancePolicy, InitialPartition,
-    run_plan_parallel, run_query_parallel, ParallelConfig, ParallelReport, WorkerStats,
+    run_plan_parallel, run_query_parallel, BalancePolicy, InitialPartition, ParallelConfig,
+    ParallelReport, WorkerStats,
 };

@@ -1,8 +1,40 @@
 //! The sender-initiated work-stealing scheduler.
+//!
+//! ## Queue architecture
+//!
+//! Tasks flow through a lock-free three-level structure instead of a
+//! global `Mutex<Vec<Task>>`:
+//!
+//! * **Per-worker Chase–Lev deques** — owners push/pop LIFO without locks;
+//!   other workers steal FIFO from the cold end. Donations go to the
+//!   donor's *own* deque (a plain LIFO push, no shared-structure
+//!   contention) and are picked up by thieves.
+//! * **A lock-free injector** — seeds the initial partition and absorbs
+//!   deque overflow.
+//! * **A parking lot** — a mutex + condvar used *only* to park idle
+//!   workers; no task ever travels through it. Parks are timeout-bounded,
+//!   so a lost wakeup costs microseconds, not liveness.
+//!
+//! ## Donation semantics (§VII-B, sender-initiated)
+//!
+//! The paper's donate-half policy is preserved: the *busy* worker decides
+//! when to split its remaining root range. The donation trigger is a
+//! **demand ticket**: a worker that sweeps every queue and finds nothing
+//! registers one ticket (`hungry += 1`); a busy worker donates only by
+//! *claiming* a ticket (atomic decrement-if-positive). This replaces the
+//! old relaxed `idle > 0 && queue_len == 0` double-read, which let a donor
+//! observe stale emptiness and split its range once per root while a
+//! single idle worker drained the backlog — donations are now bounded by
+//! tickets issued (one per idle episode, re-armed only while starving).
+//!
+//! Run termination is a `pending` task count (queued + executing): when it
+//! hits zero the run is over and everyone is woken to observe it.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use crossbeam::utils::Backoff;
 use parking_lot::{Condvar, Mutex};
 
 use light_core::{CountVisitor, EngineConfig, EnumStats, Enumerator, Outcome, Report};
@@ -12,6 +44,15 @@ use light_pattern::PatternGraph;
 
 /// A unit of work: root vertices `[lo, hi)` for `π[1]`.
 type Task = (VertexId, VertexId);
+
+/// How long an idle worker parks before re-sweeping the queues. Bounds the
+/// cost of any lost-wakeup race to one sweep period.
+const PARK_TIMEOUT: Duration = Duration::from_micros(500);
+
+/// Re-arm the demand ticket after this many consecutive empty sweeps while
+/// parked, in case a previous ticket was consumed by a donation this
+/// worker never saw (donation raced with another idle worker's acquire).
+const REARM_SWEEPS: u32 = 16;
 
 /// Load-balancing policy.
 ///
@@ -100,6 +141,12 @@ pub struct WorkerStats {
     pub tasks: u64,
     /// Range donations this worker made.
     pub donations: u64,
+    /// Tasks this worker obtained by stealing from another worker's deque.
+    pub steals: u64,
+    /// Demand tickets this worker registered while starving. The scheduler
+    /// invariant `Σ donations <= Σ tickets` is what bounds donation count
+    /// (see the module docs); a regression test pins it.
+    pub tickets: u64,
 }
 
 /// Result of a parallel run.
@@ -111,62 +158,88 @@ pub struct ParallelReport {
     pub workers: Vec<WorkerStats>,
 }
 
-struct QueueState {
-    queue: Vec<Task>,
-    in_progress: usize,
-}
-
 struct Shared {
-    state: Mutex<QueueState>,
-    cv: Condvar,
-    idle: AtomicUsize,
-    queue_len: AtomicUsize,
+    /// Seeds the initial partition; absorbs per-worker deque overflow.
+    injector: Injector<Task>,
+    /// Steal handles into every worker's deque, indexed by worker id.
+    stealers: Vec<Stealer<Task>>,
+    /// Tasks in existence: queued anywhere + currently executing.
+    /// Incremented before a task becomes visible, decremented when its
+    /// range is fully processed (or abandoned under stop). Zero = done.
+    pending: AtomicUsize,
+    /// Outstanding demand tickets (see module docs).
+    hungry: AtomicUsize,
+    /// Total demand tickets ever issued (diagnostics; the donation bound).
+    tickets_issued: AtomicU64,
+    /// Early-stop flag (timeout / visitor break).
     stop: AtomicBool,
+    /// Parking only — no task state behind this lock.
+    parker: Mutex<()>,
+    cv: Condvar,
 }
 
 impl Shared {
-    fn push_task(&self, t: Task) {
-        let mut st = self.state.lock();
-        st.queue.push(t);
-        self.queue_len.store(st.queue.len(), Ordering::Relaxed);
+    /// Make a donated task visible: into the donor's own deque (LIFO,
+    /// uncontended), spilling to the injector if the deque is full, then
+    /// wake a parked worker to come steal it.
+    fn submit(&self, local: &Worker<Task>, t: Task) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        if let Err(t) = local.push(t) {
+            self.injector.push(t);
+        }
+        // Serialize with parkers' recheck-then-wait so the notify cannot
+        // fall between their sweep and their sleep.
+        let _g = self.parker.lock();
         self.cv.notify_one();
     }
 
-    /// Pop a task, or park until one appears or the run drains. `None`
-    /// means the run is over.
-    fn pop_task(&self) -> Option<Task> {
-        let mut st = self.state.lock();
-        loop {
-            if let Some(t) = st.queue.pop() {
-                self.queue_len.store(st.queue.len(), Ordering::Relaxed);
-                st.in_progress += 1;
-                return Some(t);
-            }
-            if st.in_progress == 0 || self.stop.load(Ordering::Relaxed) {
-                // Drained (or globally stopped): wake everyone so they can
-                // observe the same condition and exit.
-                self.cv.notify_all();
-                return None;
-            }
-            self.idle.fetch_add(1, Ordering::Relaxed);
-            self.cv.wait(&mut st);
-            self.idle.fetch_sub(1, Ordering::Relaxed);
-        }
+    /// Claim one demand ticket; true means the caller should donate.
+    /// Decrement-if-positive, so each donation consumes exactly one ticket
+    /// and donations are bounded by tickets issued.
+    #[inline]
+    fn claim_ticket(&self) -> bool {
+        self.hungry
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |h| h.checked_sub(1))
+            .is_ok()
     }
 
-    fn finish_task(&self) {
-        let mut st = self.state.lock();
-        st.in_progress -= 1;
-        if st.in_progress == 0 && st.queue.is_empty() {
+    /// One full sweep of every queue: own deque, injector, then the other
+    /// workers' deques. Returns the task and whether it was stolen from
+    /// another worker.
+    fn find_task(&self, id: usize, local: &Worker<Task>) -> Option<(Task, bool)> {
+        if let Some(t) = local.pop() {
+            return Some((t, false));
+        }
+        let mut backoff = Backoff::new();
+        loop {
+            match self.injector.steal() {
+                Steal::Success(t) => return Some((t, false)),
+                Steal::Retry => backoff.spin(),
+                Steal::Empty => break,
+            }
+        }
+        let k = self.stealers.len();
+        for step in 1..k {
+            let victim = (id + step) % k;
+            let mut backoff = Backoff::new();
+            loop {
+                match self.stealers[victim].steal() {
+                    Steal::Success(t) => return Some((t, true)),
+                    Steal::Retry => backoff.spin(),
+                    Steal::Empty => break,
+                }
+            }
+        }
+        None
+    }
+
+    /// Retire a finished (or abandoned) task. The worker that takes
+    /// `pending` to zero wakes everyone so they can observe termination.
+    fn retire_task(&self) {
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _g = self.parker.lock();
             self.cv.notify_all();
         }
-    }
-
-    /// The sender-initiated donation condition (§VII-B): somebody is idle
-    /// and the global queue is empty.
-    #[inline]
-    fn wants_donation(&self) -> bool {
-        self.idle.load(Ordering::Relaxed) > 0 && self.queue_len.load(Ordering::Relaxed) == 0
     }
 }
 
@@ -223,28 +296,28 @@ pub fn run_plan_parallel(
             }
         }
     }
-    // LIFO pop order: reverse so low ranges run first (cosmetic).
-    queue.reverse();
-
+    // Per-worker deques are created here so their stealers can live in
+    // `Shared`; each `Worker` handle moves into its own thread below.
+    let mut locals: Vec<Worker<Task>> = (0..pcfg.num_threads).map(|_| Worker::new_lifo()).collect();
     let shared = Shared {
-        state: Mutex::new(QueueState {
-            queue,
-            in_progress: 0,
-        }),
-        cv: Condvar::new(),
-        idle: AtomicUsize::new(0),
-        queue_len: AtomicUsize::new(0),
+        injector: Injector::new(),
+        stealers: locals.iter().map(Worker::stealer).collect(),
+        pending: AtomicUsize::new(queue.len()),
+        hungry: AtomicUsize::new(0),
+        tickets_issued: AtomicU64::new(0),
         stop: AtomicBool::new(false),
+        parker: Mutex::new(()),
+        cv: Condvar::new(),
     };
-    {
-        let st = shared.state.lock();
-        shared.queue_len.store(st.queue.len(), Ordering::Relaxed);
+    // Injector steals are FIFO: push in order so low ranges run first.
+    for t in queue {
+        shared.injector.push(t);
     }
 
     let results: Mutex<Vec<(WorkerStats, EnumStats, bool)>> = Mutex::new(Vec::new());
 
     std::thread::scope(|scope| {
-        for worker_id in 0..pcfg.num_threads {
+        for (worker_id, local) in locals.drain(..).enumerate() {
             let shared = &shared;
             let results = &results;
             scope.spawn(move || {
@@ -254,26 +327,73 @@ pub fn run_plan_parallel(
                     worker: worker_id,
                     ..Default::default()
                 };
-                while let Some((mut lo, mut hi)) = shared.pop_task() {
+                // Whether this worker currently holds an unclaimed demand
+                // ticket, and how many empty sweeps since it was issued.
+                let mut ticket_out = false;
+                let mut empty_sweeps: u32 = 0;
+                loop {
+                    let Some((task, stolen)) = shared.find_task(worker_id, &local) else {
+                        if shared.pending.load(Ordering::SeqCst) == 0
+                            || shared.stop.load(Ordering::Relaxed)
+                        {
+                            // Drained (or stopped): wake the others so they
+                            // observe the same condition and exit.
+                            let _g = shared.parker.lock();
+                            shared.cv.notify_all();
+                            break;
+                        }
+                        // Starving: register demand so a busy worker donates
+                        // (sender-initiated — §VII-B). One ticket per idle
+                        // episode; re-arm only if we keep starving long
+                        // enough that the ticket was plausibly consumed by a
+                        // donation another worker grabbed first.
+                        if !ticket_out || empty_sweeps >= REARM_SWEEPS {
+                            shared.hungry.fetch_add(1, Ordering::SeqCst);
+                            shared.tickets_issued.fetch_add(1, Ordering::Relaxed);
+                            ws.tickets += 1;
+                            ticket_out = true;
+                            empty_sweeps = 0;
+                        }
+                        empty_sweeps += 1;
+                        // Timeout-bounded park: re-sweep even on a lost
+                        // wakeup. Recheck under the parker lock so a submit
+                        // between our sweep and this wait cannot be missed.
+                        let mut guard = shared.parker.lock();
+                        if shared.pending.load(Ordering::SeqCst) != 0
+                            && !shared.stop.load(Ordering::Relaxed)
+                        {
+                            let _ = shared.cv.wait_for(&mut guard, PARK_TIMEOUT);
+                        }
+                        continue;
+                    };
+                    ticket_out = false;
+                    empty_sweeps = 0;
+                    let (mut lo, mut hi) = task;
                     ws.tasks += 1;
+                    if stolen {
+                        ws.steals += 1;
+                    }
                     // Process the range one root at a time so donation can
                     // happen mid-task.
                     while lo < hi {
                         if shared.stop.load(Ordering::Relaxed) {
                             break;
                         }
-                        // Donate part of the remaining range if someone is
-                        // starving and there is enough left to split.
+                        // Donate part of the remaining range if a starving
+                        // worker posted a demand ticket and there is enough
+                        // left to split. Claiming the ticket (decrement-if-
+                        // positive) makes the check race-free: each ticket
+                        // funds at most one donation.
                         if pcfg.policy != BalancePolicy::Static
                             && hi - lo >= 2
-                            && shared.wants_donation()
+                            && shared.claim_ticket()
                         {
                             let mid = match pcfg.policy {
                                 BalancePolicy::DonateHalf => lo + (hi - lo) / 2,
                                 BalancePolicy::DonateOne => hi - 1,
                                 BalancePolicy::Static => unreachable!(),
                             };
-                            shared.push_task((mid, hi));
+                            shared.submit(&local, (mid, hi));
                             ws.donations += 1;
                             hi = mid;
                             continue;
@@ -285,7 +405,7 @@ pub fn run_plan_parallel(
                             break;
                         }
                     }
-                    shared.finish_task();
+                    shared.retire_task();
                 }
                 ws.matches = enumerator.matches();
                 let stats = *enumerator.stats();
@@ -340,12 +460,7 @@ mod tests {
         for q in [Query::Triangle, Query::P1, Query::P2, Query::P3] {
             let expect = serial_count(&q.pattern(), &g, &cfg);
             for threads in [1, 2, 4, 8] {
-                let pr = run_query_parallel(
-                    &q.pattern(),
-                    &g,
-                    &cfg,
-                    &ParallelConfig::new(threads),
-                );
+                let pr = run_query_parallel(&q.pattern(), &g, &cfg, &ParallelConfig::new(threads));
                 assert_eq!(pr.report.matches, expect, "{} x{threads}", q.name());
                 assert_eq!(pr.report.outcome, Outcome::Complete);
             }
@@ -373,12 +488,7 @@ mod tests {
         let g = generators::barabasi_albert(300, 4, 5);
         let cfg = EngineConfig::light();
         let serial = light_core::run_query(&Query::P2.pattern(), &g, &cfg);
-        let par = run_query_parallel(
-            &Query::P2.pattern(),
-            &g,
-            &cfg,
-            &ParallelConfig::new(1),
-        );
+        let par = run_query_parallel(&Query::P2.pattern(), &g, &cfg, &ParallelConfig::new(1));
         assert_eq!(par.report.matches, serial.matches);
         assert_eq!(
             par.report.stats.intersect.total,
@@ -402,12 +512,7 @@ mod tests {
     fn timeout_propagates() {
         let g = generators::complete(120);
         let cfg = EngineConfig::light().budget(std::time::Duration::from_millis(5));
-        let pr = run_query_parallel(
-            &Query::P7.pattern(),
-            &g,
-            &cfg,
-            &ParallelConfig::new(2),
-        );
+        let pr = run_query_parallel(&Query::P7.pattern(), &g, &cfg, &ParallelConfig::new(2));
         assert_eq!(pr.report.outcome, Outcome::OutOfTime);
     }
 
@@ -457,6 +562,68 @@ mod tests {
     }
 
     #[test]
+    fn donations_bounded_by_demand_tickets() {
+        // Regression for the relaxed `idle > 0 && queue_len == 0`
+        // double-read: a donor could observe stale emptiness and split its
+        // range once per root, flooding the queue while one idle worker
+        // drained it. Under demand tickets every donation consumes one
+        // ticket, so Σ donations <= Σ tickets must hold exactly.
+        let g = {
+            // Skewed graph => long-running ranges => plenty of donation
+            // opportunities.
+            let raw = generators::rmat(12, 40_000, (0.55, 0.2, 0.2, 0.05), 13);
+            light_graph::ordered::into_degree_ordered(&raw).0
+        };
+        let cfg = EngineConfig::light();
+        for policy in [BalancePolicy::DonateHalf, BalancePolicy::DonateOne] {
+            let pr = run_query_parallel(
+                &Query::P2.pattern(),
+                &g,
+                &cfg,
+                &ParallelConfig::new(4).policy(policy),
+            );
+            let donations: u64 = pr.workers.iter().map(|w| w.donations).sum();
+            let tickets: u64 = pr.workers.iter().map(|w| w.tickets).sum();
+            assert!(
+                donations <= tickets,
+                "{policy:?}: {donations} donations exceed {tickets} demand tickets"
+            );
+        }
+    }
+
+    #[test]
+    fn single_thread_never_donates() {
+        // A lone worker never sweeps while it holds work, so it issues no
+        // tickets and can fund no donations.
+        let g = generators::barabasi_albert(500, 4, 7);
+        let pr = run_query_parallel(
+            &Query::P2.pattern(),
+            &g,
+            &EngineConfig::light(),
+            &ParallelConfig::new(1),
+        );
+        assert_eq!(pr.workers.iter().map(|w| w.donations).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn steals_are_counted_under_stealing_policies() {
+        // With one seed task per worker and stealing enabled, donated
+        // ranges travel through other workers' deques; the steal counter
+        // plus task counter must cover every donated task.
+        let g = generators::barabasi_albert(600, 5, 19);
+        let pr = run_query_parallel(
+            &Query::P2.pattern(),
+            &g,
+            &EngineConfig::light(),
+            &ParallelConfig::new(4),
+        );
+        let tasks: u64 = pr.workers.iter().map(|w| w.tasks).sum();
+        let donations: u64 = pr.workers.iter().map(|w| w.donations).sum();
+        // Every task is either a seed or a donation.
+        assert!(tasks >= donations, "tasks {tasks} < donations {donations}");
+    }
+
+    #[test]
     fn static_policy_never_donates() {
         let g = generators::barabasi_albert(500, 4, 7);
         let pr = run_query_parallel(
@@ -470,7 +637,9 @@ mod tests {
 
     #[test]
     fn empty_graph() {
-        let g = light_graph::GraphBuilder::new().with_num_vertices(3).build();
+        let g = light_graph::GraphBuilder::new()
+            .with_num_vertices(3)
+            .build();
         let pr = run_query_parallel(
             &Query::Triangle.pattern(),
             &g,

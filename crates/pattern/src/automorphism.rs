@@ -41,9 +41,7 @@ fn backtrack(
         // Adjacency with all previously mapped vertices must be preserved
         // both ways (automorphisms are edge-preserving bijections on a
         // single graph, hence induced-subgraph-preserving).
-        let ok = (0..depth).all(|w| {
-            p.has_edge(v, w as PatternVertex) == p.has_edge(img, perm[w])
-        });
+        let ok = (0..depth).all(|w| p.has_edge(v, w as PatternVertex) == p.has_edge(img, perm[w]));
         if ok {
             perm[depth] = img;
             used[img as usize] = true;
@@ -56,9 +54,7 @@ fn backtrack(
 /// The orbit of `v` under a set of permutations: all images of `v`.
 /// Returned as a bitmask.
 pub fn orbit(perms: &[Permutation], v: PatternVertex) -> u16 {
-    perms
-        .iter()
-        .fold(0u16, |m, p| m | (1 << p[v as usize]))
+    perms.iter().fold(0u16, |m, p| m | (1 << p[v as usize]))
 }
 
 /// Restrict a permutation set to the stabilizer of `v` (permutations fixing
@@ -110,10 +106,8 @@ mod tests {
     #[test]
     fn asymmetric_pattern_has_only_identity() {
         // Smallest asymmetric graph: 6 vertices.
-        let g = PatternGraph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 4), (1, 3), (2, 5)],
-        );
+        let g =
+            PatternGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 4), (1, 3), (2, 5)]);
         let a = automorphisms(&g);
         assert_eq!(a.len(), 1);
         assert_eq!(a[0], vec![0, 1, 2, 3, 4, 5]);

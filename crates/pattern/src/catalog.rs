@@ -82,9 +82,7 @@ impl Query {
     pub fn pattern(self) -> PatternGraph {
         match self {
             Query::P1 => PatternGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]),
-            Query::P2 => {
-                PatternGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
-            }
+            Query::P2 => PatternGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]),
             Query::P3 => PatternGraph::complete(4),
             Query::P4 => PatternGraph::from_edges(
                 5,
@@ -257,7 +255,11 @@ mod tests {
             let po = q.partial_order();
             let n_autos = automorphisms(&q.pattern()).len();
             if n_autos > 1 {
-                assert!(!po.is_empty(), "{} has symmetry but no constraints", q.name());
+                assert!(
+                    !po.is_empty(),
+                    "{} has symmetry but no constraints",
+                    q.name()
+                );
             }
         }
     }

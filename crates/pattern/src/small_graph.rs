@@ -205,8 +205,14 @@ impl PatternGraph {
             let (a, b) = part
                 .split_once('-')
                 .ok_or_else(|| format!("bad edge {part:?}: expected `a-b`"))?;
-            let pa: usize = a.trim().parse().map_err(|e| format!("bad vertex {a:?}: {e}"))?;
-            let pb: usize = b.trim().parse().map_err(|e| format!("bad vertex {b:?}: {e}"))?;
+            let pa: usize = a
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad vertex {a:?}: {e}"))?;
+            let pb: usize = b
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad vertex {b:?}: {e}"))?;
             if pa == pb {
                 return Err(format!("self-loop {part:?} not allowed"));
             }

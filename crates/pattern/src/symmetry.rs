@@ -133,10 +133,8 @@ mod tests {
 
     #[test]
     fn asymmetric_pattern_needs_no_constraints() {
-        let g = PatternGraph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 4), (1, 3), (2, 5)],
-        );
+        let g =
+            PatternGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 4), (1, 3), (2, 5)]);
         let po = PartialOrder::for_pattern(&g);
         assert!(po.is_empty());
     }

@@ -6,33 +6,43 @@
 
 use crate::scalar;
 use crate::simd;
-use crate::stats::IntersectStats;
+use crate::simd512;
+use crate::stats::{IntersectStats, KernelTier};
 
 /// Default skew threshold δ from the paper (§VII-A).
 pub const DEFAULT_DELTA: usize = 50;
 
 /// Which intersection implementation an engine uses. The four variants of
-/// the paper's SIMD evaluation (§VIII-B2, Fig. 6) plus the pure scalar
-/// galloping used in unit tests.
+/// the paper's SIMD evaluation (§VIII-B2, Fig. 6), extended with the
+/// AVX-512 tier (the paper's hardware predates it; same kernels, 16 lanes
+/// per instruction plus compress-store emit).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IntersectKind {
     /// Merge only, scalar ("Merge" in Fig. 6).
     MergeScalar,
     /// Merge only, AVX2 ("MergeAVX2").
     MergeAvx2,
+    /// Merge only, AVX-512 ("MergeAVX512").
+    MergeAvx512,
     /// Hybrid merge/galloping, scalar ("Hybrid").
     HybridScalar,
-    /// Hybrid merge/galloping, AVX2 ("HybridAVX2") — the default for LIGHT.
+    /// Hybrid merge/galloping, AVX2 ("HybridAVX2").
     HybridAvx2,
+    /// Hybrid merge/galloping, AVX-512 ("HybridAVX512") — the default for
+    /// LIGHT on capable hardware.
+    HybridAvx512,
 }
 
 impl IntersectKind {
-    /// All four variants, in Fig. 6 order.
-    pub const ALL: [IntersectKind; 4] = [
+    /// All variants, in Fig. 6 order (merge family then hybrid family,
+    /// each scalar → AVX2 → AVX-512).
+    pub const ALL: [IntersectKind; 6] = [
         IntersectKind::MergeScalar,
         IntersectKind::MergeAvx2,
+        IntersectKind::MergeAvx512,
         IntersectKind::HybridScalar,
         IntersectKind::HybridAvx2,
+        IntersectKind::HybridAvx512,
     ];
 
     /// Display name as used in Fig. 6.
@@ -40,32 +50,65 @@ impl IntersectKind {
         match self {
             IntersectKind::MergeScalar => "Merge",
             IntersectKind::MergeAvx2 => "MergeAVX2",
+            IntersectKind::MergeAvx512 => "MergeAVX512",
             IntersectKind::HybridScalar => "Hybrid",
             IntersectKind::HybridAvx2 => "HybridAVX2",
+            IntersectKind::HybridAvx512 => "HybridAVX512",
         }
     }
 
-    /// The best kind available on this machine (HybridAVX2 when the CPU has
-    /// AVX2, otherwise scalar Hybrid).
+    /// The best kind available on this machine: three-tier runtime
+    /// selection — HybridAVX512 when the CPU has AVX-512F, else HybridAVX2
+    /// when it has AVX2, else scalar Hybrid.
     pub fn best_available() -> IntersectKind {
-        if simd::avx2_available() {
+        if simd512::avx512_available() {
+            IntersectKind::HybridAvx512
+        } else if simd::avx2_available() {
             IntersectKind::HybridAvx2
         } else {
             IntersectKind::HybridScalar
         }
     }
 
-    /// Whether this kind uses the AVX2 kernels.
+    /// Whether this kind uses SIMD kernels (AVX2 or AVX-512).
     pub fn uses_simd(self) -> bool {
-        matches!(self, IntersectKind::MergeAvx2 | IntersectKind::HybridAvx2)
+        !matches!(
+            self,
+            IntersectKind::MergeScalar | IntersectKind::HybridScalar
+        )
+    }
+
+    /// The kernel tier this kind *requests*. The tier actually executed can
+    /// be lower when the hardware lacks the feature (runtime fallback);
+    /// [`IntersectKind::effective_tier`] reports that one.
+    pub fn tier(self) -> KernelTier {
+        match self {
+            IntersectKind::MergeScalar | IntersectKind::HybridScalar => KernelTier::Scalar,
+            IntersectKind::MergeAvx2 | IntersectKind::HybridAvx2 => KernelTier::Avx2,
+            IntersectKind::MergeAvx512 | IntersectKind::HybridAvx512 => KernelTier::Avx512,
+        }
+    }
+
+    /// The kernel tier that actually executes on this machine after runtime
+    /// feature detection (AVX-512 kinds fall back to AVX2, then scalar).
+    pub fn effective_tier(self) -> KernelTier {
+        match self.tier() {
+            KernelTier::Avx512 if simd512::avx512_available() => KernelTier::Avx512,
+            KernelTier::Avx512 | KernelTier::Avx2 if simd::avx2_available() => KernelTier::Avx2,
+            _ => KernelTier::Scalar,
+        }
     }
 }
 
-/// A configured intersector: kernel kind + skew threshold.
+/// A configured intersector: kernel kind + skew threshold. The effective
+/// kernel tier is resolved once at construction (runtime feature detection
+/// is a cached atomic load, but even that is worth keeping off the
+/// per-intersection hot path).
 #[derive(Debug, Clone, Copy)]
 pub struct Intersector {
     kind: IntersectKind,
     delta: usize,
+    tier: KernelTier,
 }
 
 impl Intersector {
@@ -74,13 +117,18 @@ impl Intersector {
         Intersector {
             kind,
             delta: DEFAULT_DELTA,
+            tier: kind.effective_tier(),
         }
     }
 
     /// Override δ (ablation benches sweep this).
     pub fn with_delta(kind: IntersectKind, delta: usize) -> Self {
         assert!(delta >= 1, "delta must be >= 1");
-        Intersector { kind, delta }
+        Intersector {
+            kind,
+            delta,
+            tier: kind.effective_tier(),
+        }
     }
 
     /// The configured kernel kind.
@@ -102,6 +150,7 @@ impl Intersector {
 
     /// Intersect two sorted duplicate-free sets into `out` (cleared first),
     /// recording one intersection in `stats`.
+    #[inline]
     pub fn intersect_into(
         &self,
         a: &[u32],
@@ -109,34 +158,23 @@ impl Intersector {
         out: &mut Vec<u32>,
         stats: &mut IntersectStats,
     ) {
-        stats.total += 1;
-        let scanned = match self.kind {
-            IntersectKind::MergeScalar => {
-                stats.merge += 1;
-                scalar::merge_into(a, b, out)
+        let tier = self.tier;
+        let galloping = match self.kind {
+            IntersectKind::MergeScalar | IntersectKind::MergeAvx2 | IntersectKind::MergeAvx512 => {
+                false
             }
-            IntersectKind::MergeAvx2 => {
-                stats.merge += 1;
-                simd::merge_avx2_into(a, b, out)
-            }
-            IntersectKind::HybridScalar => {
-                if self.is_skewed(a.len(), b.len()) {
-                    stats.galloping += 1;
-                    scalar::galloping_into(a, b, out)
-                } else {
-                    stats.merge += 1;
-                    scalar::merge_into(a, b, out)
-                }
-            }
-            IntersectKind::HybridAvx2 => {
-                if self.is_skewed(a.len(), b.len()) {
-                    stats.galloping += 1;
-                    simd::galloping_avx2_into(a, b, out)
-                } else {
-                    stats.merge += 1;
-                    simd::merge_avx2_into(a, b, out)
-                }
-            }
+            IntersectKind::HybridScalar
+            | IntersectKind::HybridAvx2
+            | IntersectKind::HybridAvx512 => self.is_skewed(a.len(), b.len()),
+        };
+        stats.record(tier, galloping);
+        let scanned = match (tier, galloping) {
+            (KernelTier::Scalar, false) => scalar::merge_into(a, b, out),
+            (KernelTier::Scalar, true) => scalar::galloping_into(a, b, out),
+            (KernelTier::Avx2, false) => simd::merge_avx2_into(a, b, out),
+            (KernelTier::Avx2, true) => simd::galloping_avx2_into(a, b, out),
+            (KernelTier::Avx512, false) => simd512::merge_avx512_into(a, b, out),
+            (KernelTier::Avx512, true) => simd512::galloping_avx512_into(a, b, out),
         };
         stats.elements_scanned += scanned;
     }
@@ -220,13 +258,53 @@ mod tests {
     fn merge_kinds_never_gallop() {
         let a: Vec<u32> = (0..2).collect();
         let b: Vec<u32> = (0..10_000).collect();
-        for kind in [IntersectKind::MergeScalar, IntersectKind::MergeAvx2] {
+        for kind in [
+            IntersectKind::MergeScalar,
+            IntersectKind::MergeAvx2,
+            IntersectKind::MergeAvx512,
+        ] {
             let mut st = IntersectStats::default();
             let mut out = Vec::new();
             Intersector::new(kind).intersect_into(&a, &b, &mut out, &mut st);
             assert_eq!(st.galloping, 0, "{}", kind.name());
             assert_eq!(st.merge, 1);
         }
+    }
+
+    #[test]
+    fn stats_attribute_the_effective_tier() {
+        use crate::stats::KernelTier;
+        let a: Vec<u32> = (0..100).collect();
+        let b: Vec<u32> = (50..150).collect();
+        for kind in IntersectKind::ALL {
+            let mut st = IntersectStats::default();
+            let mut out = Vec::new();
+            Intersector::new(kind).intersect_into(&a, &b, &mut out, &mut st);
+            let tier = kind.effective_tier();
+            assert_eq!(st.tier_calls[tier as usize], 1, "{}", kind.name());
+            let others: u64 = KernelTier::ALL
+                .iter()
+                .filter(|t| **t != tier)
+                .map(|t| st.tier_calls[*t as usize])
+                .sum();
+            assert_eq!(others, 0, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn requested_vs_effective_tier() {
+        use crate::stats::KernelTier;
+        assert_eq!(IntersectKind::MergeScalar.tier(), KernelTier::Scalar);
+        assert_eq!(IntersectKind::HybridAvx2.tier(), KernelTier::Avx2);
+        assert_eq!(IntersectKind::HybridAvx512.tier(), KernelTier::Avx512);
+        // The effective tier never exceeds the requested one.
+        for kind in IntersectKind::ALL {
+            assert!(kind.effective_tier() as usize <= kind.tier() as usize);
+        }
+        // best_available's effective tier is its requested tier by
+        // construction (it only names kinds the hardware supports).
+        let best = IntersectKind::best_available();
+        assert_eq!(best.tier(), best.effective_tier());
     }
 
     #[test]
@@ -242,8 +320,13 @@ mod tests {
     #[test]
     fn names_and_flags() {
         assert_eq!(IntersectKind::HybridAvx2.name(), "HybridAVX2");
+        assert_eq!(IntersectKind::HybridAvx512.name(), "HybridAVX512");
+        assert_eq!(IntersectKind::MergeAvx512.name(), "MergeAVX512");
         assert!(IntersectKind::HybridAvx2.uses_simd());
+        assert!(IntersectKind::HybridAvx512.uses_simd());
+        assert!(IntersectKind::MergeAvx512.uses_simd());
         assert!(!IntersectKind::HybridScalar.uses_simd());
+        assert!(!IntersectKind::MergeScalar.uses_simd());
         let _ = IntersectKind::best_available();
     }
 }

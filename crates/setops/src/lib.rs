@@ -14,9 +14,11 @@
 //! * **Hybrid** (Algorithm 4) — picks Merge when `|S1|/|S2| < δ` and
 //!   `|S2|/|S1| < δ`, otherwise Galloping. The paper configures `δ = 50`
 //!   following the study of Lemire et al. [14].
-//! * **AVX2 variants** of both, using `core::arch::x86_64` intrinsics behind
-//!   runtime feature detection (`is_x86_feature_detected!`), with automatic
-//!   scalar fallback on other hardware.
+//! * **AVX2 and AVX-512 variants** of both, using `core::arch::x86_64`
+//!   intrinsics behind runtime feature detection
+//!   (`is_x86_feature_detected!`), with automatic fallback down the tier
+//!   ladder (AVX-512 → AVX2 → scalar) on other hardware. The AVX-512 tier
+//!   uses native unsigned compares and `vpcompressd` compress-store emit.
 //!
 //! Every kernel records into an [`IntersectStats`] so the experiment
 //! harnesses can reproduce Fig. 5 (number of set intersections) and
@@ -39,8 +41,9 @@ pub mod hybrid;
 pub mod multi;
 pub mod scalar;
 pub mod simd;
+pub mod simd512;
 pub mod stats;
 
-pub use hybrid::{Intersector, IntersectKind, DEFAULT_DELTA};
+pub use hybrid::{IntersectKind, Intersector, DEFAULT_DELTA};
 pub use multi::intersect_many;
-pub use stats::IntersectStats;
+pub use stats::{IntersectStats, KernelTier};

@@ -9,10 +9,17 @@
 use crate::hybrid::Intersector;
 use crate::stats::IntersectStats;
 
+/// Operand counts up to this fold with a stack-resident index array;
+/// larger calls (never produced by the planners, whose pattern vertices
+/// are `u8`-indexed and few) take a heap-allocated cold path.
+const STACK_OPERANDS: usize = 32;
+
 /// Intersect `k >= 1` sorted sets into `out`.
 ///
 /// `scratch` is a caller-provided buffer reused across calls so the hot
-/// path never allocates (the engines keep one per recursion depth).
+/// path never allocates (the engines keep one per recursion depth); the
+/// size-ordering indices live on the stack for `k <=` [`STACK_OPERANDS`].
+#[inline]
 pub fn intersect_many(
     isec: &Intersector,
     sets: &[&[u32]],
@@ -26,20 +33,40 @@ pub fn intersect_many(
             out.clear();
             out.extend_from_slice(sets[0]);
         }
-        _ => {
-            // Order inputs by size ascending (indices, cheap for small k).
-            let mut order: Vec<usize> = (0..sets.len()).collect();
-            order.sort_unstable_by_key(|&i| sets[i].len());
-
-            isec.intersect_into(sets[order[0]], sets[order[1]], out, stats);
-            for &i in &order[2..] {
-                if out.is_empty() {
-                    return;
-                }
-                std::mem::swap(out, scratch);
-                isec.intersect_into(scratch, sets[i], out, stats);
+        k if k <= STACK_OPERANDS => {
+            let mut order = [0usize; STACK_OPERANDS];
+            for (slot, i) in order[..k].iter_mut().zip(0..) {
+                *slot = i;
             }
+            order[..k].sort_unstable_by_key(|&i| sets[i].len());
+            fold_ordered(isec, sets, &order[..k], out, scratch, stats);
         }
+        k => {
+            let mut order: Vec<usize> = (0..k).collect();
+            order.sort_unstable_by_key(|&i| sets[i].len());
+            fold_ordered(isec, sets, &order, out, scratch, stats);
+        }
+    }
+}
+
+/// Fold size-ascending operands pairwise: intersect the two smallest, then
+/// shrink the (only-shrinking) result through the rest (min property).
+#[inline]
+fn fold_ordered(
+    isec: &Intersector,
+    sets: &[&[u32]],
+    order: &[usize],
+    out: &mut Vec<u32>,
+    scratch: &mut Vec<u32>,
+    stats: &mut IntersectStats,
+) {
+    isec.intersect_into(sets[order[0]], sets[order[1]], out, stats);
+    for &i in &order[2..] {
+        if out.is_empty() {
+            return;
+        }
+        std::mem::swap(out, scratch);
+        isec.intersect_into(scratch, sets[i], out, stats);
     }
 }
 

@@ -6,6 +6,7 @@
 //! [`crate::IntersectStats::elements_scanned`].
 
 /// Two-pointer merge intersection, `O(|a| + |b|)`.
+#[inline]
 pub fn merge_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) -> u64 {
     out.clear();
     out.reserve(a.len().min(b.len()));
@@ -29,6 +30,7 @@ pub fn merge_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) -> u64 {
 /// Galloping (exponential + binary search) intersection,
 /// `O(|small| * log |large|)`. The caller passes sets in any order; the
 /// kernel gallops with the smaller one.
+#[inline]
 pub fn galloping_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) -> u64 {
     out.clear();
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
@@ -60,6 +62,7 @@ pub fn galloping_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) -> u64 {
 
 /// Count-only merge intersection (no output materialization); used by
 /// statistics code and tests.
+#[inline]
 pub fn merge_count(a: &[u32], b: &[u32]) -> usize {
     let (mut i, mut j, mut c) = (0usize, 0usize, 0usize);
     while i < a.len() && j < b.len() {

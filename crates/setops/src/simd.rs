@@ -37,6 +37,7 @@ pub fn avx2_available() -> bool {
 
 /// AVX2 merge intersection. Falls back to the scalar kernel when AVX2 is
 /// unavailable. Returns elements scanned.
+#[inline]
 pub fn merge_avx2_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) -> u64 {
     #[cfg(target_arch = "x86_64")]
     {
@@ -50,6 +51,7 @@ pub fn merge_avx2_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) -> u64 {
 
 /// AVX2 galloping intersection. Falls back to the scalar kernel when AVX2
 /// is unavailable. Returns elements scanned.
+#[inline]
 pub fn galloping_avx2_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) -> u64 {
     #[cfg(target_arch = "x86_64")]
     {

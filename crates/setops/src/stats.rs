@@ -7,6 +7,34 @@
 //! (and per worker in the parallel driver, merged at the end) — no atomics
 //! on the hot path.
 
+/// The SIMD tier a kernel call executed on. Indexes the per-tier arrays in
+/// [`IntersectStats`], so the Table III galloping share can be broken down
+/// per tier (scalar / AVX2 / AVX-512).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum KernelTier {
+    /// Scalar kernels (no SIMD).
+    Scalar = 0,
+    /// 256-bit AVX2 kernels.
+    Avx2 = 1,
+    /// 512-bit AVX-512 kernels.
+    Avx512 = 2,
+}
+
+impl KernelTier {
+    /// All tiers, index order.
+    pub const ALL: [KernelTier; 3] = [KernelTier::Scalar, KernelTier::Avx2, KernelTier::Avx512];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelTier::Scalar => "scalar",
+            KernelTier::Avx2 => "avx2",
+            KernelTier::Avx512 => "avx512",
+        }
+    }
+}
+
 /// Counters accumulated across intersection calls.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct IntersectStats {
@@ -19,6 +47,11 @@ pub struct IntersectStats {
     /// Total elements scanned (comparisons are proportional); a finer
     /// work measure than call counts, used by ablation benches.
     pub elements_scanned: u64,
+    /// Intersections executed per kernel tier, indexed by [`KernelTier`].
+    pub tier_calls: [u64; 3],
+    /// Galloping dispatches per kernel tier, indexed by [`KernelTier`]
+    /// (the per-tier numerator of the Table III galloping share).
+    pub tier_galloping: [u64; 3],
 }
 
 impl IntersectStats {
@@ -32,6 +65,32 @@ impl IntersectStats {
         }
     }
 
+    /// Record one intersection on `tier`, dispatched to Galloping when
+    /// `galloping` (otherwise Merge).
+    #[inline]
+    pub fn record(&mut self, tier: KernelTier, galloping: bool) {
+        self.total += 1;
+        self.tier_calls[tier as usize] += 1;
+        if galloping {
+            self.galloping += 1;
+            self.tier_galloping[tier as usize] += 1;
+        } else {
+            self.merge += 1;
+        }
+    }
+
+    /// Percentage of `tier`'s intersections that used Galloping
+    /// (Table III broken down per kernel tier). 0.0 when the tier was
+    /// never selected.
+    pub fn galloping_pct_for(&self, tier: KernelTier) -> f64 {
+        let calls = self.tier_calls[tier as usize];
+        if calls == 0 {
+            0.0
+        } else {
+            100.0 * self.tier_galloping[tier as usize] as f64 / calls as f64
+        }
+    }
+
     /// Merge another counter set into this one (used when joining parallel
     /// workers).
     pub fn merge_from(&mut self, other: &IntersectStats) {
@@ -39,6 +98,10 @@ impl IntersectStats {
         self.merge += other.merge;
         self.galloping += other.galloping;
         self.elements_scanned += other.elements_scanned;
+        for t in 0..3 {
+            self.tier_calls[t] += other.tier_calls[t];
+            self.tier_galloping[t] += other.tier_galloping[t];
+        }
     }
 }
 
@@ -58,6 +121,7 @@ mod tests {
             merge: 6,
             galloping: 2,
             elements_scanned: 100,
+            ..Default::default()
         };
         assert!((s.galloping_pct() - 25.0).abs() < 1e-9);
     }
@@ -69,17 +133,47 @@ mod tests {
             merge: 1,
             galloping: 0,
             elements_scanned: 10,
+            tier_calls: [1, 0, 0],
+            tier_galloping: [0, 0, 0],
         };
         let b = IntersectStats {
             total: 2,
             merge: 0,
             galloping: 2,
             elements_scanned: 5,
+            tier_calls: [0, 1, 1],
+            tier_galloping: [0, 1, 1],
         };
         a.merge_from(&b);
         assert_eq!(a.total, 3);
         assert_eq!(a.merge, 1);
         assert_eq!(a.galloping, 2);
         assert_eq!(a.elements_scanned, 15);
+        assert_eq!(a.tier_calls, [1, 1, 1]);
+        assert_eq!(a.tier_galloping, [0, 1, 1]);
+    }
+
+    #[test]
+    fn record_attributes_tier_and_dispatch() {
+        let mut s = IntersectStats::default();
+        s.record(KernelTier::Avx512, true);
+        s.record(KernelTier::Avx512, false);
+        s.record(KernelTier::Scalar, false);
+        assert_eq!(s.total, 3);
+        assert_eq!(s.merge, 2);
+        assert_eq!(s.galloping, 1);
+        assert_eq!(s.tier_calls, [1, 0, 2]);
+        assert_eq!(s.tier_galloping, [0, 0, 1]);
+        assert!((s.galloping_pct_for(KernelTier::Avx512) - 50.0).abs() < 1e-9);
+        assert_eq!(s.galloping_pct_for(KernelTier::Avx2), 0.0);
+        assert_eq!(s.galloping_pct_for(KernelTier::Scalar), 0.0);
+    }
+
+    #[test]
+    fn tier_names() {
+        assert_eq!(KernelTier::Scalar.name(), "scalar");
+        assert_eq!(KernelTier::Avx2.name(), "avx2");
+        assert_eq!(KernelTier::Avx512.name(), "avx512");
+        assert_eq!(KernelTier::ALL.len(), 3);
     }
 }

@@ -7,7 +7,8 @@ use proptest::prelude::*;
 
 use light_setops::scalar::{galloping_into, merge_into, reference_intersection};
 use light_setops::simd::{galloping_avx2_into, merge_avx2_into};
-use light_setops::{intersect_many, IntersectKind, IntersectStats, Intersector};
+use light_setops::simd512::{galloping_avx512_into, merge_avx512_into};
+use light_setops::{intersect_many, IntersectKind, IntersectStats, Intersector, DEFAULT_DELTA};
 
 fn sorted_vec(max: u32, size: usize) -> impl Strategy<Value = Vec<u32>> {
     btree_set(0..max, 0..size).prop_map(|s| s.into_iter().collect())
@@ -55,6 +56,26 @@ proptest! {
     }
 
     #[test]
+    fn avx512_merge_matches_reference(
+        a in sorted_vec(500, 300),
+        b in sorted_vec(500, 300),
+    ) {
+        let mut out = Vec::new();
+        merge_avx512_into(&a, &b, &mut out);
+        prop_assert_eq!(out, reference_intersection(&a, &b));
+    }
+
+    #[test]
+    fn avx512_galloping_matches_reference(
+        a in sorted_vec(500, 300),
+        b in sorted_vec(500, 300),
+    ) {
+        let mut out = Vec::new();
+        galloping_avx512_into(&a, &b, &mut out);
+        prop_assert_eq!(out, reference_intersection(&a, &b));
+    }
+
+    #[test]
     fn kernels_handle_full_u32_range(
         a in sorted_vec(u32::MAX, 100),
         b in sorted_vec(u32::MAX, 100),
@@ -65,8 +86,93 @@ proptest! {
         prop_assert_eq!(&out, &expect);
         galloping_avx2_into(&a, &b, &mut out);
         prop_assert_eq!(&out, &expect);
+        merge_avx512_into(&a, &b, &mut out);
+        prop_assert_eq!(&out, &expect);
+        galloping_avx512_into(&a, &b, &mut out);
+        prop_assert_eq!(&out, &expect);
         galloping_into(&a, &b, &mut out);
         prop_assert_eq!(&out, &expect);
+    }
+
+    // All three tiers must agree element-for-element on the same inputs —
+    // not just each against the reference, but mutually, so a shared bug
+    // in the reference cannot mask a divergence.
+    #[test]
+    fn all_tiers_identical(
+        a in sorted_vec(u32::MAX, 400),
+        b in sorted_vec(u32::MAX, 400),
+    ) {
+        let (mut scalar_out, mut avx2_out, mut avx512_out) =
+            (Vec::new(), Vec::new(), Vec::new());
+        merge_into(&a, &b, &mut scalar_out);
+        merge_avx2_into(&a, &b, &mut avx2_out);
+        merge_avx512_into(&a, &b, &mut avx512_out);
+        prop_assert_eq!(&scalar_out, &avx2_out);
+        prop_assert_eq!(&scalar_out, &avx512_out);
+        galloping_into(&a, &b, &mut scalar_out);
+        galloping_avx2_into(&a, &b, &mut avx2_out);
+        galloping_avx512_into(&a, &b, &mut avx512_out);
+        prop_assert_eq!(&scalar_out, &avx2_out);
+        prop_assert_eq!(&scalar_out, &avx512_out);
+    }
+
+    // Adversarial fixed shapes paired with an arbitrary other side: empty,
+    // length-1, fully-overlapping, and disjoint inputs across every kind.
+    #[test]
+    fn adversarial_shapes_all_kinds(b in sorted_vec(u32::MAX, 300)) {
+        let disjoint: Vec<u32> = b.iter().map(|x| x ^ 1).filter(|x| b.binary_search(x).is_err()).collect();
+        let mut disjoint_sorted = disjoint;
+        disjoint_sorted.sort_unstable();
+        disjoint_sorted.dedup();
+        let cases: Vec<(Vec<u32>, Vec<u32>)> = vec![
+            (vec![], b.clone()),                                // empty
+            (b.clone(), vec![]),                                // empty other side
+            (b.first().copied().into_iter().collect(), b.clone()), // len-1 hit
+            (vec![u32::MAX / 2], b.clone()),                    // len-1 probe
+            (b.clone(), b.clone()),                             // fully overlapping
+            (disjoint_sorted, b.clone()),                       // disjoint
+        ];
+        for (x, y) in &cases {
+            let expect = reference_intersection(x, y);
+            for kind in IntersectKind::ALL {
+                let isec = Intersector::new(kind);
+                let mut out = Vec::new();
+                let mut st = IntersectStats::default();
+                isec.intersect_into(x, y, &mut out, &mut st);
+                prop_assert_eq!(&out, &expect, "{}", kind.name());
+            }
+        }
+    }
+
+    // Skew strictly beyond δ forces the galloping arm of every hybrid
+    // kind; all tiers must still agree with the reference.
+    #[test]
+    fn skew_beyond_delta_all_kinds(
+        small in sorted_vec(1_000_000, 6),
+        large in sorted_vec(1_000_000, 4000),
+    ) {
+        // Pad `large` deterministically so |large| > δ·|small| always holds.
+        let mut large = large;
+        let need = small.len() * DEFAULT_DELTA + 1;
+        let mut next = 1_000_001u32;
+        while large.len() < need {
+            large.push(next);
+            next += 1;
+        }
+        let expect = reference_intersection(&small, &large);
+        for kind in IntersectKind::ALL {
+            let isec = Intersector::new(kind);
+            let mut out = Vec::new();
+            let mut st = IntersectStats::default();
+            isec.intersect_into(&small, &large, &mut out, &mut st);
+            prop_assert_eq!(&out, &expect, "{}", kind.name());
+            match kind {
+                IntersectKind::HybridScalar
+                | IntersectKind::HybridAvx2
+                | IntersectKind::HybridAvx512 => prop_assert_eq!(st.galloping, 1),
+                _ => prop_assert_eq!(st.galloping, 0),
+            }
+        }
     }
 
     #[test]
@@ -141,6 +247,9 @@ proptest! {
             isec.intersect_into(&a, &b, &mut out, &mut st);
             prop_assert_eq!(st.total, 1);
             prop_assert_eq!(st.merge + st.galloping, st.total);
+            // The per-tier breakdown partitions the same totals.
+            prop_assert_eq!(st.tier_calls.iter().sum::<u64>(), st.total);
+            prop_assert_eq!(st.tier_galloping.iter().sum::<u64>(), st.galloping);
         }
     }
 }

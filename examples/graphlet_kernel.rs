@@ -40,10 +40,21 @@ fn cosine(a: &[f64], b: &[f64]) -> f64 {
 
 fn main() {
     let build = |raw: CsrGraph| light::graph::ordered::into_degree_ordered(&raw).0;
-    let graphs = [("BA seed A", build(light::graph::generators::barabasi_albert(2_000, 4, 1))),
-        ("BA seed B", build(light::graph::generators::barabasi_albert(2_000, 4, 2))),
-        ("ER", build(light::graph::generators::erdos_renyi(2_000, 8_000, 1))),
-        ("grid", build(light::graph::generators::grid(45, 45)))];
+    let graphs = [
+        (
+            "BA seed A",
+            build(light::graph::generators::barabasi_albert(2_000, 4, 1)),
+        ),
+        (
+            "BA seed B",
+            build(light::graph::generators::barabasi_albert(2_000, 4, 2)),
+        ),
+        (
+            "ER",
+            build(light::graph::generators::erdos_renyi(2_000, 8_000, 1)),
+        ),
+        ("grid", build(light::graph::generators::grid(45, 45))),
+    ];
 
     println!("4-vertex graphlet signatures (path star cycle paw diamond clique):\n");
     let sigs: Vec<(&str, Vec<f64>)> = graphs
@@ -52,7 +63,10 @@ fn main() {
             let s = signature(g);
             println!(
                 "  {name:<10} [{}]",
-                s.iter().map(|x| format!("{x:.4}")).collect::<Vec<_>>().join(" ")
+                s.iter()
+                    .map(|x| format!("{x:.4}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
             );
             (*name, s)
         })

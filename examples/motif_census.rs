@@ -13,8 +13,14 @@ use light::prelude::*;
 /// The six connected 4-vertex graphs.
 fn motifs() -> Vec<(&'static str, PatternGraph)> {
     vec![
-        ("path-4", PatternGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)])),
-        ("star-4", PatternGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)])),
+        (
+            "path-4",
+            PatternGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]),
+        ),
+        (
+            "star-4",
+            PatternGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]),
+        ),
         (
             "cycle-4",
             PatternGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]),

@@ -58,7 +58,12 @@ fn main() {
     );
 
     // 7. Scale out with the work-stealing parallel driver.
-    let par = run_query_parallel(&diamond, &g, &EngineConfig::light(), &ParallelConfig::new(4));
+    let par = run_query_parallel(
+        &diamond,
+        &g,
+        &EngineConfig::light(),
+        &ParallelConfig::new(4),
+    );
     assert_eq!(par.report.matches, report.matches);
     println!(
         "LIGHT x4 threads: {} diamonds in {:?}",

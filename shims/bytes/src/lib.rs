@@ -1,0 +1,209 @@
+#![warn(missing_docs)]
+
+//! Offline shim of the `bytes` crate API surface used by this workspace
+//! (the graph snapshot codec in `light-graph::io`).
+//!
+//! [`Bytes`] is a cheaply-cloneable shared byte view with a consuming
+//! cursor; [`BytesMut`] is an append-only builder. Only the little-endian
+//! get/put accessors the snapshot format needs are provided.
+
+use std::ops::{Deref, RangeBounds};
+use std::sync::Arc;
+
+/// Read-side cursor operations, mirroring `bytes::Buf`.
+pub trait Buf {
+    /// Bytes remaining between the cursor and the end of the view.
+    fn remaining(&self) -> usize;
+    /// Copy `dst.len()` bytes from the cursor, advancing it.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+    /// Advance the cursor by `n` bytes.
+    fn advance(&mut self, n: usize);
+    /// Read a little-endian `u32`, advancing the cursor.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+    /// Read a little-endian `u64`, advancing the cursor.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+}
+
+/// Write-side append operations, mirroring `bytes::BufMut`.
+pub trait BufMut {
+    /// Append a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+/// A shared, immutable byte buffer with a consuming read cursor.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    /// Cursor (absolute index into `data`).
+    lo: usize,
+    /// End of this view (absolute index into `data`).
+    hi: usize,
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let hi = v.len();
+        Bytes {
+            data: Arc::new(v),
+            lo: 0,
+            hi,
+        }
+    }
+}
+
+impl Bytes {
+    /// Length of the remaining view.
+    pub fn len(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    /// Whether the remaining view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// A sub-view relative to the current cursor, sharing the allocation.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            std::ops::Bound::Included(&s) => s,
+            std::ops::Bound::Excluded(&s) => s + 1,
+            std::ops::Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            std::ops::Bound::Included(&e) => e + 1,
+            std::ops::Bound::Excluded(&e) => e,
+            std::ops::Bound::Unbounded => self.len(),
+        };
+        assert!(start <= end && end <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            lo: self.lo + start,
+            hi: self.lo + end,
+        }
+    }
+
+    /// Copy the remaining view into a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.lo..self.hi]
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_ref()
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.remaining(), "buffer underflow");
+        dst.copy_from_slice(&self.data[self.lo..self.lo + dst.len()]);
+        self.lo += dst.len();
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.remaining(), "advance past end");
+        self.lo += n;
+    }
+}
+
+/// An append-only byte builder that freezes into [`Bytes`].
+#[derive(Debug, Default)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Builder with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Convert into an immutable shared [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_le_accessors() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_slice(b"HDR!");
+        b.put_u32_le(0xDEAD_BEEF);
+        b.put_u64_le(42);
+        let mut bytes = b.freeze();
+        assert_eq!(bytes.len(), 16);
+        let mut hdr = [0u8; 4];
+        bytes.copy_to_slice(&mut hdr);
+        assert_eq!(&hdr, b"HDR!");
+        assert_eq!(bytes.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(bytes.get_u64_le(), 42);
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_is_relative_to_cursor() {
+        let mut bytes = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        bytes.advance(2);
+        let s = bytes.slice(1..3);
+        assert_eq!(s.as_ref(), &[3, 4]);
+        assert_eq!(bytes.to_vec(), vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut b = Bytes::from(vec![1, 2]);
+        let mut dst = [0u8; 4];
+        b.copy_to_slice(&mut dst);
+    }
+}

@@ -1,0 +1,649 @@
+#![warn(missing_docs)]
+
+//! Offline shim of the `crossbeam::deque` API surface used by this
+//! workspace.
+//!
+//! The build container cannot fetch the real `crossbeam`, so the two
+//! lock-free structures the scheduler needs are implemented here directly:
+//!
+//! * [`deque::Worker`] / [`deque::Stealer`] — a **fixed-capacity Chase-Lev
+//!   work-stealing deque** (owner pushes/pops LIFO at the bottom, thieves
+//!   steal FIFO at the top) with the memory orderings of Lê et al.,
+//!   "Correct and Efficient Work-Stealing for Weakly Ordered Memory
+//!   Models" (PPoPP '13). Fixing the capacity removes the buffer-growth /
+//!   memory-reclamation problem entirely; `push` reports a full deque
+//!   instead of growing, and callers overflow into the [`deque::Injector`].
+//! * [`deque::Injector`] — a **bounded MPMC ring** (Vyukov's algorithm:
+//!   per-cell sequence numbers) fronting a mutexed spill list. The ring
+//!   absorbs all steady-state traffic lock-free; the spill only engages if
+//!   a burst exceeds the ring capacity, and is drained opportunistically.
+//!
+//! Element types are required to be `Copy`: every value is moved by plain
+//! reads of initialized slots, so there is nothing to drop and a
+//! lost-race speculative read (discarded on CAS failure) has no effect.
+//! The scheduler's task type (a pair of `u32` range bounds) satisfies
+//! this.
+
+/// Work-stealing deques and the global injector (`crossbeam::deque`).
+pub mod deque {
+    use std::cell::{Cell as StdCell, UnsafeCell};
+    use std::collections::VecDeque;
+    use std::marker::PhantomData;
+    use std::mem::MaybeUninit;
+    use std::sync::atomic::{fence, AtomicIsize, AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    /// The result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was observed empty.
+        Empty,
+        /// Lost a race with another consumer; try again.
+        Retry,
+        /// A value was stolen.
+        Success(T),
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen value, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// Whether this attempt observed an empty queue.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Chase-Lev deque (fixed capacity).
+    // ---------------------------------------------------------------
+
+    struct ClInner<T> {
+        top: AtomicIsize,
+        bottom: AtomicIsize,
+        slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+        mask: usize,
+    }
+
+    // SAFETY: slot access is coordinated by the top/bottom protocol below;
+    // values are Copy so a discarded speculative read is harmless.
+    unsafe impl<T: Copy + Send> Sync for ClInner<T> {}
+    unsafe impl<T: Copy + Send> Send for ClInner<T> {}
+
+    impl<T: Copy> ClInner<T> {
+        #[inline]
+        unsafe fn read(&self, i: isize) -> T {
+            let slot = &self.slots[i as usize & self.mask];
+            // Raw (potentially racing) read; the caller discards the value
+            // unless it wins the top CAS.
+            std::ptr::read_volatile(slot.get()).assume_init()
+        }
+
+        #[inline]
+        unsafe fn write(&self, i: isize, t: T) {
+            let slot = &self.slots[i as usize & self.mask];
+            (*slot.get()).write(t);
+        }
+    }
+
+    /// Owner handle of a fixed-capacity Chase-Lev deque.
+    ///
+    /// API deviation from real crossbeam: [`Worker::push`] returns
+    /// `Err(value)` when the deque is full instead of growing the buffer;
+    /// the caller routes the overflow to the [`Injector`].
+    pub struct Worker<T> {
+        inner: Arc<ClInner<T>>,
+        /// Owner-only handle: `!Sync` (but `Send`, so it can move into its
+        /// worker thread).
+        _not_sync: PhantomData<StdCell<()>>,
+    }
+
+    /// Thief handle of a [`Worker`]'s deque; cloneable and shareable.
+    pub struct Stealer<T> {
+        inner: Arc<ClInner<T>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T: Copy + Send> Worker<T> {
+        /// A LIFO worker deque with the given capacity (rounded up to a
+        /// power of two, minimum 8).
+        pub fn new_lifo_with_capacity(capacity: usize) -> Self {
+            let cap = capacity.max(8).next_power_of_two();
+            let slots = (0..cap)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice();
+            Worker {
+                inner: Arc::new(ClInner {
+                    top: AtomicIsize::new(0),
+                    bottom: AtomicIsize::new(0),
+                    slots,
+                    mask: cap - 1,
+                }),
+                _not_sync: PhantomData,
+            }
+        }
+
+        /// A LIFO worker deque with the default capacity (256).
+        pub fn new_lifo() -> Self {
+            Self::new_lifo_with_capacity(256)
+        }
+
+        /// A thief handle for this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+
+        /// Push at the bottom. Returns `Err(t)` when the deque is full.
+        pub fn push(&self, t: T) -> Result<(), T> {
+            let inner = &*self.inner;
+            let b = inner.bottom.load(Ordering::Relaxed);
+            let t_idx = inner.top.load(Ordering::Acquire);
+            if (b - t_idx) as usize > inner.mask {
+                return Err(t);
+            }
+            // SAFETY: (b - top) <= mask, so slot b is not owned by any
+            // in-flight steal of an unconsumed element.
+            unsafe { inner.write(b, t) };
+            inner.bottom.store(b + 1, Ordering::Release);
+            Ok(())
+        }
+
+        /// Pop at the bottom (LIFO).
+        pub fn pop(&self) -> Option<T> {
+            let inner = &*self.inner;
+            let b = inner.bottom.load(Ordering::Relaxed) - 1;
+            inner.bottom.store(b, Ordering::Relaxed);
+            fence(Ordering::SeqCst);
+            let t = inner.top.load(Ordering::Relaxed);
+            if t <= b {
+                // Non-empty.
+                // SAFETY: index b held a pushed value; thieves that also
+                // target it must win the CAS below to keep it.
+                let val = unsafe { inner.read(b) };
+                if t == b {
+                    // Last element: race thieves for it.
+                    let won = inner
+                        .top
+                        .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                        .is_ok();
+                    inner.bottom.store(b + 1, Ordering::Relaxed);
+                    if won {
+                        Some(val)
+                    } else {
+                        None
+                    }
+                } else {
+                    Some(val)
+                }
+            } else {
+                // Empty: restore bottom.
+                inner.bottom.store(b + 1, Ordering::Relaxed);
+                None
+            }
+        }
+
+        /// Approximate number of queued elements.
+        pub fn len(&self) -> usize {
+            let b = self.inner.bottom.load(Ordering::Relaxed);
+            let t = self.inner.top.load(Ordering::Relaxed);
+            (b - t).max(0) as usize
+        }
+
+        /// Whether the deque appears empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T: Copy + Send> Stealer<T> {
+        /// Steal from the top (FIFO).
+        pub fn steal(&self) -> Steal<T> {
+            let inner = &*self.inner;
+            let t = inner.top.load(Ordering::Acquire);
+            fence(Ordering::SeqCst);
+            let b = inner.bottom.load(Ordering::Acquire);
+            if t < b {
+                // SAFETY: speculative read; discarded unless the CAS wins.
+                let val = unsafe { inner.read(t) };
+                if inner
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    Steal::Success(val)
+                } else {
+                    Steal::Retry
+                }
+            } else {
+                Steal::Empty
+            }
+        }
+
+        /// Approximate number of queued elements.
+        pub fn len(&self) -> usize {
+            let b = self.inner.bottom.load(Ordering::Relaxed);
+            let t = self.inner.top.load(Ordering::Relaxed);
+            (b - t).max(0) as usize
+        }
+
+        /// Whether the deque appears empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Vyukov bounded MPMC ring + spill = Injector.
+    // ---------------------------------------------------------------
+
+    struct RingCell<T> {
+        seq: AtomicUsize,
+        val: UnsafeCell<MaybeUninit<T>>,
+    }
+
+    struct Ring<T> {
+        cells: Box<[RingCell<T>]>,
+        mask: usize,
+        enqueue_pos: AtomicUsize,
+        dequeue_pos: AtomicUsize,
+    }
+
+    // SAFETY: cell access is gated by the per-cell sequence protocol.
+    unsafe impl<T: Copy + Send> Sync for Ring<T> {}
+    unsafe impl<T: Copy + Send> Send for Ring<T> {}
+
+    impl<T: Copy> Ring<T> {
+        fn new(capacity: usize) -> Self {
+            let cap = capacity.max(8).next_power_of_two();
+            let cells = (0..cap)
+                .map(|i| RingCell {
+                    seq: AtomicUsize::new(i),
+                    val: UnsafeCell::new(MaybeUninit::uninit()),
+                })
+                .collect::<Vec<_>>()
+                .into_boxed_slice();
+            Ring {
+                cells,
+                mask: cap - 1,
+                enqueue_pos: AtomicUsize::new(0),
+                dequeue_pos: AtomicUsize::new(0),
+            }
+        }
+
+        /// Lock-free bounded push. `Err(t)` when full.
+        fn push(&self, t: T) -> Result<(), T> {
+            let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
+            loop {
+                let cell = &self.cells[pos & self.mask];
+                let seq = cell.seq.load(Ordering::Acquire);
+                let dif = seq as isize - pos as isize;
+                match dif {
+                    0 => {
+                        if self
+                            .enqueue_pos
+                            .compare_exchange_weak(
+                                pos,
+                                pos + 1,
+                                Ordering::Relaxed,
+                                Ordering::Relaxed,
+                            )
+                            .is_ok()
+                        {
+                            // SAFETY: we own this cell until seq is bumped.
+                            unsafe { (*cell.val.get()).write(t) };
+                            cell.seq.store(pos + 1, Ordering::Release);
+                            return Ok(());
+                        }
+                        pos = self.enqueue_pos.load(Ordering::Relaxed);
+                    }
+                    d if d < 0 => return Err(t),
+                    _ => pos = self.enqueue_pos.load(Ordering::Relaxed),
+                }
+            }
+        }
+
+        /// Lock-free pop. `None` when observed empty.
+        fn pop(&self) -> Option<T> {
+            let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
+            loop {
+                let cell = &self.cells[pos & self.mask];
+                let seq = cell.seq.load(Ordering::Acquire);
+                let dif = seq as isize - (pos + 1) as isize;
+                match dif {
+                    0 => {
+                        if self
+                            .dequeue_pos
+                            .compare_exchange_weak(
+                                pos,
+                                pos + 1,
+                                Ordering::Relaxed,
+                                Ordering::Relaxed,
+                            )
+                            .is_ok()
+                        {
+                            // SAFETY: we own this cell until seq is bumped.
+                            let val = unsafe { (*cell.val.get()).assume_init_read() };
+                            cell.seq.store(pos + self.mask + 1, Ordering::Release);
+                            return Some(val);
+                        }
+                        pos = self.dequeue_pos.load(Ordering::Relaxed);
+                    }
+                    d if d < 0 => return None,
+                    _ => pos = self.dequeue_pos.load(Ordering::Relaxed),
+                }
+            }
+        }
+    }
+
+    /// Global MPMC task pool: lock-free ring with a mutexed spill list for
+    /// bursts beyond the ring capacity.
+    pub struct Injector<T> {
+        ring: Ring<T>,
+        spill: Mutex<VecDeque<T>>,
+        spill_len: AtomicUsize,
+        len: AtomicUsize,
+    }
+
+    impl<T: Copy + Send> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T: Copy + Send> Injector<T> {
+        /// Injector with the default ring capacity (1024).
+        pub fn new() -> Self {
+            Self::with_capacity(1024)
+        }
+
+        /// Injector whose lock-free ring holds `capacity` elements before
+        /// spilling to the mutexed overflow list.
+        pub fn with_capacity(capacity: usize) -> Self {
+            Injector {
+                ring: Ring::new(capacity),
+                spill: Mutex::new(VecDeque::new()),
+                spill_len: AtomicUsize::new(0),
+                len: AtomicUsize::new(0),
+            }
+        }
+
+        /// Push a task (lock-free unless the ring is full).
+        pub fn push(&self, t: T) {
+            self.len.fetch_add(1, Ordering::SeqCst);
+            if let Err(t) = self.ring.push(t) {
+                let mut spill = self.spill.lock().unwrap();
+                spill.push_back(t);
+                self.spill_len.store(spill.len(), Ordering::SeqCst);
+            }
+        }
+
+        /// Steal a task.
+        pub fn steal(&self) -> Steal<T> {
+            if let Some(t) = self.ring.pop() {
+                self.len.fetch_sub(1, Ordering::SeqCst);
+                return Steal::Success(t);
+            }
+            if self.spill_len.load(Ordering::SeqCst) > 0 {
+                let mut spill = self.spill.lock().unwrap();
+                if let Some(t) = spill.pop_front() {
+                    self.spill_len.store(spill.len(), Ordering::SeqCst);
+                    drop(spill);
+                    self.len.fetch_sub(1, Ordering::SeqCst);
+                    return Steal::Success(t);
+                }
+            }
+            if self.len.load(Ordering::SeqCst) == 0 {
+                Steal::Empty
+            } else {
+                // A push is in flight (len bumped, value not yet visible).
+                Steal::Retry
+            }
+        }
+
+        /// Number of queued tasks (exact with respect to completed
+        /// operations; a concurrent in-flight push may be counted).
+        pub fn len(&self) -> usize {
+            self.len.load(Ordering::SeqCst)
+        }
+
+        /// Whether the injector appears empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+}
+
+/// Spin/yield helper mirroring `crossbeam::utils::Backoff`.
+pub mod utils {
+    /// Exponential backoff between contended retries.
+    #[derive(Debug, Default)]
+    pub struct Backoff {
+        step: u32,
+    }
+
+    impl Backoff {
+        /// Fresh backoff.
+        pub fn new() -> Self {
+            Backoff { step: 0 }
+        }
+
+        /// Spin briefly (bounded exponential).
+        pub fn spin(&mut self) {
+            for _ in 0..(1u32 << self.step.min(6)) {
+                std::hint::spin_loop();
+            }
+            self.step += 1;
+        }
+
+        /// Whether the caller should stop spinning and park instead.
+        pub fn is_completed(&self) -> bool {
+            self.step > 10
+        }
+
+        /// Spin or yield to the OS scheduler depending on progress.
+        pub fn snooze(&mut self) {
+            if self.step <= 6 {
+                self.spin();
+            } else {
+                std::thread::yield_now();
+                self.step += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal, Worker};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn worker_lifo_pop_order() {
+        let w: Worker<u64> = Worker::new_lifo();
+        for i in 0..10 {
+            w.push(i).unwrap();
+        }
+        for i in (0..10).rev() {
+            assert_eq!(w.pop(), Some(i));
+        }
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn stealer_fifo_order() {
+        let w: Worker<u64> = Worker::new_lifo();
+        let s = w.stealer();
+        for i in 0..5 {
+            w.push(i).unwrap();
+        }
+        assert_eq!(s.steal(), Steal::Success(0));
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(4));
+        assert_eq!(s.steal(), Steal::Success(2));
+        assert_eq!(w.pop(), Some(3));
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn worker_full_reports_overflow() {
+        let w: Worker<u32> = Worker::new_lifo_with_capacity(8);
+        for i in 0..8 {
+            assert!(w.push(i).is_ok());
+        }
+        assert_eq!(w.push(99), Err(99));
+        assert_eq!(w.pop(), Some(7));
+        assert!(w.push(99).is_ok());
+    }
+
+    #[test]
+    fn injector_spills_past_ring_capacity() {
+        let inj: Injector<u32> = Injector::with_capacity(8);
+        for i in 0..100 {
+            inj.push(i);
+        }
+        assert_eq!(inj.len(), 100);
+        let mut got = Vec::new();
+        while let Steal::Success(v) = inj.steal() {
+            got.push(v);
+        }
+        assert_eq!(got.len(), 100);
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_steals_conserve_sum() {
+        const N: u64 = 20_000;
+        const THIEVES: usize = 4;
+        let w: Worker<u64> = Worker::new_lifo_with_capacity(64);
+        let inj: Injector<u64> = Injector::with_capacity(64);
+        let total = AtomicU64::new(0);
+        let taken = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..THIEVES {
+                let s = w.stealer();
+                let inj = &inj;
+                let total = &total;
+                let taken = &taken;
+                scope.spawn(move || loop {
+                    match s.steal() {
+                        Steal::Success(v) => {
+                            total.fetch_add(v, Ordering::Relaxed);
+                            taken.fetch_add(1, Ordering::Relaxed);
+                        }
+                        _ => match inj.steal() {
+                            Steal::Success(v) => {
+                                total.fetch_add(v, Ordering::Relaxed);
+                                taken.fetch_add(1, Ordering::Relaxed);
+                            }
+                            _ => {
+                                if taken.load(Ordering::Relaxed) >= N {
+                                    break;
+                                }
+                                std::hint::spin_loop();
+                            }
+                        },
+                    }
+                });
+            }
+            // Producer: push through the worker deque, overflowing into the
+            // injector exactly like the scheduler does.
+            for i in 1..=N {
+                if let Err(v) = w.push(i) {
+                    inj.push(v);
+                }
+            }
+        });
+        assert_eq!(taken.load(Ordering::Relaxed), N);
+        assert_eq!(total.load(Ordering::Relaxed), N * (N + 1) / 2);
+    }
+
+    #[test]
+    fn owner_pop_races_thieves_without_loss() {
+        const N: u64 = 10_000;
+        let w: Worker<u64> = Worker::new_lifo_with_capacity(32);
+        let inj: Injector<u64> = Injector::with_capacity(32);
+        let stolen_sum = AtomicU64::new(0);
+        let stolen_cnt = AtomicU64::new(0);
+        let done = AtomicU64::new(0);
+        let mut own_sum = 0u64;
+        let mut own_cnt = 0u64;
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let s = w.stealer();
+                let inj = &inj;
+                let stolen_sum = &stolen_sum;
+                let stolen_cnt = &stolen_cnt;
+                let done = &done;
+                scope.spawn(move || loop {
+                    match s.steal() {
+                        Steal::Success(v) => {
+                            stolen_sum.fetch_add(v, Ordering::Relaxed);
+                            stolen_cnt.fetch_add(1, Ordering::Relaxed);
+                        }
+                        _ => match inj.steal() {
+                            Steal::Success(v) => {
+                                stolen_sum.fetch_add(v, Ordering::Relaxed);
+                                stolen_cnt.fetch_add(1, Ordering::Relaxed);
+                            }
+                            _ => {
+                                if done.load(Ordering::Acquire) == 1 {
+                                    break;
+                                }
+                                std::hint::spin_loop();
+                            }
+                        },
+                    }
+                });
+            }
+            for i in 1..=N {
+                if let Err(v) = w.push(i) {
+                    inj.push(v);
+                }
+                // Interleave owner pops with thief steals.
+                if i % 3 == 0 {
+                    if let Some(v) = w.pop() {
+                        own_sum += v;
+                        own_cnt += 1;
+                    }
+                }
+            }
+            // Drain what's left locally, then signal.
+            while let Some(v) = w.pop() {
+                own_sum += v;
+                own_cnt += 1;
+            }
+            loop {
+                match inj.steal() {
+                    Steal::Success(v) => {
+                        own_sum += v;
+                        own_cnt += 1;
+                    }
+                    Steal::Retry => continue,
+                    Steal::Empty => break,
+                }
+            }
+            done.store(1, Ordering::Release);
+        });
+        assert_eq!(own_cnt + stolen_cnt.load(Ordering::Relaxed), N);
+        assert_eq!(
+            own_sum + stolen_sum.load(Ordering::Relaxed),
+            N * (N + 1) / 2
+        );
+    }
+}

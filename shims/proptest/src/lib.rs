@@ -1,0 +1,417 @@
+#![warn(missing_docs)]
+
+//! Offline shim of the `proptest` API surface used by this workspace.
+//!
+//! The build container cannot fetch the real `proptest`, so this crate
+//! provides a compatible-subset reimplementation: the [`proptest!`] macro,
+//! `prop_assert!`/`prop_assert_eq!`, the [`strategy::Strategy`] trait with
+//! `prop_map`/`prop_flat_map`, range and tuple strategies, [`Just`], and
+//! `collection::{vec, btree_set}`.
+//!
+//! Differences from real proptest, deliberate for an offline shim:
+//!
+//! * **No shrinking.** A failing case panics with the case index; cases are
+//!   generated from a deterministic per-test seed (hash of the test path),
+//!   so failures reproduce exactly on rerun. Set `PROPTEST_SHIM_SEED` to
+//!   perturb the stream, `PROPTEST_CASES` to override the case count.
+//! * **No persistence.** `.proptest-regressions` files are ignored.
+//! * `prop_assert!` panics immediately instead of returning a
+//!   `TestCaseError` (equivalent observable behavior without shrinking).
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod strategy;
+pub use strategy::{Just, Strategy};
+
+/// Runner configuration (subset of real proptest's).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// Resolve the effective case count (env override wins).
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the heavier engine
+        // properties inside a reasonable tier-1 budget. Override with
+        // PROPTEST_CASES for deeper soak runs.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic RNG driving case generation.
+pub mod test_runner {
+    /// Error a property body may return (bodies run inside a
+    /// `Result`-returning closure so `return Ok(())` early-exits work, as
+    /// in real proptest).
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property does not hold; carries a message.
+        Fail(String),
+        /// The generated input was rejected (treated as a skip).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Build a failure with a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Build a rejection with a message.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "property failed: {m}"),
+                TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+            }
+        }
+    }
+
+    /// Result alias used by property bodies.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// SplitMix64-seeded xoshiro256++, one per test function.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Seed from a stable hash of the test path (plus the optional
+        /// `PROPTEST_SHIM_SEED` environment perturbation).
+        pub fn for_test(path: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in path.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            if let Ok(extra) = std::env::var("PROPTEST_SHIM_SEED") {
+                if let Ok(x) = extra.parse::<u64>() {
+                    h ^= x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                }
+            }
+            let mut x = h;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// Next raw 64 random bits (xoshiro256++).
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+}
+
+/// Size specification for collection strategies.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    /// Exclusive upper bound.
+    hi: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut test_runner::TestRng) -> usize {
+        if self.hi <= self.lo + 1 {
+            self.lo
+        } else {
+            self.lo + rng.below((self.hi - self.lo) as u64) as usize
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use super::SizeRange;
+    use std::collections::BTreeSet;
+
+    /// Strategy producing `Vec<S::Value>` with a sampled length.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` of values from `element`, length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy producing sorted duplicate-free sets.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `BTreeSet` of values from `element` with a sampled target size.
+    ///
+    /// Like real proptest, the target size is best-effort: duplicates
+    /// drawn from `element` collapse, so the set may be smaller.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            let mut set = BTreeSet::new();
+            // Bounded attempts so small domains cannot loop forever.
+            let mut attempts = 0usize;
+            while set.len() < n && attempts < n * 4 + 8 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+/// The prelude every property test imports.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert inside a property body (panics, reproducible via the case seed).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Define property tests: an optional `#![proptest_config(..)]` followed by
+/// `#[test] fn name(binding in strategy, ..) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let cases = config.effective_cases();
+            let mut rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                // The body runs inside a Result-returning closure so that
+                // `return Ok(())` early exits (real proptest idiom) compile.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                    || -> $crate::test_runner::TestCaseResult {
+                        $body
+                        Ok(())
+                    },
+                ));
+                match result {
+                    Ok(Ok(())) => {}
+                    Ok(Err($crate::test_runner::TestCaseError::Reject(_))) => {}
+                    Ok(Err($crate::test_runner::TestCaseError::Fail(msg))) => {
+                        panic!(
+                            "proptest shim: {} failed at case {}/{}: {} (set PROPTEST_SHIM_SEED to vary)",
+                            stringify!($name),
+                            case + 1,
+                            cases,
+                            msg,
+                        );
+                    }
+                    Err(panic) => {
+                        eprintln!(
+                            "proptest shim: {} failed at case {}/{} (set PROPTEST_SHIM_SEED to vary)",
+                            stringify!($name),
+                            case + 1,
+                            cases,
+                        );
+                        std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn evens() -> impl Strategy<Value = u32> {
+        (0u32..100).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u32..10, y in 0usize..3, z in 2usize..=4) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!(y < 3);
+            prop_assert!((2..=4).contains(&z));
+        }
+
+        #[test]
+        fn map_and_flat_map(e in evens(), v in crate::collection::vec(0u8..5, 0..10)) {
+            prop_assert_eq!(e % 2, 0);
+            prop_assert!(v.len() < 10);
+            prop_assert!(v.iter().all(|&b| b < 5));
+        }
+
+        #[test]
+        fn tuples_and_just(t in (Just(7u8), 0u16..3, 1u64..9)) {
+            let (a, b, c) = t;
+            prop_assert_eq!(a, 7);
+            prop_assert!(b < 3);
+            prop_assert!((1..9).contains(&c));
+        }
+
+        #[test]
+        fn flat_map_dependent_sizes(v in (1usize..5).prop_flat_map(|n| crate::collection::vec(0u32..10, n))) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+        }
+
+        #[test]
+        fn btree_sets_are_sorted_unique(s in crate::collection::btree_set(0u32..50, 0..20)) {
+            let v: Vec<u32> = s.into_iter().collect();
+            prop_assert!(v.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+        #[test]
+        fn config_cases_respected(_x in 0u32..10) {
+            // Runs (quickly) with 3 cases; nothing to assert beyond arrival.
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_stream() {
+        let mut a = crate::test_runner::TestRng::for_test("x::y");
+        let mut b = crate::test_runner::TestRng::for_test("x::y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::TestRng::for_test("x::z");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

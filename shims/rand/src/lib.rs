@@ -1,0 +1,255 @@
+#![warn(missing_docs)]
+
+//! Offline shim of the `rand` 0.9 API surface used by this workspace.
+//!
+//! The build container has no network access and no vendored registry, so
+//! the real `rand` crate cannot be fetched. This shim implements exactly the
+//! subset the workspace uses — [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::random`], [`Rng::random_range`], and [`Rng::random_bool`] — with a
+//! deterministic xoshiro256++ generator seeded through SplitMix64.
+//!
+//! Determinism contract: the same seed always yields the same stream on
+//! every platform (the graph generators and benches rely on this). The
+//! stream differs from upstream `rand`'s ChaCha-based `StdRng`, which is
+//! fine: nothing in this repository depends on upstream's exact values.
+
+/// Seedable generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// Deterministic xoshiro256++ PRNG standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+/// Construction of RNGs from seeds, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (SplitMix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, the standard way to key xoshiro.
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        StdRng { s }
+    }
+}
+
+impl StdRng {
+    #[inline]
+    fn next_u64_impl(&mut self) -> u64 {
+        // xoshiro256++ (Blackman & Vigna).
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Types producible by [`Rng::random`] (the `StandardUniform` distribution).
+pub trait Standard: Sized {
+    /// Sample one value from the standard distribution for this type.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges samplable by [`Rng::random_range`], mirroring `rand`'s
+/// `SampleRange`.
+pub trait SampleRange<T> {
+    /// Sample a value uniformly from the range. Panics on empty ranges.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                // Lemire's multiply-shift bounded sampling; the bias of
+                // skipping the rejection step is < 2^-32 for the set sizes
+                // used here and irrelevant for synthetic graph generation.
+                let v = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start + v as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                if lo == <$t>::MIN && hi == <$t>::MAX {
+                    return <$t>::sample_raw(rng);
+                }
+                let span = (hi - lo) as u64 + 1;
+                let v = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                lo + v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+/// Helper for full-width sampling in `RangeInclusive` corner cases.
+trait SampleRaw {
+    fn sample_raw<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+macro_rules! impl_sample_raw {
+    ($($t:ty),*) => {$(
+        impl SampleRaw for $t {
+            #[inline]
+            fn sample_raw<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_sample_raw!(u8, u16, u32, u64, usize);
+
+/// The subset of `rand::Rng` used by this workspace.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample from the standard distribution (`random::<f64>()` etc.).
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from a range (`random_range(0..n)`).
+    #[inline]
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.random::<f64>() < p
+    }
+}
+
+impl Rng for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_impl()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: u32 = rng.random_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: usize = rng.random_range(0..3);
+            assert!(w < 3);
+            let x: u8 = rng.random_range(0..=255);
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v: f64 = rng.random();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn range_coverage_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut hist = [0u32; 8];
+        for _ in 0..8000 {
+            hist[rng.random_range(0..8usize)] += 1;
+        }
+        for (i, &h) in hist.iter().enumerate() {
+            assert!(h > 700 && h < 1300, "bucket {i}: {h}");
+        }
+    }
+}

@@ -65,7 +65,8 @@ fn usage() {
 USAGE:
   light count    --pattern <P1..P7|triangle|a-b,c-d,..> (--dataset <name>|--graph <file>)
                  [--scale <f>] [--threads <k>] [--variant se|lm|msc|light]
-                 [--kernel merge|merge-avx2|hybrid|hybrid-avx2] [--budget <secs>]
+                 [--kernel merge|merge-avx2|merge-avx512|hybrid|hybrid-avx2|hybrid-avx512]
+                 [--budget <secs>]
   light plan     --pattern <..> (--dataset <name>|--graph <file>) [--scale <f>]
   light generate --kind ba|er|rmat|complete|grid --n <n> [--k <k>] [--m <m>]
                  [--seed <s>] --out <file>
@@ -83,9 +84,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected --option, got {key:?}"));
         };
-        let value = it
-            .next()
-            .ok_or_else(|| format!("--{name} needs a value"))?;
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
         out.insert(name.to_string(), value.clone());
     }
     Ok(out)
@@ -143,6 +142,8 @@ fn engine_config(opts: &Opts) -> Result<EngineConfig, String> {
         Some("merge-avx2") => cfg = cfg.intersect(IntersectKind::MergeAvx2),
         Some("hybrid") => cfg = cfg.intersect(IntersectKind::HybridScalar),
         Some("hybrid-avx2") => cfg = cfg.intersect(IntersectKind::HybridAvx2),
+        Some("merge-avx512") => cfg = cfg.intersect(IntersectKind::MergeAvx512),
+        Some("hybrid-avx512") => cfg = cfg.intersect(IntersectKind::HybridAvx512),
         Some(k) => return Err(format!("unknown kernel {k:?}")),
     }
     if let Some(b) = opts.get("budget") {
@@ -196,7 +197,9 @@ fn cmd_plan(opts: &Opts) -> Result<(), String> {
 fn cmd_generate(opts: &Opts) -> Result<(), String> {
     let kind = get(opts, "kind")?;
     let out = get(opts, "out")?;
-    let n: usize = get(opts, "n")?.parse().map_err(|e| format!("bad --n: {e}"))?;
+    let n: usize = get(opts, "n")?
+        .parse()
+        .map_err(|e| format!("bad --n: {e}"))?;
     let seed: u64 = opts
         .get("seed")
         .map(|s| s.parse().map_err(|e| format!("bad --seed: {e}")))

@@ -47,7 +47,10 @@ fn filter_composes_with_every_variant() {
         cfg = cfg.filter(|_, v| v % 2 == 0);
         run_query(&Query::P2.pattern(), &g, &cfg).matches
     };
-    let counts: Vec<u64> = light::core::EngineVariant::ALL.iter().map(|&v| mk(v)).collect();
+    let counts: Vec<u64> = light::core::EngineVariant::ALL
+        .iter()
+        .map(|&v| mk(v))
+        .collect();
     assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
     // And the filtered count is strictly below the unfiltered one.
     let unfiltered = run_query(&Query::P2.pattern(), &g, &EngineConfig::light()).matches;
@@ -63,10 +66,7 @@ fn filter_equals_post_filtering() {
 
     let cfg = EngineConfig::light();
     let (_, all) = light::core::run_query_collecting(&p, &g, &cfg);
-    let expected = all
-        .iter()
-        .filter(|m| m.iter().all(|&v| accept(v)))
-        .count() as u64;
+    let expected = all.iter().filter(|m| m.iter().all(|&v| accept(v))).count() as u64;
 
     let cfg_f = EngineConfig::light().filter(move |_, v| accept(v));
     assert_eq!(run_query(&p, &g, &cfg_f).matches, expected);
@@ -83,12 +83,8 @@ fn filter_works_in_iterator_and_parallel() {
     let via_iter = MatchIter::new(&plan, &g, &cfg).count() as u64;
     assert_eq!(via_iter, serial);
 
-    let par = light::parallel::run_query_parallel(
-        &p,
-        &g,
-        &cfg,
-        &light::parallel::ParallelConfig::new(3),
-    );
+    let par =
+        light::parallel::run_query_parallel(&p, &g, &cfg, &light::parallel::ParallelConfig::new(3));
     assert_eq!(par.report.matches, serial);
 }
 

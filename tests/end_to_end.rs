@@ -3,10 +3,10 @@
 
 use std::time::Duration;
 
-use light::prelude::*;
 use light::core::Outcome;
 use light::graph::datasets::Dataset;
 use light::order::QueryPlan;
+use light::prelude::*;
 
 #[test]
 fn full_pipeline_on_simulated_dataset() {
@@ -101,8 +101,7 @@ fn dense_patterns_complete_on_every_dataset() {
 fn collecting_api_returns_verified_matches() {
     let g = Dataset::Yt.build_scaled(0.02);
     let p = Query::P2.pattern();
-    let (report, matches) =
-        light::core::run_query_collecting(&p, &g, &EngineConfig::light());
+    let (report, matches) = light::core::run_query_collecting(&p, &g, &EngineConfig::light());
     assert_eq!(report.matches as usize, matches.len());
     for m in matches.iter().take(500) {
         for (a, b) in p.edges() {

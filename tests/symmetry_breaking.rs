@@ -12,7 +12,12 @@ fn check_identity(q: Query, g: &light::graph::CsrGraph) {
     let autos = automorphisms(&p).len() as u64;
     let with_sb = light::core::run_query(&p, g, &EngineConfig::light()).matches;
     let raw = light::core::run_query(&p, g, &EngineConfig::light().symmetry(false)).matches;
-    assert_eq!(raw, with_sb * autos, "{}: raw {raw} != {with_sb} * {autos}", q.name());
+    assert_eq!(
+        raw,
+        with_sb * autos,
+        "{}: raw {raw} != {with_sb} * {autos}",
+        q.name()
+    );
 }
 
 #[test]
@@ -47,8 +52,7 @@ fn identity_holds_for_every_variant() {
     for variant in EngineVariant::ALL {
         let cfg = EngineConfig::with_variant(variant);
         let with_sb = light::core::run_query(&q.pattern(), &g, &cfg).matches;
-        let raw =
-            light::core::run_query(&q.pattern(), &g, &cfg.clone().symmetry(false)).matches;
+        let raw = light::core::run_query(&q.pattern(), &g, &cfg.clone().symmetry(false)).matches;
         assert_eq!(raw, with_sb * autos, "{}", variant.name());
     }
 }
