@@ -34,6 +34,7 @@ fn main() {
     let datasets = [Dataset::Yt, Dataset::Lj];
 
     let mut t = TablePrinter::new(&["case", "EH", "CFL", "SE", "LM", "MSC", "LIGHT", "matches"]);
+    let mut split_rows: Vec<(String, EngineVariant, light_metrics::Summary)> = Vec::new();
     for d in datasets {
         let g = dataset(d, s);
         for q in queries {
@@ -50,9 +51,11 @@ fn main() {
             let mut matches = None;
             for v in EngineVariant::ALL {
                 // Fig. 4 isolates the redundancy techniques: serial, scalar.
+                let rec = light_metrics::Recorder::new();
                 let cfg = EngineConfig::with_variant(v)
                     .intersect(IntersectKind::MergeScalar)
-                    .budget(tb);
+                    .budget(tb)
+                    .metrics(rec.clone());
                 let r = light_core::run_query(&p, &g, &cfg);
                 cells.push(match r.outcome {
                     Outcome::Complete => fmt_secs(r.elapsed),
@@ -60,6 +63,9 @@ fn main() {
                 });
                 if r.outcome == Outcome::Complete {
                     matches = Some(r.matches);
+                }
+                if r.outcome == Outcome::Complete && light_metrics::ENABLED {
+                    split_rows.push((format!("{} on {}", q.name(), d.name()), v, rec.summary()));
                 }
             }
             cells.push(
@@ -72,7 +78,44 @@ fn main() {
     }
     t.print();
     println!("\nINF = out of time budget, OOS = out of space budget (paper: missing bar).");
+    print_split(&split_rows);
     print_shape_notes();
+}
+
+/// The recorder's per-stage split: where each variant's time goes. LM/LIGHT
+/// convert COMP copies into aliases (alias share ↑) and MSC/LIGHT shrink
+/// the COMP count itself — the mechanism behind the Fig. 4 ranking, now
+/// measured instead of inferred.
+fn print_split(rows: &[(String, EngineVariant, light_metrics::Summary)]) {
+    if rows.is_empty() {
+        return;
+    }
+    println!("\nrecorder: COMP/MAT split per variant (sampled wall time, estimated totals)");
+    let mut t = TablePrinter::new(&[
+        "case",
+        "variant",
+        "COMP(s)",
+        "MAT-incl(s)",
+        "COMP calls",
+        "alias share",
+    ]);
+    for (case, v, s) in rows {
+        let alias_pct = if s.alias_assignments + s.owned_intersections > 0 {
+            100.0 * s.alias_assignments as f64
+                / (s.alias_assignments + s.owned_intersections) as f64
+        } else {
+            0.0
+        };
+        t.row(&[
+            case.clone(),
+            v.name().into(),
+            format!("{:.2}", s.comp_est_ns as f64 / 1e9),
+            format!("{:.2}", s.mat_est_ns as f64 / 1e9),
+            light_bench::fmt_count(s.comp_calls),
+            format!("{alias_pct:.0}%"),
+        ]);
+    }
+    t.print();
 }
 
 fn sim_cell(outcome: SimOutcome, elapsed: Duration) -> String {

@@ -78,6 +78,11 @@ pub struct EngineConfig {
     pub time_budget: Option<Duration>,
     /// Optional bind-time admission filter (labeled matching / pruning).
     pub bind_filter: Option<BindFilter>,
+    /// Metrics sink: attach a live [`light_metrics::Recorder`] to collect
+    /// per-slot COMP/MAT counters, candidate histograms, and setops tier
+    /// breakdowns. Disabled by default; inert unless the `metrics` feature
+    /// is compiled in AND a live recorder is attached.
+    pub metrics: light_metrics::Recorder,
 }
 
 impl std::fmt::Debug for EngineConfig {
@@ -89,6 +94,7 @@ impl std::fmt::Debug for EngineConfig {
             .field("symmetry_breaking", &self.symmetry_breaking)
             .field("time_budget", &self.time_budget)
             .field("bind_filter", &self.bind_filter.as_ref().map(|_| "<fn>"))
+            .field("metrics", &self.metrics.is_active())
             .finish()
     }
 }
@@ -118,6 +124,7 @@ impl EngineConfig {
             symmetry_breaking: true,
             time_budget: None,
             bind_filter: None,
+            metrics: light_metrics::Recorder::disabled(),
         }
     }
 
@@ -136,6 +143,12 @@ impl EngineConfig {
     /// Builder-style time budget.
     pub fn budget(mut self, d: Duration) -> Self {
         self.time_budget = Some(d);
+        self
+    }
+
+    /// Builder-style metrics sink (see [`light_metrics::Recorder`]).
+    pub fn metrics(mut self, rec: light_metrics::Recorder) -> Self {
+        self.metrics = rec;
         self
     }
 

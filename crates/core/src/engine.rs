@@ -18,16 +18,24 @@
 //! * Single-operand candidate computations (`C(u3) := C(u1)` in Example
 //!   V.1) are *aliases*, not copies: `CandRef` records where the set lives.
 //! * Duplicate-vertex and symmetry checks are O(n) scans over φ — n ≤ 16.
-//! * The wall-clock budget is polled once per 8192 bindings, keeping
-//!   `Instant::now` off the hot path.
+//! * The wall-clock budget is polled once per [`DEADLINE_POLL_PERIOD`]
+//!   deadline ticks (a tick fires per root binding, per MAT binding, *and*
+//!   per COMP entry — dense graphs spend most of their time in COMP, so
+//!   binding-only polling could overshoot a budget by orders of magnitude),
+//!   keeping `Instant::now` off the hot path.
+//! * Observability (per-slot COMP/MAT counters, candidate histograms) goes
+//!   through a [`light_metrics::LocalRecorder`] shard — plain `u64` bumps
+//!   when live, zero-sized no-ops unless the `metrics` feature is on. The
+//!   shard is flushed into the shared recorder when the enumerator drops.
 
 use std::ops::ControlFlow;
 use std::time::Instant;
 
 use light_graph::{CsrGraph, VertexId, INVALID_VERTEX};
+use light_metrics::{LocalRecorder, Recorder, Stopwatch};
 use light_order::exec_order::ExecOp;
 use light_order::QueryPlan;
-use light_setops::{intersect_many, Intersector};
+use light_setops::{intersect_many_recorded, Intersector};
 
 use crate::config::EngineConfig;
 use crate::pool::BufferPool;
@@ -38,6 +46,10 @@ use crate::visitor::MatchVisitor;
 /// planners emit at most one operand per pattern vertex and patterns are
 /// far smaller than this in practice.
 const STACK_OPERANDS: usize = 32;
+
+/// Poll the wall-clock deadline once per this many deadline ticks (root
+/// bindings + MAT bindings + COMP entries). Must be a power of two.
+const DEADLINE_POLL_PERIOD: u64 = 1024;
 
 /// Where a pattern vertex's candidate set currently lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,7 +81,12 @@ pub struct Enumerator<'a, V: MatchVisitor> {
     matches: u64,
     stats: EnumStats,
 
+    metrics: Recorder,
+    local: LocalRecorder,
+
     deadline: Option<Instant>,
+    poll_tick: u64,
+    last_poll: Option<Instant>,
     timed_out: bool,
     stopped: bool,
 }
@@ -98,7 +115,11 @@ impl<'a, V: MatchVisitor> Enumerator<'a, V> {
             cand_bytes: 0,
             matches: 0,
             stats: EnumStats::default(),
+            metrics: config.metrics.clone(),
+            local: config.metrics.local(),
             deadline: config.time_budget.map(|d| Instant::now() + d),
+            poll_tick: 0,
+            last_poll: None,
             timed_out: false,
             stopped: false,
         }
@@ -179,14 +200,25 @@ impl<'a, V: MatchVisitor> Enumerator<'a, V> {
         }
     }
 
+    /// One deadline tick. Fired per root binding, per MAT binding, and per
+    /// COMP entry; actually reads the clock once per [`DEADLINE_POLL_PERIOD`]
+    /// ticks. The old scheme counted only *bindings* (once per 8192), so a
+    /// dense graph whose time went into huge COMP intersections between
+    /// bindings could blow through a small budget by orders of magnitude.
     #[inline]
     fn tick_deadline(&mut self) {
-        if self.stats.bindings & 0x1FFF == 0 {
-            if let Some(d) = self.deadline {
-                if Instant::now() >= d {
-                    self.timed_out = true;
-                }
-            }
+        let Some(d) = self.deadline else { return };
+        self.poll_tick += 1;
+        if self.poll_tick & (DEADLINE_POLL_PERIOD - 1) != 0 {
+            return;
+        }
+        let now = Instant::now();
+        if let Some(prev) = self.last_poll.replace(now) {
+            self.local
+                .budget_poll_gap(now.duration_since(prev).as_nanos() as u64);
+        }
+        if now >= d {
+            self.timed_out = true;
         }
     }
 
@@ -208,6 +240,16 @@ impl<'a, V: MatchVisitor> Enumerator<'a, V> {
     }
 
     fn do_comp(&mut self, u: u8, i: usize) {
+        // Budget fix: COMP dominates runtime on dense graphs with large
+        // candidate sets, so the deadline must tick here, not only per
+        // binding.
+        self.tick_deadline();
+        if self.timed_out {
+            return;
+        }
+        let sample = self.local.comp_call(u as usize);
+        let sw = Stopwatch::start(sample);
+
         let ops = &self.plan.operands()[u as usize];
         debug_assert!(ops.num_operands() >= 1, "COMP with no operands");
 
@@ -230,6 +272,7 @@ impl<'a, V: MatchVisitor> Enumerator<'a, V> {
                 CandRef::AliasCand(ops.k2[0])
             };
             self.cand_ref[u as usize] = new_ref;
+            self.local.alias_assign();
         } else {
             // Real intersection: gather operand slices, smallest-first
             // ordering happens inside intersect_many (min property).
@@ -241,6 +284,8 @@ impl<'a, V: MatchVisitor> Enumerator<'a, V> {
             }
             let mut scratch = std::mem::take(&mut self.scratch);
             let mut istats = self.stats.intersect;
+            let mut local = std::mem::take(&mut self.local);
+            local.owned_intersection();
             if ops.num_operands() <= STACK_OPERANDS {
                 let mut sets: [&[VertexId]; STACK_OPERANDS] = [&[]; STACK_OPERANDS];
                 let mut k = 0;
@@ -253,7 +298,14 @@ impl<'a, V: MatchVisitor> Enumerator<'a, V> {
                     sets[k] = self.cand_slice(w);
                     k += 1;
                 }
-                intersect_many(&self.isec, &sets[..k], &mut out, &mut scratch, &mut istats);
+                intersect_many_recorded(
+                    &self.isec,
+                    &sets[..k],
+                    &mut out,
+                    &mut scratch,
+                    &mut istats,
+                    &mut local,
+                );
             } else {
                 // Cold path for absurdly wide patterns.
                 let mut sets: Vec<&[VertexId]> = Vec::with_capacity(ops.num_operands());
@@ -264,19 +316,36 @@ impl<'a, V: MatchVisitor> Enumerator<'a, V> {
                 for &w in &ops.k2 {
                     sets.push(self.cand_slice(w));
                 }
-                intersect_many(&self.isec, &sets, &mut out, &mut scratch, &mut istats);
+                intersect_many_recorded(
+                    &self.isec,
+                    &sets,
+                    &mut out,
+                    &mut scratch,
+                    &mut istats,
+                    &mut local,
+                );
             }
             self.stats.intersect = istats;
             self.scratch = scratch;
+            self.local = local;
             self.set_cand_owned(u, out);
         }
 
+        self.local.candidate_size(i, self.cand_slice(u).len());
+        if let Some(ns) = sw.stop() {
+            self.local.comp_nanos(u as usize, ns);
+        }
         if !self.cand_slice(u).is_empty() {
             self.step(i + 1);
         }
     }
 
     fn do_mat(&mut self, u: u8, i: usize) {
+        // MAT timing is *inclusive* of the recursion below it: the sampled
+        // wall time of slot u covers the whole subtree rooted at binding u,
+        // which is what a per-slot cost breakdown wants.
+        let sample = self.local.mat_call(u as usize);
+        let sw = Stopwatch::start(sample);
         let len = self.cand_slice(u).len();
         let constraints = &self.plan.constraints()[u as usize];
         for idx in 0..len {
@@ -318,6 +387,9 @@ impl<'a, V: MatchVisitor> Enumerator<'a, V> {
             self.step(i + 1);
             self.phi[u as usize] = INVALID_VERTEX;
         }
+        if let Some(ns) = sw.stop() {
+            self.local.mat_nanos(u as usize, ns);
+        }
     }
 
     /// Remove `u`'s current candidate set from the memory account and reset
@@ -336,6 +408,15 @@ impl<'a, V: MatchVisitor> Enumerator<'a, V> {
         self.cand_bytes += buf.len() * 4;
         self.cands[u as usize] = buf;
         self.stats.peak_candidate_bytes = self.stats.peak_candidate_bytes.max(self.cand_bytes);
+    }
+}
+
+impl<V: MatchVisitor> Drop for Enumerator<'_, V> {
+    fn drop(&mut self) {
+        // Flush the thread-local metrics shard into the shared recorder.
+        // `flush` resets the shard, so dropping after an explicit flush (or
+        // with no live recorder at all) is harmless.
+        self.metrics.flush(&mut self.local);
     }
 }
 
@@ -509,15 +590,61 @@ mod tests {
     }
 
     #[test]
+    fn tiny_budget_terminates_promptly_on_dense_graph() {
+        // Regression for binding-only deadline polling: K_400 with a
+        // 5-clique query spends nearly all its time in COMP over ~400-wide
+        // neighbor lists, and the full enumeration would take hours. With
+        // COMP-entry ticks a ~1ms budget must stop the run within a small
+        // multiple of itself (the bound below is generous for slow debug
+        // builds, but orders of magnitude under any binding-starved
+        // overshoot).
+        let g = generators::complete(400);
+        let p = Query::P7.pattern();
+        let cfg = EngineConfig::light().budget(Duration::from_millis(1));
+        let plan = cfg.plan(&p, &g);
+        let mut v = CountVisitor::default();
+        let report = run_plan(&plan, &g, &cfg, &mut v);
+        assert_eq!(report.outcome, Outcome::OutOfTime);
+        assert!(
+            report.elapsed < Duration::from_millis(500),
+            "1ms budget overshot to {:?}",
+            report.elapsed
+        );
+    }
+
+    #[test]
+    fn metrics_attachment_is_count_neutral() {
+        // Attaching a live recorder must not change what is enumerated, in
+        // either feature configuration; with `metrics` compiled in it must
+        // actually capture the per-slot COMP/MAT activity.
+        let g = generators::barabasi_albert(200, 4, 9);
+        for q in [Query::Triangle, Query::P2] {
+            let p = q.pattern();
+            let baseline = count(&p, &g, &EngineConfig::light());
+            let rec = light_metrics::Recorder::new();
+            let cfg = EngineConfig::light().metrics(rec.clone());
+            assert_eq!(count(&p, &g, &cfg), baseline, "{}", q.name());
+            let json = rec.to_json();
+            if light_metrics::ENABLED {
+                assert!(json.contains("\"slots\""), "{json}");
+                assert!(json.contains("\"comp_calls\""), "{json}");
+                assert!(json.contains("\"depth_candidates\""), "{json}");
+            } else {
+                assert!(json.contains("\"enabled\": false"), "{json}");
+            }
+        }
+    }
+
+    #[test]
     fn range_split_partitions_matches() {
         let g = generators::barabasi_albert(200, 4, 9);
         let p = Query::P2.pattern();
         let cfg = EngineConfig::light();
         let plan = cfg.plan(&p, &g);
-        let full = {
-            let mut v = CountVisitor::default();
-            Enumerator::new(&plan, &g, &cfg, &mut v).run().matches
-        };
+        let mut full_visitor = CountVisitor::default();
+        let full = Enumerator::new(&plan, &g, &cfg, &mut full_visitor)
+            .run()
+            .matches;
         let n = g.num_vertices() as VertexId;
         let mut split_total = 0;
         for (lo, hi) in [(0, n / 3), (n / 3, 2 * n / 3), (2 * n / 3, n)] {

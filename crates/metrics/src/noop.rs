@@ -1,0 +1,129 @@
+//! Zero-sized no-op doubles compiled when the `enabled` feature is off.
+//!
+//! Every method body is empty (or returns the inert value), carries
+//! `#[inline(always)]`, and takes no captures — call sites in the engine,
+//! kernels, and scheduler compile to nothing, which is what keeps the
+//! metrics layer free for builds that do not want it (and what the
+//! zero-allocation test pins in that configuration).
+
+use crate::WorkerSample;
+
+/// Inert stand-in for the per-enumerator shard.
+#[derive(Debug, Default)]
+pub struct LocalRecorder;
+
+impl LocalRecorder {
+    /// Always false.
+    #[inline(always)]
+    pub fn is_active(&self) -> bool {
+        false
+    }
+
+    /// No-op; never samples.
+    #[inline(always)]
+    pub fn comp_call(&mut self, _slot: usize) -> bool {
+        false
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn comp_nanos(&mut self, _slot: usize, _nanos: u64) {}
+
+    /// No-op; never samples.
+    #[inline(always)]
+    pub fn mat_call(&mut self, _slot: usize) -> bool {
+        false
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn mat_nanos(&mut self, _slot: usize, _nanos: u64) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn alias_assign(&mut self) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn owned_intersection(&mut self) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn candidate_size(&mut self, _depth: usize, _len: usize) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn budget_poll_gap(&mut self, _nanos: u64) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn intersect_pair(&mut self, _la: usize, _lb: usize, _tier: usize, _galloping: bool) {}
+}
+
+/// Inert stand-in for the sampled timer.
+#[derive(Debug)]
+pub struct Stopwatch;
+
+impl Stopwatch {
+    /// Inert; never reads the clock.
+    #[inline(always)]
+    pub fn start(_sample: bool) -> Stopwatch {
+        Stopwatch
+    }
+
+    /// Always `None`.
+    #[inline(always)]
+    pub fn stop(self) -> Option<u64> {
+        None
+    }
+}
+
+/// Inert stand-in for the shared aggregate.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder;
+
+impl Recorder {
+    /// Same as [`Recorder::disabled`] in this configuration.
+    pub fn new() -> Recorder {
+        Recorder
+    }
+
+    /// An inert handle.
+    pub fn disabled() -> Recorder {
+        Recorder
+    }
+
+    /// Always false.
+    #[inline(always)]
+    pub fn is_active(&self) -> bool {
+        false
+    }
+
+    /// An inert shard.
+    #[inline(always)]
+    pub fn local(&self) -> LocalRecorder {
+        LocalRecorder
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn flush(&self, _local: &mut LocalRecorder) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn record_worker(&self, _w: &WorkerSample) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn queue_residency(&self, _pending: usize) {}
+
+    /// All-zero totals.
+    pub fn summary(&self) -> crate::Summary {
+        crate::Summary::default()
+    }
+
+    /// Reports that recording was compiled out.
+    pub fn to_json(&self) -> String {
+        "{\"enabled\": false}".into()
+    }
+}

@@ -147,6 +147,13 @@ pub struct WorkerStats {
     /// invariant `Σ donations <= Σ tickets` is what bounds donation count
     /// (see the module docs); a regression test pins it.
     pub tickets: u64,
+    /// Timeout-bounded parks while starving (one per trip through the
+    /// parking lot; a worker that never runs dry parks zero times).
+    pub parks: u64,
+    /// Total wall time spent parked, in nanoseconds. `parked_nanos / parks`
+    /// close to [`PARK_TIMEOUT`] means wakeups came from the timeout, not
+    /// notifies — the signature of a starving tail.
+    pub parked_nanos: u64,
 }
 
 /// Result of a parallel run.
@@ -176,6 +183,8 @@ struct Shared {
     /// Parking only — no task state behind this lock.
     parker: Mutex<()>,
     cv: Condvar,
+    /// Observability sink (inert unless attached; see [`light_metrics`]).
+    metrics: light_metrics::Recorder,
 }
 
 impl Shared {
@@ -183,7 +192,10 @@ impl Shared {
     /// uncontended), spilling to the injector if the deque is full, then
     /// wake a parked worker to come steal it.
     fn submit(&self, local: &Worker<Task>, t: Task) {
-        self.pending.fetch_add(1, Ordering::SeqCst);
+        let pending = self.pending.fetch_add(1, Ordering::SeqCst) + 1;
+        // Queue residency sampled at every donation: how deep the task pool
+        // runs when load balancing is active.
+        self.metrics.queue_residency(pending);
         if let Err(t) = local.push(t) {
             self.injector.push(t);
         }
@@ -308,6 +320,7 @@ pub fn run_plan_parallel(
         stop: AtomicBool::new(false),
         parker: Mutex::new(()),
         cv: Condvar::new(),
+        metrics: config.metrics.clone(),
     };
     // Injector steals are FIFO: push in order so low ranges run first.
     for t in queue {
@@ -362,7 +375,10 @@ pub fn run_plan_parallel(
                         if shared.pending.load(Ordering::SeqCst) != 0
                             && !shared.stop.load(Ordering::Relaxed)
                         {
+                            ws.parks += 1;
+                            let parked_at = Instant::now();
                             let _ = shared.cv.wait_for(&mut guard, PARK_TIMEOUT);
+                            ws.parked_nanos += parked_at.elapsed().as_nanos() as u64;
                         }
                         continue;
                     };
@@ -410,6 +426,18 @@ pub fn run_plan_parallel(
                 ws.matches = enumerator.matches();
                 let stats = *enumerator.stats();
                 let timed_out = enumerator.timed_out();
+                // Flush this worker's engine metrics shard (Drop does it),
+                // then publish the scheduler-side sample.
+                drop(enumerator);
+                shared.metrics.record_worker(&light_metrics::WorkerSample {
+                    worker: ws.worker,
+                    steals: ws.steals,
+                    parks: ws.parks,
+                    tickets: ws.tickets,
+                    donations: ws.donations,
+                    tasks: ws.tasks,
+                    parked_nanos: ws.parked_nanos,
+                });
                 results.lock().push((ws, stats, timed_out));
             });
         }
@@ -633,6 +661,28 @@ mod tests {
             &ParallelConfig::new(4).policy(BalancePolicy::Static),
         );
         assert_eq!(pr.workers.iter().map(|w| w.donations).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn recorder_captures_worker_samples() {
+        let g = generators::barabasi_albert(300, 4, 11);
+        let rec = light_metrics::Recorder::new();
+        let cfg = EngineConfig::light().metrics(rec.clone());
+        let pr = run_query_parallel(
+            &Query::Triangle.pattern(),
+            &g,
+            &cfg,
+            &ParallelConfig::new(2),
+        );
+        assert!(pr.report.matches > 0);
+        let json = rec.to_json();
+        if light_metrics::ENABLED {
+            assert!(json.contains("\"scheduler\""), "{json}");
+            assert!(json.contains("\"workers\""), "{json}");
+            assert!(json.contains("\"slots\""), "{json}");
+        } else {
+            assert!(json.contains("\"enabled\": false"), "{json}");
+        }
     }
 
     #[test]

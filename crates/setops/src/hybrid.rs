@@ -158,7 +158,41 @@ impl Intersector {
         out: &mut Vec<u32>,
         stats: &mut IntersectStats,
     ) {
+        self.intersect_into_recorded(
+            a,
+            b,
+            out,
+            stats,
+            &mut light_metrics::LocalRecorder::default(),
+        )
+    }
+
+    /// [`Intersector::intersect_into`] that additionally records the
+    /// dispatch decision (operand lengths, skew ratio, tier, kernel) into
+    /// a metrics shard. The shard is a no-op unless the `metrics` feature
+    /// is on and a live recorder is attached, so this is the same hot
+    /// path either way.
+    #[inline]
+    pub fn intersect_into_recorded(
+        &self,
+        a: &[u32],
+        b: &[u32],
+        out: &mut Vec<u32>,
+        stats: &mut IntersectStats,
+        rec: &mut light_metrics::LocalRecorder,
+    ) {
         let tier = self.tier;
+        // An empty operand forces an empty result: return before kernel
+        // dispatch. This also fixes Hybrid's skew test, which otherwise
+        // sees `len >= 0 * δ` (always true) and mis-classifies every
+        // empty-operand call as a Galloping search, skewing the Table III
+        // share. Count it as a (trivial) Merge: zero elements scanned.
+        if a.is_empty() || b.is_empty() {
+            out.clear();
+            stats.record(tier, false);
+            rec.intersect_pair(a.len(), b.len(), tier as usize, false);
+            return;
+        }
         let galloping = match self.kind {
             IntersectKind::MergeScalar | IntersectKind::MergeAvx2 | IntersectKind::MergeAvx512 => {
                 false
@@ -168,6 +202,7 @@ impl Intersector {
             | IntersectKind::HybridAvx512 => self.is_skewed(a.len(), b.len()),
         };
         stats.record(tier, galloping);
+        rec.intersect_pair(a.len(), b.len(), tier as usize, galloping);
         let scanned = match (tier, galloping) {
             (KernelTier::Scalar, false) => scalar::merge_into(a, b, out),
             (KernelTier::Scalar, true) => scalar::galloping_into(a, b, out),
@@ -305,6 +340,50 @@ mod tests {
         // construction (it only names kinds the hardware supports).
         let best = IntersectKind::best_available();
         assert_eq!(best.tier(), best.effective_tier());
+    }
+
+    #[test]
+    fn empty_operands_never_gallop() {
+        // Regression: `is_skewed(0, n)` reduced to `n >= 0 * δ`, which is
+        // always true, so Hybrid dispatched every empty-operand call to
+        // Galloping (inflating the Table III share) instead of returning
+        // the trivially empty result.
+        let b: Vec<u32> = (0..100).collect();
+        for kind in IntersectKind::ALL {
+            let isec = Intersector::new(kind);
+            for (x, y) in [(&[][..], &b[..]), (&b[..], &[][..]), (&[][..], &[][..])] {
+                let mut out = vec![99];
+                let mut st = IntersectStats::default();
+                isec.intersect_into(x, y, &mut out, &mut st);
+                assert!(out.is_empty(), "{}", kind.name());
+                assert_eq!(st.total, 1, "{}", kind.name());
+                assert_eq!(st.galloping, 0, "{}: empty operand galloped", kind.name());
+                assert_eq!(st.merge, 1, "{}", kind.name());
+                assert_eq!(st.elements_scanned, 0, "{}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn len_one_operands_all_kinds() {
+        let b: Vec<u32> = (0..200).map(|x| x * 2).collect();
+        for kind in IntersectKind::ALL {
+            let isec = Intersector::new(kind);
+            for (x, y, expect) in [
+                (&[42u32][..], &b[..], vec![42u32]),
+                (&b[..], &[42u32][..], vec![42u32]),
+                (&[43u32][..], &b[..], vec![]),
+                (&b[..], &[43u32][..], vec![]),
+                (&[7u32][..], &[7u32][..], vec![7u32]),
+                (&[7u32][..], &[8u32][..], vec![]),
+            ] {
+                let mut out = vec![99];
+                let mut st = IntersectStats::default();
+                isec.intersect_into(x, y, &mut out, &mut st);
+                assert_eq!(out, expect, "{}", kind.name());
+                assert_eq!(st.total, 1, "{}", kind.name());
+            }
+        }
     }
 
     #[test]

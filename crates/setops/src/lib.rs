@@ -45,5 +45,5 @@ pub mod simd512;
 pub mod stats;
 
 pub use hybrid::{IntersectKind, Intersector, DEFAULT_DELTA};
-pub use multi::intersect_many;
+pub use multi::{intersect_many, intersect_many_recorded};
 pub use stats::{IntersectStats, KernelTier};

@@ -27,6 +27,28 @@ pub fn intersect_many(
     scratch: &mut Vec<u32>,
     stats: &mut IntersectStats,
 ) {
+    intersect_many_recorded(
+        isec,
+        sets,
+        out,
+        scratch,
+        stats,
+        &mut light_metrics::LocalRecorder::default(),
+    )
+}
+
+/// [`intersect_many`] that also records each pairwise dispatch into a
+/// metrics shard (no-op unless the shard is live; see
+/// [`Intersector::intersect_into_recorded`]).
+#[inline]
+pub fn intersect_many_recorded(
+    isec: &Intersector,
+    sets: &[&[u32]],
+    out: &mut Vec<u32>,
+    scratch: &mut Vec<u32>,
+    stats: &mut IntersectStats,
+    rec: &mut light_metrics::LocalRecorder,
+) {
     match sets.len() {
         0 => out.clear(),
         1 => {
@@ -39,12 +61,12 @@ pub fn intersect_many(
                 *slot = i;
             }
             order[..k].sort_unstable_by_key(|&i| sets[i].len());
-            fold_ordered(isec, sets, &order[..k], out, scratch, stats);
+            fold_ordered(isec, sets, &order[..k], out, scratch, stats, rec);
         }
         k => {
             let mut order: Vec<usize> = (0..k).collect();
             order.sort_unstable_by_key(|&i| sets[i].len());
-            fold_ordered(isec, sets, &order, out, scratch, stats);
+            fold_ordered(isec, sets, &order, out, scratch, stats, rec);
         }
     }
 }
@@ -52,6 +74,7 @@ pub fn intersect_many(
 /// Fold size-ascending operands pairwise: intersect the two smallest, then
 /// shrink the (only-shrinking) result through the rest (min property).
 #[inline]
+#[allow(clippy::too_many_arguments)]
 fn fold_ordered(
     isec: &Intersector,
     sets: &[&[u32]],
@@ -59,14 +82,15 @@ fn fold_ordered(
     out: &mut Vec<u32>,
     scratch: &mut Vec<u32>,
     stats: &mut IntersectStats,
+    rec: &mut light_metrics::LocalRecorder,
 ) {
-    isec.intersect_into(sets[order[0]], sets[order[1]], out, stats);
+    isec.intersect_into_recorded(sets[order[0]], sets[order[1]], out, stats, rec);
     for &i in &order[2..] {
         if out.is_empty() {
             return;
         }
         std::mem::swap(out, scratch);
-        isec.intersect_into(scratch, sets[i], out, stats);
+        isec.intersect_into_recorded(scratch, sets[i], out, stats, rec);
     }
 }
 

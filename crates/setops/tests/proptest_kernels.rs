@@ -151,6 +151,12 @@ proptest! {
         small in sorted_vec(1_000_000, 6),
         large in sorted_vec(1_000_000, 4000),
     ) {
+        // Skew dispatch needs a non-empty smaller side: empty operands
+        // short-circuit before kernel selection (and count as Merge).
+        let mut small = small;
+        if small.is_empty() {
+            small.push(500_000);
+        }
         // Pad `large` deterministically so |large| > δ·|small| always holds.
         let mut large = large;
         let need = small.len() * DEFAULT_DELTA + 1;

@@ -27,6 +27,7 @@
 pub use light_core as core;
 pub use light_distributed as distributed;
 pub use light_graph as graph;
+pub use light_metrics as metrics;
 pub use light_order as order;
 pub use light_parallel as parallel;
 pub use light_pattern as pattern;

@@ -66,7 +66,12 @@ USAGE:
   light count    --pattern <P1..P7|triangle|a-b,c-d,..> (--dataset <name>|--graph <file>)
                  [--scale <f>] [--threads <k>] [--variant se|lm|msc|light]
                  [--kernel merge|merge-avx2|merge-avx512|hybrid|hybrid-avx2|hybrid-avx512]
-                 [--budget <secs>]
+                 [--budget <secs>] [--profile]
+
+  --profile prints a JSON profile to stdout (per-slot COMP/MAT timings,
+  candidate histograms, setops tier counters, per-worker scheduler stats)
+  and moves the human-readable summary to stderr. Requires the default
+  `metrics` feature; without it the document is {{\"enabled\": false}}.
   light plan     --pattern <..> (--dataset <name>|--graph <file>) [--scale <f>]
   light generate --kind ba|er|rmat|complete|grid --n <n> [--k <k>] [--m <m>]
                  [--seed <s>] --out <file>
@@ -77,6 +82,9 @@ USAGE:
 
 type Opts = HashMap<String, String>;
 
+/// Options that are boolean flags: present or absent, no value operand.
+const FLAG_OPTS: &[&str] = &["profile"];
+
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut out = HashMap::new();
     let mut it = args.iter();
@@ -84,6 +92,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected --option, got {key:?}"));
         };
+        if FLAG_OPTS.contains(&name) {
+            out.insert(name.to_string(), "true".to_string());
+            continue;
+        }
         let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
         out.insert(name.to_string(), value.clone());
     }
@@ -156,32 +168,57 @@ fn engine_config(opts: &Opts) -> Result<EngineConfig, String> {
 fn cmd_count(opts: &Opts) -> Result<(), String> {
     let pattern = parse_pattern(get(opts, "pattern")?)?;
     let g = load_graph(opts)?;
-    let cfg = engine_config(opts)?;
+    let mut cfg = engine_config(opts)?;
     let threads: usize = opts
         .get("threads")
         .map(|s| s.parse().map_err(|e| format!("bad --threads: {e}")))
         .transpose()?
         .unwrap_or(1);
+    let profile = opts.contains_key("profile");
+    let recorder = light::metrics::Recorder::new();
+    if profile {
+        cfg = cfg.metrics(recorder.clone());
+        if !light::metrics::ENABLED {
+            eprintln!("warning: built without the `metrics` feature; --profile will be empty");
+        }
+    }
 
-    let report = if threads > 1 {
+    // --profile always routes through the parallel driver (even for one
+    // thread) so the scheduler/worker section of the profile is populated.
+    let report = if threads > 1 || profile {
         light::core::validate_query(&pattern, g.num_vertices()).map_err(|e| e.to_string())?;
         run_query_parallel(&pattern, &g, &cfg, &ParallelConfig::new(threads)).report
     } else {
         run_query_checked(&pattern, &g, &cfg).map_err(|e| e.to_string())?
     };
 
-    println!("matches:            {}", report.matches);
-    println!("outcome:            {:?}", report.outcome);
-    println!("elapsed:            {:?}", report.elapsed);
-    println!("set intersections:  {}", report.stats.intersect.total);
-    println!(
+    // With --profile, stdout carries exactly one JSON document; the
+    // human-readable summary moves to stderr so pipelines can parse.
+    let summary = |line: String| {
+        if profile {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
+    summary(format!("matches:            {}", report.matches));
+    summary(format!("outcome:            {:?}", report.outcome));
+    summary(format!("elapsed:            {:?}", report.elapsed));
+    summary(format!(
+        "set intersections:  {}",
+        report.stats.intersect.total
+    ));
+    summary(format!(
         "galloping share:    {:.1}%",
         report.stats.intersect.galloping_pct()
-    );
-    println!(
+    ));
+    summary(format!(
         "candidate memory:   {} bytes peak",
         report.stats.peak_candidate_bytes
-    );
+    ));
+    if profile {
+        println!("{}", recorder.to_json());
+    }
     Ok(())
 }
 
