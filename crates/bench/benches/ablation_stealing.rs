@@ -1,4 +1,4 @@
-//! Ablation: work-stealing policy (DESIGN.md §9).
+//! Ablation: work-stealing policy (DESIGN.md §10).
 //!
 //! Compares the paper's sender-initiated donate-half stealing against
 //! donate-one (finer, chattier) and the static even partition of the

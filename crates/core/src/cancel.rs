@@ -1,0 +1,65 @@
+//! Cooperative cancellation.
+//!
+//! A [`CancelToken`] is a cloneable flag shared between a running
+//! enumeration and whoever wants to stop it (a Ctrl-C handler, a test
+//! watchdog, a coordinating scheduler). The engine polls it on the same
+//! cadence as the wall-clock deadline (once per
+//! [`crate::engine::DEADLINE_POLL_PERIOD`] ticks — root bindings, MAT
+//! bindings, and COMP entries all tick), so a cancelled run unwinds its
+//! recursion promptly and returns a well-formed [`crate::Report`] with
+//! [`crate::Outcome::Cancelled`] and the matches counted so far.
+//!
+//! The token is a single relaxed `AtomicBool`: signalling is wait-free and
+//! async-signal-safe, so the CLI can flip it straight from a SIGINT
+//! handler.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag (cheap to clone, safe to signal from any
+/// thread or signal handler).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_is_shared_and_idempotent() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled());
+        b.cancel();
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_crosses_threads() {
+        let t = CancelToken::new();
+        let t2 = t.clone();
+        std::thread::spawn(move || t2.cancel()).join().unwrap();
+        assert!(t.is_cancelled());
+    }
+}

@@ -78,6 +78,14 @@ pub struct EngineConfig {
     pub time_budget: Option<Duration>,
     /// Optional bind-time admission filter (labeled matching / pruning).
     pub bind_filter: Option<BindFilter>,
+    /// Cooperative cancellation token, polled on the deadline cadence;
+    /// cancelled runs return [`crate::Outcome::Cancelled`] with the
+    /// matches counted so far.
+    pub cancel: Option<crate::cancel::CancelToken>,
+    /// Candidate-memory watermark in bytes (per enumerator — the parallel
+    /// driver divides its process-wide budget by the worker count).
+    /// Crossing it stops the run with [`crate::Outcome::MemoryExceeded`].
+    pub max_memory_bytes: Option<usize>,
     /// Metrics sink: attach a live [`light_metrics::Recorder`] to collect
     /// per-slot COMP/MAT counters, candidate histograms, and setops tier
     /// breakdowns. Disabled by default; inert unless the `metrics` feature
@@ -94,6 +102,8 @@ impl std::fmt::Debug for EngineConfig {
             .field("symmetry_breaking", &self.symmetry_breaking)
             .field("time_budget", &self.time_budget)
             .field("bind_filter", &self.bind_filter.as_ref().map(|_| "<fn>"))
+            .field("cancel", &self.cancel.is_some())
+            .field("max_memory_bytes", &self.max_memory_bytes)
             .field("metrics", &self.metrics.is_active())
             .finish()
     }
@@ -124,6 +134,8 @@ impl EngineConfig {
             symmetry_breaking: true,
             time_budget: None,
             bind_filter: None,
+            cancel: None,
+            max_memory_bytes: None,
             metrics: light_metrics::Recorder::disabled(),
         }
     }
@@ -143,6 +155,18 @@ impl EngineConfig {
     /// Builder-style time budget.
     pub fn budget(mut self, d: Duration) -> Self {
         self.time_budget = Some(d);
+        self
+    }
+
+    /// Builder-style cancellation token (see [`crate::cancel::CancelToken`]).
+    pub fn cancel_token(mut self, token: crate::cancel::CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Builder-style candidate-memory watermark (bytes, per enumerator).
+    pub fn max_memory(mut self, bytes: usize) -> Self {
+        self.max_memory_bytes = Some(bytes);
         self
     }
 

@@ -27,6 +27,24 @@
 //!   through a [`light_metrics::LocalRecorder`] shard — plain `u64` bumps
 //!   when live, zero-sized no-ops unless the `metrics` feature is on. The
 //!   shard is flushed into the shared recorder when the enumerator drops.
+//!
+//! ## Fault tolerance (see DESIGN.md §8)
+//!
+//! * A [`crate::CancelToken`] is polled on the deadline cadence, so Ctrl-C
+//!   (or a watchdog) stops a run within one poll period and still yields a
+//!   well-formed partial [`Report`].
+//! * A candidate-memory watermark turns the §VII-B memory accounting into
+//!   an enforcement point: crossing it ends the run with
+//!   [`Outcome::MemoryExceeded`] instead of risking an OOM kill.
+//! * [`Enumerator::recover_after_panic`] restores the engine's invariants
+//!   after a panic unwound through the recursion, letting the parallel
+//!   driver abandon one poisoned subtree and keep enumerating.
+//! * The metrics shard is *field-borrowed* (not `mem::take`n) around the
+//!   intersection kernel, so counters recorded before a mid-kernel panic
+//!   survive to the flush.
+//! * `fail_point!` sites (`engine::comp`, `engine::mat`,
+//!   `engine::intersect`, `pool::acquire`) compile to zero-sized no-ops
+//!   unless the `failpoint` feature is on; `tests/chaos.rs` arms them.
 
 use std::ops::ControlFlow;
 use std::time::Instant;
@@ -47,9 +65,10 @@ use crate::visitor::MatchVisitor;
 /// far smaller than this in practice.
 const STACK_OPERANDS: usize = 32;
 
-/// Poll the wall-clock deadline once per this many deadline ticks (root
-/// bindings + MAT bindings + COMP entries). Must be a power of two.
-const DEADLINE_POLL_PERIOD: u64 = 1024;
+/// Poll the wall-clock deadline and the cancellation token once per this
+/// many deadline ticks (root bindings + MAT bindings + COMP entries). Must
+/// be a power of two.
+pub const DEADLINE_POLL_PERIOD: u64 = 1024;
 
 /// Where a pattern vertex's candidate set currently lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,10 +104,14 @@ pub struct Enumerator<'a, V: MatchVisitor> {
     local: LocalRecorder,
 
     deadline: Option<Instant>,
+    cancel: Option<crate::cancel::CancelToken>,
     poll_tick: u64,
     last_poll: Option<Instant>,
     timed_out: bool,
     stopped: bool,
+    cancelled: bool,
+    mem_exceeded: bool,
+    cur_depth: usize,
 }
 
 impl<'a, V: MatchVisitor> Enumerator<'a, V> {
@@ -100,6 +123,8 @@ impl<'a, V: MatchVisitor> Enumerator<'a, V> {
         visitor: &'a mut V,
     ) -> Self {
         let n = plan.pattern().num_vertices();
+        let mut pool = BufferPool::new();
+        pool.set_watermark(config.max_memory_bytes);
         Enumerator {
             plan,
             g,
@@ -111,17 +136,21 @@ impl<'a, V: MatchVisitor> Enumerator<'a, V> {
             cands: vec![Vec::new(); n],
             cand_ref: vec![CandRef::Owned; n],
             scratch: Vec::new(),
-            pool: BufferPool::new(),
+            pool,
             cand_bytes: 0,
             matches: 0,
             stats: EnumStats::default(),
             metrics: config.metrics.clone(),
             local: config.metrics.local(),
             deadline: config.time_budget.map(|d| Instant::now() + d),
+            cancel: config.cancel.clone(),
             poll_tick: 0,
             last_poll: None,
             timed_out: false,
             stopped: false,
+            cancelled: false,
+            mem_exceeded: false,
+            cur_depth: 0,
         }
     }
 
@@ -137,7 +166,7 @@ impl<'a, V: MatchVisitor> Enumerator<'a, V> {
         debug_assert!(matches!(self.plan.sigma()[0], ExecOp::Mat(_)));
         let root = self.plan.pi()[0];
         for v in lo..hi {
-            if self.stopped || self.timed_out {
+            if self.should_halt() {
                 break;
             }
             self.tick_deadline();
@@ -147,12 +176,17 @@ impl<'a, V: MatchVisitor> Enumerator<'a, V> {
                     continue;
                 }
             }
+            self.cur_depth = 0;
             self.phi[root as usize] = v;
             self.step(1);
             self.phi[root as usize] = INVALID_VERTEX;
         }
         let outcome = if self.timed_out {
             Outcome::OutOfTime
+        } else if self.mem_exceeded {
+            Outcome::MemoryExceeded
+        } else if self.cancelled {
+            Outcome::Cancelled
         } else if self.stopped {
             Outcome::StoppedByVisitor
         } else {
@@ -188,30 +222,85 @@ impl<'a, V: MatchVisitor> Enumerator<'a, V> {
         self.stopped
     }
 
+    /// Whether cancellation was observed (see [`crate::CancelToken`]).
+    pub fn cancelled(&self) -> bool {
+        self.cancelled
+    }
+
+    /// Whether the candidate-memory watermark was crossed.
+    pub fn memory_exceeded(&self) -> bool {
+        self.mem_exceeded
+    }
+
+    /// The σ-slot depth most recently entered by the recursion. Only
+    /// meaningful immediately after a panic unwound through the recursion
+    /// (the parallel driver records it in
+    /// [`crate::error::EnumError::WorkerPanic`]); during normal operation
+    /// it lags the live recursion.
+    pub fn current_depth(&self) -> usize {
+        self.cur_depth
+    }
+
+    /// Any condition that must end the enumeration early.
+    #[inline]
+    fn should_halt(&self) -> bool {
+        self.stopped || self.timed_out || self.cancelled || self.mem_exceeded
+    }
+
+    /// Restore the engine's internal invariants after a panic unwound
+    /// through [`Self::run_range`] (a failpoint, a visitor panic, a bug in
+    /// a kernel). Clears the partial assignment and every candidate slot
+    /// (alias links may dangle into abandoned state), zeroes the live
+    /// memory account, and flushes the metrics shard so activity recorded
+    /// before the panic is not lost.
+    ///
+    /// `matches` and `stats` are deliberately kept: the match counter only
+    /// increments on fully verified emitted matches, so after recovery it
+    /// remains an exact count of the subtrees enumerated so far — a valid
+    /// lower bound for the whole run.
+    pub fn recover_after_panic(&mut self) {
+        for p in &mut self.phi {
+            *p = INVALID_VERTEX;
+        }
+        for r in &mut self.cand_ref {
+            *r = CandRef::Owned;
+        }
+        for c in &mut self.cands {
+            c.clear();
+        }
+        self.scratch.clear();
+        self.cand_bytes = 0;
+        self.cur_depth = 0;
+        self.metrics.flush(&mut self.local);
+    }
+
     /// Resolve a pattern vertex's candidate set through alias links.
     #[inline]
-    fn cand_slice(&self, mut u: u8) -> &[VertexId] {
-        loop {
-            match self.cand_ref[u as usize] {
-                CandRef::Owned => return &self.cands[u as usize],
-                CandRef::AliasCand(w) => u = w,
-                CandRef::AliasNbr(v) => return self.g.neighbors(v),
-            }
-        }
+    fn cand_slice(&self, u: u8) -> &[VertexId] {
+        resolve_cand(&self.cand_ref, &self.cands, self.g, u)
     }
 
     /// One deadline tick. Fired per root binding, per MAT binding, and per
-    /// COMP entry; actually reads the clock once per [`DEADLINE_POLL_PERIOD`]
-    /// ticks. The old scheme counted only *bindings* (once per 8192), so a
-    /// dense graph whose time went into huge COMP intersections between
-    /// bindings could blow through a small budget by orders of magnitude.
+    /// COMP entry; actually reads the clock (and polls the cancellation
+    /// token) once per [`DEADLINE_POLL_PERIOD`] ticks. The old scheme
+    /// counted only *bindings* (once per 8192), so a dense graph whose time
+    /// went into huge COMP intersections between bindings could blow
+    /// through a small budget by orders of magnitude.
     #[inline]
     fn tick_deadline(&mut self) {
-        let Some(d) = self.deadline else { return };
+        if self.deadline.is_none() && self.cancel.is_none() {
+            return;
+        }
         self.poll_tick += 1;
         if self.poll_tick & (DEADLINE_POLL_PERIOD - 1) != 0 {
             return;
         }
+        if let Some(tok) = &self.cancel {
+            if tok.is_cancelled() {
+                self.cancelled = true;
+            }
+        }
+        let Some(d) = self.deadline else { return };
         let now = Instant::now();
         if let Some(prev) = self.last_poll.replace(now) {
             self.local
@@ -223,9 +312,10 @@ impl<'a, V: MatchVisitor> Enumerator<'a, V> {
     }
 
     fn step(&mut self, i: usize) {
-        if self.stopped || self.timed_out {
+        if self.should_halt() {
             return;
         }
+        self.cur_depth = i;
         if i == self.plan.sigma().len() {
             self.matches += 1;
             if self.visitor.on_match(&self.phi) == ControlFlow::Break(()) {
@@ -240,25 +330,28 @@ impl<'a, V: MatchVisitor> Enumerator<'a, V> {
     }
 
     fn do_comp(&mut self, u: u8, i: usize) {
+        light_failpoint::fail_point!("engine::comp");
         // Budget fix: COMP dominates runtime on dense graphs with large
         // candidate sets, so the deadline must tick here, not only per
         // binding.
         self.tick_deadline();
-        if self.timed_out {
+        if self.should_halt() {
             return;
         }
         let sample = self.local.comp_call(u as usize);
         let sw = Stopwatch::start(sample);
 
-        let ops = &self.plan.operands()[u as usize];
-        debug_assert!(ops.num_operands() >= 1, "COMP with no operands");
+        debug_assert!(
+            self.plan.operands()[u as usize].num_operands() >= 1,
+            "COMP with no operands"
+        );
 
         // Retire the previous contents of this vertex's slot (from an
         // earlier sibling subtree) from the memory account before the slot
         // is reused.
         self.release_cand(u);
 
-        if ops.num_operands() == 1 {
+        if self.plan.operands()[u as usize].num_operands() == 1 {
             // Assignment, not intersection (Example V.1): record an alias.
             // The slot's previous owned buffer would strand its capacity
             // behind the alias; recycle it through the pool instead.
@@ -266,6 +359,7 @@ impl<'a, V: MatchVisitor> Enumerator<'a, V> {
                 let buf = std::mem::take(&mut self.cands[u as usize]);
                 self.pool.release(buf);
             }
+            let ops = &self.plan.operands()[u as usize];
             let new_ref = if let Some(&w) = ops.k1.first() {
                 CandRef::AliasNbr(self.phi[w as usize])
             } else {
@@ -282,52 +376,68 @@ impl<'a, V: MatchVisitor> Enumerator<'a, V> {
                 // while aliased): recycle pooled capacity if any.
                 out = self.pool.acquire();
             }
-            let mut scratch = std::mem::take(&mut self.scratch);
-            let mut istats = self.stats.intersect;
-            let mut local = std::mem::take(&mut self.local);
+            // Split the borrow of `self` field-by-field instead of
+            // `mem::take`-ing the scratch buffer, the intersect counters,
+            // and the metrics shard around the kernel call. The shard in
+            // particular must stay in place: taking it meant a panic inside
+            // the kernel dropped every counter recorded since the last
+            // flush (the shard-loss bug exercised by
+            // `panic_in_intersection_keeps_metrics_shard`).
+            let Enumerator {
+                plan,
+                g,
+                isec,
+                phi,
+                cands,
+                cand_ref,
+                scratch,
+                stats,
+                local,
+                ..
+            } = self;
+            let (g, cands, cand_ref, phi) = (*g, &**cands, &**cand_ref, &**phi);
+            let ops = &plan.operands()[u as usize];
             local.owned_intersection();
+            light_failpoint::fail_point!("engine::intersect");
             if ops.num_operands() <= STACK_OPERANDS {
                 let mut sets: [&[VertexId]; STACK_OPERANDS] = [&[]; STACK_OPERANDS];
                 let mut k = 0;
                 for &w in &ops.k1 {
-                    debug_assert_ne!(self.phi[w as usize], INVALID_VERTEX);
-                    sets[k] = self.g.neighbors(self.phi[w as usize]);
+                    debug_assert_ne!(phi[w as usize], INVALID_VERTEX);
+                    sets[k] = g.neighbors(phi[w as usize]);
                     k += 1;
                 }
                 for &w in &ops.k2 {
-                    sets[k] = self.cand_slice(w);
+                    sets[k] = resolve_cand(cand_ref, cands, g, w);
                     k += 1;
                 }
                 intersect_many_recorded(
-                    &self.isec,
+                    isec,
                     &sets[..k],
                     &mut out,
-                    &mut scratch,
-                    &mut istats,
-                    &mut local,
+                    scratch,
+                    &mut stats.intersect,
+                    local,
                 );
             } else {
                 // Cold path for absurdly wide patterns.
                 let mut sets: Vec<&[VertexId]> = Vec::with_capacity(ops.num_operands());
                 for &w in &ops.k1 {
-                    debug_assert_ne!(self.phi[w as usize], INVALID_VERTEX);
-                    sets.push(self.g.neighbors(self.phi[w as usize]));
+                    debug_assert_ne!(phi[w as usize], INVALID_VERTEX);
+                    sets.push(g.neighbors(phi[w as usize]));
                 }
                 for &w in &ops.k2 {
-                    sets.push(self.cand_slice(w));
+                    sets.push(resolve_cand(cand_ref, cands, g, w));
                 }
                 intersect_many_recorded(
-                    &self.isec,
+                    isec,
                     &sets,
                     &mut out,
-                    &mut scratch,
-                    &mut istats,
-                    &mut local,
+                    scratch,
+                    &mut stats.intersect,
+                    local,
                 );
             }
-            self.stats.intersect = istats;
-            self.scratch = scratch;
-            self.local = local;
             self.set_cand_owned(u, out);
         }
 
@@ -341,6 +451,7 @@ impl<'a, V: MatchVisitor> Enumerator<'a, V> {
     }
 
     fn do_mat(&mut self, u: u8, i: usize) {
+        light_failpoint::fail_point!("engine::mat");
         // MAT timing is *inclusive* of the recursion below it: the sampled
         // wall time of slot u covers the whole subtree rooted at binding u,
         // which is what a per-slot cost breakdown wants.
@@ -349,7 +460,7 @@ impl<'a, V: MatchVisitor> Enumerator<'a, V> {
         let len = self.cand_slice(u).len();
         let constraints = &self.plan.constraints()[u as usize];
         for idx in 0..len {
-            if self.stopped || self.timed_out {
+            if self.should_halt() {
                 break;
             }
             let v = self.cand_slice(u)[idx];
@@ -408,6 +519,28 @@ impl<'a, V: MatchVisitor> Enumerator<'a, V> {
         self.cand_bytes += buf.len() * 4;
         self.cands[u as usize] = buf;
         self.stats.peak_candidate_bytes = self.stats.peak_candidate_bytes.max(self.cand_bytes);
+        if self.pool.over_watermark(self.cand_bytes) {
+            self.mem_exceeded = true;
+        }
+    }
+}
+
+/// Resolve a pattern vertex's candidate set through alias links — the
+/// free-function form of `Enumerator::cand_slice`, usable while `self` is
+/// split into disjoint field borrows (the COMP hot path).
+#[inline]
+fn resolve_cand<'s>(
+    cand_ref: &[CandRef],
+    cands: &'s [Vec<VertexId>],
+    g: &'s CsrGraph,
+    mut u: u8,
+) -> &'s [VertexId] {
+    loop {
+        match cand_ref[u as usize] {
+            CandRef::Owned => return &cands[u as usize],
+            CandRef::AliasCand(w) => u = w,
+            CandRef::AliasNbr(v) => return g.neighbors(v),
+        }
     }
 }
 
@@ -610,6 +743,106 @@ mod tests {
             "1ms budget overshot to {:?}",
             report.elapsed
         );
+    }
+
+    #[test]
+    fn cancel_token_yields_cancelled_outcome() {
+        // Pre-cancelled token: the first poll (tick 1024) observes it and
+        // the run ends with a partial count instead of enumerating the
+        // ~5.4M 5-cliques of K60.
+        let g = generators::complete(60);
+        let p = Query::P7.pattern();
+        let tok = crate::CancelToken::new();
+        tok.cancel();
+        let cfg = EngineConfig::light().cancel_token(tok);
+        let plan = cfg.plan(&p, &g);
+        let mut v = CountVisitor::default();
+        let report = run_plan(&plan, &g, &cfg, &mut v);
+        assert_eq!(report.outcome, Outcome::Cancelled);
+        let full = (56..=60).product::<u64>() / 120; // C(60,5)
+        assert!(
+            report.matches < full,
+            "cancel left {} matches",
+            report.matches
+        );
+    }
+
+    #[test]
+    fn uncancelled_token_is_count_neutral() {
+        let g = generators::barabasi_albert(150, 4, 23);
+        let p = Query::P2.pattern();
+        let baseline = count(&p, &g, &EngineConfig::light());
+        let cfg = EngineConfig::light().cancel_token(crate::CancelToken::new());
+        assert_eq!(count(&p, &g, &cfg), baseline);
+    }
+
+    #[test]
+    fn memory_watermark_yields_memory_exceeded() {
+        // K120's first real COMP output is ~119 candidates (476 bytes), so
+        // a 64-byte watermark trips almost immediately.
+        let g = generators::complete(120);
+        let p = Query::P7.pattern();
+        let cfg = EngineConfig::light().max_memory(64);
+        let plan = cfg.plan(&p, &g);
+        let mut v = CountVisitor::default();
+        let report = run_plan(&plan, &g, &cfg, &mut v);
+        assert_eq!(report.outcome, Outcome::MemoryExceeded);
+        // A generous watermark never trips.
+        let cfg = EngineConfig::light().max_memory(1 << 30);
+        let g = generators::complete(12);
+        let plan = cfg.plan(&p, &g);
+        let mut v = CountVisitor::default();
+        let report = run_plan(&plan, &g, &cfg, &mut v);
+        assert_eq!(report.outcome, Outcome::Complete);
+        assert_eq!(report.matches, 792); // C(12,5)
+    }
+
+    #[test]
+    fn recover_after_panic_restores_invariants() {
+        // Drive a real panic out of the recursion with a panicking visitor,
+        // recover, and check the enumerator finishes the remaining roots
+        // with exact counts for them.
+        struct PanickingVisitor {
+            seen: u64,
+            panic_at: u64,
+        }
+        impl crate::visitor::MatchVisitor for PanickingVisitor {
+            fn on_match(&mut self, _phi: &[VertexId]) -> ControlFlow<()> {
+                self.seen += 1;
+                if self.seen == self.panic_at {
+                    panic!("chaos visitor");
+                }
+                ControlFlow::Continue(())
+            }
+        }
+        let g = generators::complete(10);
+        let p = Query::Triangle.pattern();
+        let cfg = EngineConfig::light();
+        let plan = cfg.plan(&p, &g);
+        let mut v = PanickingVisitor {
+            seen: 0,
+            panic_at: 5,
+        };
+        let mut e = Enumerator::new(&plan, &g, &cfg, &mut v);
+        let n = g.num_vertices() as VertexId;
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            e.run_range(0, n);
+        }));
+        std::panic::set_hook(hook);
+        assert!(err.is_err(), "visitor panic must propagate");
+        assert!(e.current_depth() > 0);
+        e.recover_after_panic();
+        assert_eq!(e.current_depth(), 0);
+        // The engine counted 5 matches (the fifth was real and counted
+        // before the visitor panicked while observing it); the range
+        // enumerates cleanly on the same instance afterwards.
+        let before = e.matches();
+        assert_eq!(before, 5);
+        let report = e.run_range(0, n);
+        assert_eq!(report.outcome, Outcome::Complete);
+        assert!(report.matches > before);
     }
 
     #[test]

@@ -52,6 +52,56 @@ impl std::fmt::Display for QueryError {
 
 impl std::error::Error for QueryError {}
 
+/// A runtime fault surfaced by the enumeration engines or the parallel
+/// driver. Unlike [`QueryError`] (rejected before the run starts), these
+/// describe something that went wrong *during* enumeration; the run still
+/// produces a partial result alongside them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnumError {
+    /// A worker thread panicked while enumerating a subtree. The panic was
+    /// contained: the worker recovered, the poisoned subtree was abandoned,
+    /// and the run continued on the remaining roots.
+    WorkerPanic {
+        /// Index of the worker that panicked (0 for the serial driver).
+        worker: usize,
+        /// σ-slot depth the enumerator was at when the panic unwound
+        /// through it (0 = root binding).
+        depth: usize,
+        /// The panic payload, stringified (`"<non-string panic>"` when the
+        /// payload was not a `String`/`&str`).
+        payload: String,
+    },
+}
+
+impl std::fmt::Display for EnumError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnumError::WorkerPanic {
+                worker,
+                depth,
+                payload,
+            } => write!(
+                f,
+                "worker {worker} panicked at sigma-slot depth {depth}: {payload}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EnumError {}
+
+/// Stringify a payload captured by `catch_unwind` — panics carry
+/// `&'static str` or `String` in practice; anything else gets a marker.
+pub fn panic_payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_string()
+    }
+}
+
 /// Validate a (pattern, graph) query pair.
 pub fn validate_query(pattern: &PatternGraph, graph_vertices: usize) -> Result<(), QueryError> {
     if pattern.num_vertices() > MAX_PATTERN_VERTICES {
@@ -120,5 +170,19 @@ mod tests {
         assert!(QueryError::DisconnectedPattern
             .to_string()
             .contains("connected"));
+        let e = EnumError::WorkerPanic {
+            worker: 3,
+            depth: 2,
+            payload: "boom".into(),
+        };
+        assert!(e.to_string().contains("worker 3"));
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn panic_payloads_stringify() {
+        assert_eq!(panic_payload_string(&"static"), "static");
+        assert_eq!(panic_payload_string(&String::from("owned")), "owned");
+        assert_eq!(panic_payload_string(&42u32), "<non-string panic>");
     }
 }

@@ -31,6 +31,7 @@
 //! assert_eq!(report.matches, 20); // C(6,3) distinct triangles
 //! ```
 
+pub mod cancel;
 pub mod config;
 pub mod engine;
 pub mod error;
@@ -40,9 +41,10 @@ pub mod reference;
 pub mod report;
 pub mod visitor;
 
+pub use cancel::CancelToken;
 pub use config::{EngineConfig, EngineVariant};
 pub use engine::Enumerator;
-pub use error::{validate_query, QueryError};
+pub use error::{validate_query, EnumError, QueryError};
 pub use iter::MatchIter;
 pub use pool::{BufferPool, PoolStats};
 pub use report::{EnumStats, Outcome, Report};

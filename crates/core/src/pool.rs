@@ -37,6 +37,7 @@ pub struct PoolStats {
 pub struct BufferPool {
     free: Vec<Vec<VertexId>>,
     stats: PoolStats,
+    watermark: Option<usize>,
 }
 
 impl BufferPool {
@@ -45,10 +46,31 @@ impl BufferPool {
         BufferPool::default()
     }
 
+    /// Set (or clear) the candidate-memory watermark in bytes. Checked by
+    /// [`Self::over_watermark`] against live candidate bytes plus the
+    /// capacity parked in the free list.
+    pub fn set_watermark(&mut self, bytes: Option<usize>) {
+        self.watermark = bytes;
+    }
+
+    /// Whether `live_bytes` of live candidate data plus the pooled
+    /// capacity crosses the watermark. Always `false` when no watermark is
+    /// set.
+    #[inline]
+    pub fn over_watermark(&self, live_bytes: usize) -> bool {
+        match self.watermark {
+            Some(limit) => {
+                live_bytes + self.pooled_capacity() * std::mem::size_of::<VertexId>() > limit
+            }
+            None => false,
+        }
+    }
+
     /// Take a cleared buffer — recycled when the free list has one, fresh
     /// (unallocated) otherwise.
     #[inline]
     pub fn acquire(&mut self) -> Vec<VertexId> {
+        light_failpoint::fail_point!("pool::acquire");
         match self.free.pop() {
             Some(buf) => {
                 self.stats.reused += 1;
@@ -113,6 +135,20 @@ mod tests {
         assert_eq!(b2.capacity(), cap, "capacity survives the round trip");
         assert_eq!(p.stats().reused, 1);
         assert_eq!(p.stats().released, 1);
+    }
+
+    #[test]
+    fn watermark_accounts_for_pooled_capacity() {
+        let mut p = BufferPool::new();
+        assert!(!p.over_watermark(usize::MAX - (1 << 20)), "no watermark");
+        p.set_watermark(Some(100));
+        assert!(!p.over_watermark(100));
+        assert!(p.over_watermark(101));
+        p.release(Vec::with_capacity(20)); // 80 bytes parked
+        assert!(p.over_watermark(21));
+        assert!(!p.over_watermark(20));
+        p.set_watermark(None);
+        assert!(!p.over_watermark(usize::MAX - (1 << 20)));
     }
 
     #[test]

@@ -15,6 +15,14 @@ pub enum Outcome {
     StoppedByVisitor,
     /// The wall-clock budget was exhausted (the paper's OOT bars).
     OutOfTime,
+    /// Cancellation was requested via [`crate::CancelToken`] (Ctrl-C, a
+    /// test watchdog, a coordinating scheduler). Matches counted so far
+    /// are valid.
+    Cancelled,
+    /// The candidate-memory watermark (`EngineConfig::max_memory_bytes`)
+    /// was crossed; the run stopped with a partial count rather than
+    /// risk an OOM kill.
+    MemoryExceeded,
 }
 
 /// Counters gathered during one enumeration.

@@ -1,0 +1,127 @@
+#![warn(missing_docs)]
+
+//! # light-failpoint — deterministic fault injection for the LIGHT stack
+//!
+//! A failpoint is a named hook compiled into a hot path
+//! (`fail_point!("scheduler::steal")`) that normally does nothing, but can
+//! be *armed* at runtime with an action — panic, delay, or inject an error
+//! return — so tests can drive the system through the exact failure paths
+//! (worker death, slow steals, I/O corruption) that production would only
+//! hit under duress. The design follows the TiKV `fail` crate lineage:
+//! process-global registry, string action specs, and an RAII
+//! [`FailScenario`] that serializes tests and clears the registry on drop.
+//!
+//! ## The `enabled` feature
+//!
+//! With the `enabled` cargo feature off (the default), [`Site`] is a
+//! zero-sized type whose `eval` is an empty `#[inline(always)]` body: every
+//! `fail_point!` call site compiles to nothing, the same pattern as
+//! `light-metrics`. Downstream crates re-expose the switch as their own
+//! `failpoint` feature (`light-core/failpoint`, `light-parallel/failpoint`,
+//! …) and the umbrella `light` crate ties them together.
+//!
+//! With the feature on but nothing armed, a visited site costs two relaxed
+//! atomic loads — cheap enough that chaos builds still enumerate at full
+//! speed until a test arms something.
+//!
+//! ## Action specs
+//!
+//! Actions are configured per site with a small spec grammar:
+//!
+//! ```text
+//! spec    := [ prob [ "@" seed ] ":" ] action
+//! action  := "off" | "panic" [ "(" msg ")" ]
+//!          | "delay" "(" millis ")"
+//!          | "return" [ "(" msg ")" ]
+//! prob    := float in (0, 1]
+//! ```
+//!
+//! Examples: `panic`, `delay(5)`, `return(corrupt)`, `0.25@7:panic`.
+//!
+//! Probability triggers are **deterministic**: the k-th hit of a site fires
+//! iff `splitmix64(seed ^ k)` falls below the probability threshold, so a
+//! chaos run with a fixed seed always injects the same faults at the same
+//! site-local hit indices regardless of wall clock. They are also
+//! **thread-aware**: the panic payload and the trigger log record which
+//! thread tripped the site, so a scheduler test can assert *where* a fault
+//! landed, not just that it landed.
+//!
+//! ```
+//! light_failpoint::fail_point!("docs::example");
+//! # // With the feature off this is a no-op; with it on, nothing is armed.
+//! ```
+
+#[cfg(feature = "enabled")]
+mod real;
+#[cfg(feature = "enabled")]
+pub use real::{
+    clear_all, configure, hits, list_armed, registered_sites, remove, triggers, FailScenario, Site,
+};
+
+#[cfg(not(feature = "enabled"))]
+mod noop;
+#[cfg(not(feature = "enabled"))]
+pub use noop::{
+    clear_all, configure, hits, list_armed, registered_sites, remove, triggers, FailScenario, Site,
+};
+
+/// Whether the crate was built with injection compiled in.
+pub const ENABLED: bool = cfg!(feature = "enabled");
+
+/// Declare a failpoint site.
+///
+/// The one-argument form can `panic` or `delay` when armed:
+///
+/// ```ignore
+/// light_failpoint::fail_point!("scheduler::steal");
+/// ```
+///
+/// The two-argument form additionally supports the `return` action: when
+/// armed with `return(msg)`, the enclosing function returns
+/// `$ret(msg.to_string())` — `$ret` is any expression callable with a
+/// `String` (typically an error constructor):
+///
+/// ```ignore
+/// light_failpoint::fail_point!("io::read_edge_list", |m| Err(GraphIoError::Injected(m)));
+/// ```
+///
+/// With the `enabled` feature off, both forms compile to nothing.
+#[macro_export]
+macro_rules! fail_point {
+    ($name:expr) => {{
+        static __LIGHT_FP_SITE: $crate::Site = $crate::Site::new($name);
+        __LIGHT_FP_SITE.eval();
+    }};
+    ($name:expr, $ret:expr) => {{
+        static __LIGHT_FP_SITE: $crate::Site = $crate::Site::new($name);
+        if let Some(__light_fp_msg) = __LIGHT_FP_SITE.eval_return() {
+            return ($ret)(__light_fp_msg);
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn disabled_or_unarmed_site_is_inert() {
+        // In both build configurations an unarmed site must do nothing.
+        crate::fail_point!("test::inert");
+        let took_return = (|| -> Result<u32, String> {
+            crate::fail_point!("test::inert_ret", Err);
+            Ok(7)
+        })();
+        assert_eq!(took_return, Ok(7));
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn noop_surface_is_zero_sized_and_silent() {
+        assert_eq!(std::mem::size_of::<crate::Site>(), 0);
+        assert!(crate::configure("anything", "panic").is_ok());
+        assert!(crate::registered_sites().is_empty());
+        assert!(crate::list_armed().is_empty());
+        assert_eq!(crate::hits("anything"), 0);
+        assert_eq!(crate::triggers("anything"), 0);
+        let _scenario = crate::FailScenario::setup();
+    }
+}

@@ -1,0 +1,71 @@
+//! Zero-sized no-op doubles compiled when the `enabled` feature is off.
+//!
+//! Every method body is empty (or returns the inert value) and carries
+//! `#[inline(always)]`, so `fail_point!` sites in the engine, pool, and
+//! scheduler compile to nothing — the production binary carries no trace
+//! of the injection surface.
+
+/// Inert stand-in for a failpoint site.
+#[derive(Debug)]
+pub struct Site;
+
+impl Site {
+    /// Inert site constructor (used by the `fail_point!` macro).
+    #[must_use]
+    pub const fn new(_name: &'static str) -> Site {
+        Site
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn eval(&self) {}
+
+    /// Always `None`: the `return` action never fires.
+    #[inline(always)]
+    pub fn eval_return(&self) -> Option<String> {
+        None
+    }
+}
+
+/// Accepted and discarded (so test helpers can call it unconditionally).
+pub fn configure(_name: &str, _spec: &str) -> Result<(), String> {
+    Ok(())
+}
+
+/// No-op.
+pub fn remove(_name: &str) {}
+
+/// No-op.
+pub fn clear_all() {}
+
+/// Always empty.
+pub fn registered_sites() -> Vec<&'static str> {
+    Vec::new()
+}
+
+/// Always empty.
+pub fn list_armed() -> Vec<(String, String)> {
+    Vec::new()
+}
+
+/// Always zero.
+pub fn hits(_name: &str) -> u64 {
+    0
+}
+
+/// Always zero.
+pub fn triggers(_name: &str) -> u64 {
+    0
+}
+
+/// Inert stand-in for the test-scenario guard.
+#[derive(Debug)]
+pub struct FailScenario;
+
+impl FailScenario {
+    /// An inert guard; nothing to lock or clear.
+    #[must_use]
+    pub fn setup() -> FailScenario {
+        FailScenario
+    }
+}

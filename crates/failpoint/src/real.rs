@@ -1,0 +1,477 @@
+//! The injection implementation compiled in under the `enabled` feature.
+//!
+//! ## Fast path
+//!
+//! Each `fail_point!` expansion holds a `static Site` with a one-shot
+//! registration flag. An unarmed visit costs one relaxed load on that flag
+//! plus one relaxed load on the global armed counter; the registry mutex is
+//! only touched on first visit (registration) and while at least one site
+//! is armed anywhere in the process.
+//!
+//! ## Determinism
+//!
+//! Probability triggers hash `seed ^ hit_index` through splitmix64, so for
+//! a fixed seed the set of firing hit indices is a pure function of the
+//! spec — independent of thread interleaving, wall clock, or ASLR. The
+//! per-site hit counter lives under the registry lock, which also makes
+//! the (site, hit_index) assignment itself race-free.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+/// What an armed site does when it triggers.
+#[derive(Debug, Clone, PartialEq)]
+enum ActionKind {
+    /// `panic!` with a payload naming the site and triggering thread.
+    Panic(Option<String>),
+    /// Sleep for the given duration, then continue normally.
+    Delay(Duration),
+    /// Make `fail_point!(name, ret)` sites return `ret(msg)`.
+    ReturnErr(Option<String>),
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    kind: ActionKind,
+    /// Trigger probability in (0, 1]; 1.0 = always.
+    prob: f64,
+    /// Seed for the deterministic per-hit trigger decision.
+    seed: u64,
+    /// Hits observed while this entry was armed.
+    hits: u64,
+    /// Hits that actually triggered the action.
+    triggers: u64,
+    /// Original spec string (for `list_armed`).
+    spec: String,
+}
+
+#[derive(Default)]
+struct Registry {
+    armed: HashMap<String, Entry>,
+    /// Every site name that has ever been visited (docs/tests read this).
+    seen: Vec<&'static str>,
+    /// Lifetime hit counts per site, kept across arm/disarm cycles.
+    hits: HashMap<&'static str, u64>,
+}
+
+/// Number of armed sites; the fast-path gate.
+static ARMED_COUNT: AtomicUsize = AtomicUsize::new(0);
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+/// Lock the registry, recovering from poison: a failpoint's whole purpose
+/// is to panic, and a poisoned registry must not cascade into unrelated
+/// tests.
+fn lock() -> MutexGuard<'static, Registry> {
+    registry().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// splitmix64 — a tiny, high-quality, seedable mixer (public domain
+/// constants, Steele et al.). Good enough to decide Bernoulli triggers.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One failpoint call site (created by the `fail_point!` macro).
+#[derive(Debug)]
+pub struct Site {
+    name: &'static str,
+    registered: AtomicBool,
+}
+
+/// The outcome decided under the registry lock, acted on after release so
+/// a panic can never poison-and-strand the registry.
+enum Decision {
+    Nothing,
+    Panic(String),
+    Delay(Duration),
+    ReturnErr(String),
+}
+
+impl Site {
+    /// A site named `name`. `const` so the macro can hold it in a `static`.
+    #[must_use]
+    pub const fn new(name: &'static str) -> Site {
+        Site {
+            name,
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Visit the site: no-op unless armed with `panic` or `delay`.
+    #[inline]
+    pub fn eval(&'static self) {
+        if let Decision::Panic(msg) = self.visit() {
+            std::panic::panic_any(msg);
+        }
+    }
+
+    /// Visit the site; `Some(msg)` means the caller should return its
+    /// injected-error value (the `return` action).
+    #[inline]
+    pub fn eval_return(&'static self) -> Option<String> {
+        match self.visit() {
+            Decision::Panic(msg) => std::panic::panic_any(msg),
+            Decision::ReturnErr(msg) => Some(msg),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn visit(&'static self) -> Decision {
+        if !self.registered.load(Ordering::Relaxed) {
+            self.register();
+        }
+        if ARMED_COUNT.load(Ordering::Relaxed) == 0 {
+            return Decision::Nothing;
+        }
+        let decision = self.decide();
+        if let Decision::Delay(d) = decision {
+            std::thread::sleep(d);
+            return Decision::Nothing;
+        }
+        decision
+    }
+
+    #[cold]
+    fn register(&'static self) {
+        let mut reg = lock();
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            reg.seen.push(self.name);
+            reg.hits.entry(self.name).or_insert(0);
+        }
+    }
+
+    /// Consult the armed entry (if any) under the lock; never panics while
+    /// holding it.
+    #[cold]
+    fn decide(&'static self) -> Decision {
+        let mut reg = lock();
+        *reg.hits.entry(self.name).or_insert(0) += 1;
+        let Some(entry) = reg.armed.get_mut(self.name) else {
+            return Decision::Nothing;
+        };
+        entry.hits += 1;
+        let fire = if entry.prob >= 1.0 {
+            true
+        } else {
+            // Deterministic Bernoulli: hit k of this arming fires iff the
+            // seeded hash of k lands under the threshold.
+            let h = splitmix64(entry.seed ^ entry.hits);
+            (h as f64 / u64::MAX as f64) < entry.prob
+        };
+        if !fire {
+            return Decision::Nothing;
+        }
+        entry.triggers += 1;
+        match &entry.kind {
+            ActionKind::Panic(msg) => {
+                let text = match msg {
+                    Some(m) => format!(
+                        "failpoint {} triggered: {m} (thread {:?})",
+                        self.name,
+                        std::thread::current().id()
+                    ),
+                    None => format!(
+                        "failpoint {} triggered (thread {:?})",
+                        self.name,
+                        std::thread::current().id()
+                    ),
+                };
+                Decision::Panic(text)
+            }
+            ActionKind::Delay(d) => Decision::Delay(*d),
+            ActionKind::ReturnErr(msg) => Decision::ReturnErr(
+                msg.clone()
+                    .unwrap_or_else(|| format!("failpoint {} injected error", self.name)),
+            ),
+        }
+    }
+}
+
+/// Parse a spec (see the crate docs for the grammar) into an entry.
+fn parse_spec(spec: &str) -> Result<Option<Entry>, String> {
+    let spec = spec.trim();
+    let (prefix, action) = match spec.split_once(':') {
+        Some((p, a)) => (Some(p.trim()), a.trim()),
+        None => (None, spec),
+    };
+    let (prob, seed) = match prefix {
+        None => (1.0, 0),
+        Some(p) => {
+            let (prob_s, seed_s) = match p.split_once('@') {
+                Some((pr, sd)) => (pr.trim(), Some(sd.trim())),
+                None => (p, None),
+            };
+            let prob: f64 = prob_s
+                .parse()
+                .map_err(|e| format!("bad probability {prob_s:?}: {e}"))?;
+            if !(prob > 0.0 && prob <= 1.0) {
+                return Err(format!("probability {prob} outside (0, 1]"));
+            }
+            let seed: u64 = match seed_s {
+                Some(s) => s.parse().map_err(|e| format!("bad seed {s:?}: {e}"))?,
+                None => 0,
+            };
+            (prob, seed)
+        }
+    };
+    let (verb, arg) = match action.split_once('(') {
+        Some((v, rest)) => {
+            let arg = rest
+                .strip_suffix(')')
+                .ok_or_else(|| format!("unclosed argument in {action:?}"))?;
+            (v.trim(), Some(arg.to_string()))
+        }
+        None => (action, None),
+    };
+    let kind = match verb {
+        "off" => return Ok(None),
+        "panic" => ActionKind::Panic(arg),
+        "delay" => {
+            let ms: u64 = arg
+                .as_deref()
+                .ok_or("delay needs a millisecond argument, e.g. delay(5)")?
+                .parse()
+                .map_err(|e| format!("bad delay: {e}"))?;
+            ActionKind::Delay(Duration::from_millis(ms))
+        }
+        "return" => ActionKind::ReturnErr(arg),
+        other => return Err(format!("unknown failpoint action {other:?}")),
+    };
+    Ok(Some(Entry {
+        kind,
+        prob,
+        seed,
+        hits: 0,
+        triggers: 0,
+        spec: spec.to_string(),
+    }))
+}
+
+/// Arm `name` with `spec` (`"off"` disarms). See the crate docs for the
+/// spec grammar.
+pub fn configure(name: &str, spec: &str) -> Result<(), String> {
+    let parsed = parse_spec(spec)?;
+    let mut reg = lock();
+    let had = reg.armed.remove(name).is_some();
+    let has = parsed.is_some();
+    if let Some(entry) = parsed {
+        reg.armed.insert(name.to_string(), entry);
+    }
+    match (had, has) {
+        (false, true) => {
+            ARMED_COUNT.fetch_add(1, Ordering::Relaxed);
+        }
+        (true, false) => {
+            ARMED_COUNT.fetch_sub(1, Ordering::Relaxed);
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+/// Disarm `name` (no-op if it was not armed).
+pub fn remove(name: &str) {
+    let mut reg = lock();
+    if reg.armed.remove(name).is_some() {
+        ARMED_COUNT.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Disarm every site.
+pub fn clear_all() {
+    let mut reg = lock();
+    let n = reg.armed.len();
+    reg.armed.clear();
+    ARMED_COUNT.fetch_sub(n, Ordering::Relaxed);
+}
+
+/// Every site name visited so far in this process, in first-visit order.
+pub fn registered_sites() -> Vec<&'static str> {
+    lock().seen.clone()
+}
+
+/// Currently armed sites as `(name, spec)` pairs.
+pub fn list_armed() -> Vec<(String, String)> {
+    lock()
+        .armed
+        .iter()
+        .map(|(k, v)| (k.clone(), v.spec.clone()))
+        .collect()
+}
+
+/// Lifetime count of visits to `name` observed while the registry had any
+/// site armed. Unarmed visits take the lock-free fast path and are not
+/// counted (0 if never observed).
+pub fn hits(name: &str) -> u64 {
+    lock().hits.get(name).copied().unwrap_or(0)
+}
+
+/// Trigger count of `name`'s *current* arming (0 if not armed).
+pub fn triggers(name: &str) -> u64 {
+    lock().armed.get(name).map_or(0, |e| e.triggers)
+}
+
+/// RAII guard serializing failpoint tests.
+///
+/// The registry is process-global, so two tests arming sites concurrently
+/// would trample each other. `FailScenario::setup()` takes a global test
+/// lock (held for the scenario's lifetime) and clears the registry both on
+/// setup and on drop — a panicking test cannot leak an armed site into the
+/// next one.
+pub struct FailScenario {
+    _guard: MutexGuard<'static, ()>,
+}
+
+impl std::fmt::Debug for FailScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FailScenario").finish()
+    }
+}
+
+impl FailScenario {
+    /// Acquire the scenario lock and start from a clean registry.
+    #[must_use]
+    pub fn setup() -> FailScenario {
+        static SCENARIO_LOCK: Mutex<()> = Mutex::new(());
+        let guard = SCENARIO_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        clear_all();
+        FailScenario { _guard: guard }
+    }
+}
+
+impl Drop for FailScenario {
+    fn drop(&mut self) {
+        clear_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::time::Instant;
+
+    fn quiet<T>(f: impl FnOnce() -> T) -> T {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = f();
+        std::panic::set_hook(prev);
+        r
+    }
+
+    #[test]
+    fn panic_action_fires_and_names_the_site() {
+        let _s = FailScenario::setup();
+        configure("t::panic", "panic(boom)").unwrap();
+        let err = quiet(|| {
+            catch_unwind(AssertUnwindSafe(|| crate::fail_point!("t::panic"))).unwrap_err()
+        });
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("t::panic"), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+        assert!(msg.contains("thread"), "{msg}");
+        assert_eq!(triggers("t::panic"), 1);
+    }
+
+    #[test]
+    fn delay_action_sleeps_then_continues() {
+        let _s = FailScenario::setup();
+        configure("t::delay", "delay(20)").unwrap();
+        let start = Instant::now();
+        crate::fail_point!("t::delay");
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn return_action_injects_error() {
+        let _s = FailScenario::setup();
+        fn parse() -> Result<u32, String> {
+            crate::fail_point!("t::ret", Err);
+            Ok(1)
+        }
+        assert_eq!(parse(), Ok(1));
+        configure("t::ret", "return(corrupt)").unwrap();
+        assert_eq!(parse(), Err("corrupt".to_string()));
+        remove("t::ret");
+        assert_eq!(parse(), Ok(1));
+    }
+
+    #[test]
+    fn probability_is_deterministic_in_the_seed() {
+        let _s = FailScenario::setup();
+        fn run_trial() -> Vec<bool> {
+            (0..200)
+                .map(|_| {
+                    catch_unwind(AssertUnwindSafe(|| {
+                        crate::fail_point!("t::prob");
+                    }))
+                    .is_err()
+                })
+                .collect()
+        }
+        configure("t::prob", "0.3@42:panic").unwrap();
+        let a = quiet(run_trial);
+        // Re-arm with the same seed: the exact same hit indices fire.
+        configure("t::prob", "0.3@42:panic").unwrap();
+        let b = quiet(run_trial);
+        assert_eq!(a, b);
+        let fired = a.iter().filter(|&&f| f).count();
+        assert!((20..=120).contains(&fired), "0.3 prob fired {fired}/200");
+        // A different seed gives a different firing pattern.
+        configure("t::prob", "0.3@43:panic").unwrap();
+        let c = quiet(run_trial);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn spec_parser_rejects_garbage() {
+        assert!(parse_spec("panic").unwrap().is_some());
+        assert!(parse_spec("off").unwrap().is_none());
+        assert!(parse_spec("0.5@9:delay(3)").unwrap().is_some());
+        assert!(parse_spec("explode").is_err());
+        assert!(parse_spec("2.0:panic").is_err());
+        assert!(parse_spec("delay").is_err());
+        assert!(parse_spec("delay(xyz)").is_err());
+        assert!(parse_spec("panic(unclosed").is_err());
+    }
+
+    #[test]
+    fn registry_reports_sites_and_armed_specs() {
+        let _s = FailScenario::setup();
+        // Unarmed visits take the fast path and are not counted.
+        crate::fail_point!("t::registry");
+        assert!(registered_sites().contains(&"t::registry"));
+        assert_eq!(hits("t::registry"), 0);
+        configure("t::registry", "delay(1)").unwrap();
+        crate::fail_point!("t::registry");
+        assert!(hits("t::registry") >= 1);
+        let armed = list_armed();
+        assert!(armed
+            .iter()
+            .any(|(n, s)| n == "t::registry" && s == "delay(1)"));
+    }
+
+    #[test]
+    fn scenario_drop_disarms_everything() {
+        {
+            let _s = FailScenario::setup();
+            configure("t::leak", "panic").unwrap();
+            assert!(!list_armed().is_empty());
+        }
+        let _s = FailScenario::setup();
+        assert!(list_armed().is_empty());
+        // And the site is safe to visit again.
+        crate::fail_point!("t::leak");
+    }
+}

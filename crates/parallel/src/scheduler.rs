@@ -29,7 +29,30 @@
 //!
 //! Run termination is a `pending` task count (queued + executing): when it
 //! hits zero the run is over and everyone is woken to observe it.
+//!
+//! ## Panic containment (DESIGN.md §8)
+//!
+//! Every per-root step (donate-or-enumerate) runs under
+//! `catch_unwind`, so a panic anywhere in the engine — a visitor, a bind
+//! filter, a kernel bug, an armed failpoint — poisons only the one root
+//! subtree it unwound out of. The worker records a typed
+//! [`EnumError::WorkerPanic`], restores the enumerator's invariants with
+//! `recover_after_panic`, and moves to the next root. Crucially,
+//! `retire_task` sits *outside* the catch and always runs, so the
+//! `pending` count still drains to zero and the park protocol cannot
+//! deadlock on a poisoned task. A ticket claimed by a donation that then
+//! panicked is simply consumed (donations stay bounded by tickets); the
+//! starving worker re-arms after [`REARM_SWEEPS`].
+//!
+//! The queue sweep itself (`find_task`) is also caught: a panic there is
+//! treated as an empty sweep, which falls through to the normal
+//! termination / park path. The `scheduler::steal` and
+//! `scheduler::donate` failpoints sit *before* the corresponding
+//! side-effects (victim steal, `submit`), so an injected panic can lose
+//! at most the subtree being processed — never a queued task and never a
+//! `pending` increment.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -37,7 +60,8 @@ use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use crossbeam::utils::Backoff;
 use parking_lot::{Condvar, Mutex};
 
-use light_core::{CountVisitor, EngineConfig, EnumStats, Enumerator, Outcome, Report};
+use light_core::error::panic_payload_string;
+use light_core::{CountVisitor, EngineConfig, EnumError, EnumStats, Enumerator, Outcome, Report};
 use light_graph::{CsrGraph, VertexId};
 use light_order::QueryPlan;
 use light_pattern::PatternGraph;
@@ -154,6 +178,25 @@ pub struct WorkerStats {
     /// close to [`PARK_TIMEOUT`] means wakeups came from the timeout, not
     /// notifies — the signature of a starving tail.
     pub parked_nanos: u64,
+    /// Root subtrees this worker enumerated to completion.
+    pub completed: u64,
+    /// Root subtrees abandoned because a panic unwound out of them (each
+    /// has a matching [`EnumError::WorkerPanic`] in the report).
+    pub panics: u64,
+}
+
+/// The subtree-level accounting of a run: how much of the search space was
+/// actually covered. `count` is exact over the `completed_subtrees` and a
+/// lower bound for the whole query whenever `failed_subtrees > 0` (or the
+/// run was cancelled / out of time / out of memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PartialResult {
+    /// Matches found (exact within the completed subtrees).
+    pub count: u64,
+    /// Root subtrees enumerated to completion across all workers.
+    pub completed_subtrees: u64,
+    /// Root subtrees abandoned after a contained panic.
+    pub failed_subtrees: u64,
 }
 
 /// Result of a parallel run.
@@ -163,6 +206,25 @@ pub struct ParallelReport {
     pub report: Report,
     /// Per-worker breakdown.
     pub workers: Vec<WorkerStats>,
+    /// Contained worker panics, one per abandoned root subtree. Empty on a
+    /// healthy run.
+    pub failures: Vec<EnumError>,
+}
+
+impl ParallelReport {
+    /// Subtree-level accounting (see [`PartialResult`]).
+    pub fn partial_result(&self) -> PartialResult {
+        PartialResult {
+            count: self.report.matches,
+            completed_subtrees: self.workers.iter().map(|w| w.completed).sum(),
+            failed_subtrees: self.workers.iter().map(|w| w.panics).sum(),
+        }
+    }
+
+    /// Whether every subtree completed and no early-stop condition fired.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty() && self.report.outcome == Outcome::Complete
+    }
 }
 
 struct Shared {
@@ -230,6 +292,9 @@ impl Shared {
                 Steal::Empty => break,
             }
         }
+        // Chaos site: before the victim sweep, so an injected panic can
+        // never lose a task that was already stolen.
+        light_failpoint::fail_point!("scheduler::steal");
         let k = self.stealers.len();
         for step in 1..k {
             let victim = (id + step) % k;
@@ -253,6 +318,24 @@ impl Shared {
             self.cv.notify_all();
         }
     }
+}
+
+/// What one per-root step under `catch_unwind` did.
+enum RootStep {
+    /// Donated `[mid, hi)`; the donor keeps `[lo, mid)`.
+    Donated(VertexId),
+    /// Enumerated root `lo`.
+    Ran,
+}
+
+/// One worker's published result.
+struct WorkerResult {
+    ws: WorkerStats,
+    stats: EnumStats,
+    timed_out: bool,
+    cancelled: bool,
+    mem_exceeded: bool,
+    failures: Vec<EnumError>,
 }
 
 /// Plan a query and run it with `k` workers, counting matches.
@@ -327,7 +410,7 @@ pub fn run_plan_parallel(
         shared.injector.push(t);
     }
 
-    let results: Mutex<Vec<(WorkerStats, EnumStats, bool)>> = Mutex::new(Vec::new());
+    let results: Mutex<Vec<WorkerResult>> = Mutex::new(Vec::new());
 
     std::thread::scope(|scope| {
         for (worker_id, local) in locals.drain(..).enumerate() {
@@ -340,12 +423,20 @@ pub fn run_plan_parallel(
                     worker: worker_id,
                     ..Default::default()
                 };
+                let mut failures: Vec<EnumError> = Vec::new();
                 // Whether this worker currently holds an unclaimed demand
                 // ticket, and how many empty sweeps since it was issued.
                 let mut ticket_out = false;
                 let mut empty_sweeps: u32 = 0;
                 loop {
-                    let Some((task, stolen)) = shared.find_task(worker_id, &local) else {
+                    // A panic while sweeping the queues (the
+                    // scheduler::steal failpoint, or a deque bug) is
+                    // treated as an empty sweep: the termination check
+                    // below still runs, so the run cannot hang.
+                    let found =
+                        catch_unwind(AssertUnwindSafe(|| shared.find_task(worker_id, &local)))
+                            .unwrap_or(None);
+                    let Some((task, stolen)) = found else {
                         if shared.pending.load(Ordering::SeqCst) == 0
                             || shared.stop.load(Ordering::Relaxed)
                         {
@@ -390,42 +481,79 @@ pub fn run_plan_parallel(
                         ws.steals += 1;
                     }
                     // Process the range one root at a time so donation can
-                    // happen mid-task.
+                    // happen mid-task. Each step runs under catch_unwind:
+                    // a panic poisons only the root it unwound out of.
                     while lo < hi {
                         if shared.stop.load(Ordering::Relaxed) {
                             break;
                         }
-                        // Donate part of the remaining range if a starving
-                        // worker posted a demand ticket and there is enough
-                        // left to split. Claiming the ticket (decrement-if-
-                        // positive) makes the check race-free: each ticket
-                        // funds at most one donation.
-                        if pcfg.policy != BalancePolicy::Static
-                            && hi - lo >= 2
-                            && shared.claim_ticket()
-                        {
-                            let mid = match pcfg.policy {
-                                BalancePolicy::DonateHalf => lo + (hi - lo) / 2,
-                                BalancePolicy::DonateOne => hi - 1,
-                                BalancePolicy::Static => unreachable!(),
-                            };
-                            shared.submit(&local, (mid, hi));
-                            ws.donations += 1;
-                            hi = mid;
-                            continue;
-                        }
-                        enumerator.run_range(lo, lo + 1);
-                        lo += 1;
-                        if enumerator.timed_out() || enumerator.stopped() {
-                            shared.stop.store(true, Ordering::Relaxed);
-                            break;
+                        let step = catch_unwind(AssertUnwindSafe(|| {
+                            // Donate part of the remaining range if a
+                            // starving worker posted a demand ticket and
+                            // there is enough left to split. Claiming the
+                            // ticket (decrement-if-positive) makes the
+                            // check race-free: each ticket funds at most
+                            // one donation. The failpoint sits after the
+                            // claim but before the submit, so an injected
+                            // panic consumes the ticket without leaking a
+                            // `pending` increment.
+                            if pcfg.policy != BalancePolicy::Static
+                                && hi - lo >= 2
+                                && shared.claim_ticket()
+                            {
+                                light_failpoint::fail_point!("scheduler::donate");
+                                let mid = match pcfg.policy {
+                                    BalancePolicy::DonateHalf => lo + (hi - lo) / 2,
+                                    BalancePolicy::DonateOne => hi - 1,
+                                    BalancePolicy::Static => unreachable!(),
+                                };
+                                shared.submit(&local, (mid, hi));
+                                return RootStep::Donated(mid);
+                            }
+                            enumerator.run_range(lo, lo + 1);
+                            RootStep::Ran
+                        }));
+                        match step {
+                            Ok(RootStep::Donated(mid)) => {
+                                ws.donations += 1;
+                                hi = mid;
+                            }
+                            Ok(RootStep::Ran) => {
+                                ws.completed += 1;
+                                lo += 1;
+                                if enumerator.timed_out()
+                                    || enumerator.stopped()
+                                    || enumerator.cancelled()
+                                    || enumerator.memory_exceeded()
+                                {
+                                    shared.stop.store(true, Ordering::Relaxed);
+                                    break;
+                                }
+                            }
+                            Err(payload) => {
+                                // Contained: record the poisoned subtree,
+                                // restore the enumerator's invariants
+                                // (flushing its metrics shard), move on.
+                                ws.panics += 1;
+                                failures.push(EnumError::WorkerPanic {
+                                    worker: worker_id,
+                                    depth: enumerator.current_depth(),
+                                    payload: panic_payload_string(payload.as_ref()),
+                                });
+                                enumerator.recover_after_panic();
+                                lo += 1;
+                            }
                         }
                     }
+                    // Always retire — even a fully poisoned task must
+                    // drain `pending`, or parked workers spin forever.
                     shared.retire_task();
                 }
                 ws.matches = enumerator.matches();
                 let stats = *enumerator.stats();
                 let timed_out = enumerator.timed_out();
+                let cancelled = enumerator.cancelled();
+                let mem_exceeded = enumerator.memory_exceeded();
                 // Flush this worker's engine metrics shard (Drop does it),
                 // then publish the scheduler-side sample.
                 drop(enumerator);
@@ -438,24 +566,42 @@ pub fn run_plan_parallel(
                     tasks: ws.tasks,
                     parked_nanos: ws.parked_nanos,
                 });
-                results.lock().push((ws, stats, timed_out));
+                results.lock().push(WorkerResult {
+                    ws,
+                    stats,
+                    timed_out,
+                    cancelled,
+                    mem_exceeded,
+                    failures,
+                });
             });
         }
     });
 
-    let mut workers: Vec<(WorkerStats, EnumStats, bool)> = results.into_inner();
-    workers.sort_by_key(|(w, _, _)| w.worker);
+    let mut workers: Vec<WorkerResult> = results.into_inner();
+    workers.sort_by_key(|r| r.ws.worker);
 
     let mut total_stats = EnumStats::default();
     let mut matches = 0u64;
-    let mut any_timeout = false;
-    for (w, s, t) in &workers {
-        matches += w.matches;
-        total_stats.merge_from(s);
-        any_timeout |= *t;
+    let (mut any_timeout, mut any_cancel, mut any_mem) = (false, false, false);
+    let mut failures = Vec::new();
+    for r in &mut workers {
+        matches += r.ws.matches;
+        total_stats.merge_from(&r.stats);
+        any_timeout |= r.timed_out;
+        any_cancel |= r.cancelled;
+        any_mem |= r.mem_exceeded;
+        failures.append(&mut r.failures);
     }
+    // Precedence mirrors the serial engine: a budget overrun outranks a
+    // memory stop outranks a cancel. Contained panics do not change the
+    // outcome — they are reported via `failures` / `partial_result()`.
     let outcome = if any_timeout {
         Outcome::OutOfTime
+    } else if any_mem {
+        Outcome::MemoryExceeded
+    } else if any_cancel {
+        Outcome::Cancelled
     } else {
         Outcome::Complete
     };
@@ -467,7 +613,8 @@ pub fn run_plan_parallel(
             elapsed: start.elapsed(),
             stats: total_stats,
         },
-        workers: workers.into_iter().map(|(w, _, _)| w).collect(),
+        workers: workers.into_iter().map(|r| r.ws).collect(),
+        failures,
     }
 }
 
@@ -683,6 +830,92 @@ mod tests {
         } else {
             assert!(json.contains("\"enabled\": false"), "{json}");
         }
+    }
+
+    #[test]
+    fn worker_panic_is_contained_and_reported() {
+        // A bind filter that panics on one data vertex: the panic unwinds
+        // out of the engine mid-run, must be contained to the subtrees it
+        // poisons, and every other root must still be enumerated, exactly
+        // once, across however many workers/donations the run used.
+        let g = generators::barabasi_albert(300, 4, 9);
+        let p = Query::Triangle.pattern();
+        let base = EngineConfig::light();
+        let golden = serial_count(&p, &g, &base);
+        let cfg = base.clone().filter(|_, v| {
+            assert!(v != 7, "poisoned vertex");
+            true
+        });
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let pr = run_query_parallel(&p, &g, &cfg, &ParallelConfig::new(4));
+        std::panic::set_hook(hook);
+
+        assert_eq!(pr.report.outcome, Outcome::Complete);
+        assert!(
+            !pr.is_complete(),
+            "contained panics must mark the run partial"
+        );
+        let partial = pr.partial_result();
+        assert!(partial.failed_subtrees >= 1);
+        assert_eq!(partial.failed_subtrees as usize, pr.failures.len());
+        // Every root was processed exactly once: completed or abandoned.
+        assert_eq!(
+            partial.completed_subtrees + partial.failed_subtrees,
+            g.num_vertices() as u64
+        );
+        // The partial count is a strict lower bound here (vertex 7 has
+        // triangles in a BA graph) but still counts real matches.
+        assert!(partial.count > 0 && partial.count < golden);
+        assert_eq!(partial.count, pr.report.matches);
+        for f in &pr.failures {
+            let EnumError::WorkerPanic {
+                payload, worker, ..
+            } = f;
+            assert!(payload.contains("poisoned vertex"), "{payload}");
+            assert!(*worker < 4);
+        }
+        // The containment path must not break the donation invariant.
+        let donations: u64 = pr.workers.iter().map(|w| w.donations).sum();
+        let tickets: u64 = pr.workers.iter().map(|w| w.tickets).sum();
+        assert!(donations <= tickets);
+    }
+
+    #[test]
+    fn panic_free_run_reports_no_failures() {
+        let g = generators::barabasi_albert(200, 4, 5);
+        let pr = run_query_parallel(
+            &Query::Triangle.pattern(),
+            &g,
+            &EngineConfig::light(),
+            &ParallelConfig::new(3),
+        );
+        assert!(pr.is_complete());
+        assert!(pr.failures.is_empty());
+        let partial = pr.partial_result();
+        assert_eq!(partial.failed_subtrees, 0);
+        assert_eq!(partial.completed_subtrees, g.num_vertices() as u64);
+        assert_eq!(partial.count, pr.report.matches);
+    }
+
+    #[test]
+    fn cancel_token_stops_parallel_run() {
+        let g = generators::complete(80);
+        let tok = light_core::CancelToken::new();
+        tok.cancel();
+        let cfg = EngineConfig::light().cancel_token(tok);
+        let pr = run_query_parallel(&Query::P7.pattern(), &g, &cfg, &ParallelConfig::new(4));
+        assert_eq!(pr.report.outcome, Outcome::Cancelled);
+        // C(80,5) is ~24M; a pre-cancelled token must stop far short.
+        assert!(pr.report.matches < 24_040_016);
+    }
+
+    #[test]
+    fn memory_watermark_propagates_to_parallel_outcome() {
+        let g = generators::complete(120);
+        let cfg = EngineConfig::light().max_memory(64);
+        let pr = run_query_parallel(&Query::P7.pattern(), &g, &cfg, &ParallelConfig::new(2));
+        assert_eq!(pr.report.outcome, Outcome::MemoryExceeded);
     }
 
     #[test]

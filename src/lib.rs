@@ -26,6 +26,7 @@
 
 pub use light_core as core;
 pub use light_distributed as distributed;
+pub use light_failpoint as failpoint;
 pub use light_graph as graph;
 pub use light_metrics as metrics;
 pub use light_order as order;
@@ -35,7 +36,7 @@ pub use light_setops as setops;
 
 /// Common imports for applications.
 pub mod prelude {
-    pub use light_core::{run_query, EngineConfig, EngineVariant, Report};
+    pub use light_core::{run_query, CancelToken, EngineConfig, EngineVariant, Report};
     pub use light_graph::{CsrGraph, GraphBuilder, VertexId};
     pub use light_parallel::{run_query_parallel, ParallelConfig};
     pub use light_pattern::{PatternGraph, Query};

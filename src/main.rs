@@ -11,18 +11,41 @@
 //!
 //! Hand-rolled argument parsing — no CLI dependency, matching the
 //! workspace's minimal-dependency policy.
+//!
+//! ## Exit codes
+//!
+//! `light count` distinguishes how a run ended:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | complete result |
+//! | 1    | usage / load error, nothing enumerated |
+//! | 3    | partial result: worker panic contained, or `--max-memory` hit |
+//! | 124  | `--timeout` expired (matches `timeout(1)`) |
+//! | 130  | cancelled by Ctrl-C (matches 128+SIGINT) |
+//!
+//! On every non-zero *enumeration* exit the partial match count is still
+//! printed, with a `partial:` note on stderr, so long runs never lose work.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use light::core::{run_query_checked, EngineConfig, EngineVariant};
+use light::core::{run_query_checked, EngineConfig, EngineVariant, Outcome};
 use light::graph::datasets::Dataset;
 use light::graph::CsrGraph;
 use light::order::QueryPlan;
 use light::parallel::{run_query_parallel, ParallelConfig};
 use light::pattern::{PatternGraph, Query};
 use light::setops::IntersectKind;
+
+/// Exit code when `--timeout` expires (as `timeout(1)` uses).
+const EXIT_TIMEOUT: u8 = 124;
+/// Exit code when the run is cancelled by Ctrl-C (128 + SIGINT).
+const EXIT_CANCELLED: u8 = 130;
+/// Exit code for a partial result: contained worker panics or the
+/// `--max-memory` watermark.
+const EXIT_PARTIAL: u8 = 3;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,22 +62,57 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "count" => cmd_count(&opts),
-        "plan" => cmd_plan(&opts),
-        "generate" => cmd_generate(&opts),
-        "stats" => cmd_stats(&opts),
-        "datasets" => cmd_datasets(),
+        "plan" => cmd_plan(&opts).map(|()| ExitCode::SUCCESS),
+        "generate" => cmd_generate(&opts).map(|()| ExitCode::SUCCESS),
+        "stats" => cmd_stats(&opts).map(|()| ExitCode::SUCCESS),
+        "datasets" => cmd_datasets().map(|()| ExitCode::SUCCESS),
         "help" | "--help" | "-h" => {
             usage();
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command {other:?}; try `light help`")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// SIGINT → [`light::core::CancelToken`] wiring, dependency-free.
+///
+/// The handler only flips a relaxed `AtomicBool` through a pre-installed
+/// global token — an async-signal-safe operation — and the engines notice
+/// at their deadline-poll cadence, drain cleanly, and report a partial
+/// count with [`Outcome::Cancelled`].
+#[cfg(unix)]
+mod sigint {
+    use light::core::CancelToken;
+    use std::sync::OnceLock;
+
+    static TOKEN: OnceLock<CancelToken> = OnceLock::new();
+
+    const SIGINT: i32 = 2;
+
+    extern "C" {
+        // POSIX signal(2); the handler pointer travels as usize to avoid
+        // declaring sighandler_t without libc.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigint(_sig: i32) {
+        if let Some(t) = TOKEN.get() {
+            t.cancel();
+        }
+    }
+
+    /// Install the handler (idempotent) and return the shared token.
+    pub fn install() -> CancelToken {
+        let token = TOKEN.get_or_init(CancelToken::new).clone();
+        unsafe { signal(SIGINT, on_sigint as *const () as usize) };
+        token
     }
 }
 
@@ -66,7 +124,14 @@ USAGE:
   light count    --pattern <P1..P7|triangle|a-b,c-d,..> (--dataset <name>|--graph <file>)
                  [--scale <f>] [--threads <k>] [--variant se|lm|msc|light]
                  [--kernel merge|merge-avx2|merge-avx512|hybrid|hybrid-avx2|hybrid-avx512]
-                 [--budget <secs>] [--profile]
+                 [--budget <secs>] [--timeout <secs>] [--max-memory <bytes[K|M|G]>]
+                 [--profile]
+
+  count exits 0 on a complete run, 124 on --timeout, 130 on Ctrl-C, and
+  3 on a partial result (contained worker panic or --max-memory hit);
+  partial counts go to stderr. --timeout is an alias of --budget with
+  the timeout(1)-style exit code. --max-memory bounds candidate-buffer
+  memory per run, split evenly across --threads workers.
 
   --profile prints a JSON profile to stdout (per-slot COMP/MAT timings,
   candidate histograms, setops tier counters, per-worker scheduler stats)
@@ -162,10 +227,32 @@ fn engine_config(opts: &Opts) -> Result<EngineConfig, String> {
         let secs: f64 = b.parse().map_err(|e| format!("bad --budget: {e}"))?;
         cfg = cfg.budget(Duration::from_secs_f64(secs));
     }
+    if let Some(t) = opts.get("timeout") {
+        let secs: f64 = t.parse().map_err(|e| format!("bad --timeout: {e}"))?;
+        cfg = cfg.budget(Duration::from_secs_f64(secs));
+    }
     Ok(cfg)
 }
 
-fn cmd_count(opts: &Opts) -> Result<(), String> {
+/// Parse a memory size: plain bytes, or a `K`/`M`/`G` suffix (binary,
+/// case-insensitive, fractional values allowed — `1.5G`).
+fn parse_mem(s: &str) -> Result<usize, String> {
+    let (num, mult) = match s.as_bytes().last() {
+        Some(b'K') | Some(b'k') => (&s[..s.len() - 1], 1u64 << 10),
+        Some(b'M') | Some(b'm') => (&s[..s.len() - 1], 1 << 20),
+        Some(b'G') | Some(b'g') => (&s[..s.len() - 1], 1 << 30),
+        _ => (s, 1),
+    };
+    let v: f64 = num
+        .parse()
+        .map_err(|e| format!("bad memory size {s:?}: {e}"))?;
+    if !v.is_finite() || v <= 0.0 || v * mult as f64 > usize::MAX as f64 {
+        return Err(format!("bad memory size {s:?}: out of range"));
+    }
+    Ok((v * mult as f64) as usize)
+}
+
+fn cmd_count(opts: &Opts) -> Result<ExitCode, String> {
     let pattern = parse_pattern(get(opts, "pattern")?)?;
     let g = load_graph(opts)?;
     let mut cfg = engine_config(opts)?;
@@ -174,6 +261,18 @@ fn cmd_count(opts: &Opts) -> Result<(), String> {
         .map(|s| s.parse().map_err(|e| format!("bad --threads: {e}")))
         .transpose()?
         .unwrap_or(1);
+    if let Some(m) = opts.get("max-memory") {
+        // The watermark is enforced per worker pool; split the global
+        // budget evenly across workers.
+        let bytes = parse_mem(m)?;
+        cfg = cfg.max_memory((bytes / threads.max(1)).max(1));
+    }
+    // Ctrl-C flips a shared token; the engines poll it at their deadline
+    // cadence and drain with a partial count instead of dying mid-run.
+    #[cfg(unix)]
+    {
+        cfg = cfg.cancel_token(sigint::install());
+    }
     let profile = opts.contains_key("profile");
     let recorder = light::metrics::Recorder::new();
     if profile {
@@ -185,11 +284,13 @@ fn cmd_count(opts: &Opts) -> Result<(), String> {
 
     // --profile always routes through the parallel driver (even for one
     // thread) so the scheduler/worker section of the profile is populated.
-    let report = if threads > 1 || profile {
+    let (report, failures) = if threads > 1 || profile {
         light::core::validate_query(&pattern, g.num_vertices()).map_err(|e| e.to_string())?;
-        run_query_parallel(&pattern, &g, &cfg, &ParallelConfig::new(threads)).report
+        let pr = run_query_parallel(&pattern, &g, &cfg, &ParallelConfig::new(threads));
+        (pr.report, pr.failures)
     } else {
-        run_query_checked(&pattern, &g, &cfg).map_err(|e| e.to_string())?
+        let report = run_query_checked(&pattern, &g, &cfg).map_err(|e| e.to_string())?;
+        (report, Vec::new())
     };
 
     // With --profile, stdout carries exactly one JSON document; the
@@ -219,7 +320,42 @@ fn cmd_count(opts: &Opts) -> Result<(), String> {
     if profile {
         println!("{}", recorder.to_json());
     }
-    Ok(())
+
+    // Map how the run ended to a distinct exit code; a partial count is
+    // never silently presented as complete.
+    for f in &failures {
+        eprintln!("worker failure: {f}");
+    }
+    let code = match report.outcome {
+        Outcome::OutOfTime => {
+            eprintln!(
+                "partial: timed out after {:?}; counted {} matches",
+                report.elapsed, report.matches
+            );
+            ExitCode::from(EXIT_TIMEOUT)
+        }
+        Outcome::Cancelled => {
+            eprintln!("partial: cancelled; counted {} matches", report.matches);
+            ExitCode::from(EXIT_CANCELLED)
+        }
+        Outcome::MemoryExceeded => {
+            eprintln!(
+                "partial: --max-memory watermark hit; counted {} matches",
+                report.matches
+            );
+            ExitCode::from(EXIT_PARTIAL)
+        }
+        _ if !failures.is_empty() => {
+            eprintln!(
+                "partial: {} worker panic(s) contained; counted {} matches over surviving subtrees",
+                failures.len(),
+                report.matches
+            );
+            ExitCode::from(EXIT_PARTIAL)
+        }
+        _ => ExitCode::SUCCESS,
+    };
+    Ok(code)
 }
 
 fn cmd_plan(opts: &Opts) -> Result<(), String> {

@@ -1,0 +1,92 @@
+//! Cancellation-latency regression tests: a [`CancelToken`] flipped
+//! mid-run must stop the enumeration promptly (the CLI wires Ctrl-C to
+//! this token — a sluggish response here is user-visible), and the
+//! partial result handed back must be well-formed.
+//!
+//! The workload (P7 on K150) is combinatorially enormous — thousands of
+//! seconds uncancelled — so the run is always mid-flight when the token
+//! flips; the watchdog, not the workload, bounds test time.
+
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use light::core::{run_query, Outcome};
+use light::graph::generators;
+use light::prelude::*;
+
+/// Response bound from `cancel()` to the run returning. The engines poll
+/// the token every 1024 ticks (`DEADLINE_POLL_PERIOD`), which is tens of
+/// microseconds of work; 100 ms of slack absorbs scheduler noise. Debug
+/// builds run the hot loop ~20x slower, so the bound relaxes.
+fn latency_bound() -> Duration {
+    if cfg!(debug_assertions) {
+        Duration::from_millis(2000)
+    } else {
+        Duration::from_millis(100)
+    }
+}
+
+const STARTUP: Duration = Duration::from_millis(200);
+const WATCHDOG: Duration = Duration::from_secs(30);
+
+/// Start `f` on a thread, let it get going, flip the token, and return
+/// (cancel→return latency, f's result).
+fn cancel_midway<T: Send + 'static>(
+    token: CancelToken,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> (Duration, T) {
+    let (tx, rx) = mpsc::channel();
+    let h = std::thread::spawn(move || {
+        let out = f();
+        let _ = tx.send(Instant::now());
+        out
+    });
+    std::thread::sleep(STARTUP);
+    let flipped = Instant::now();
+    token.cancel();
+    let finished = rx
+        .recv_timeout(WATCHDOG)
+        .expect("run did not return after cancellation");
+    let latency = finished.saturating_duration_since(flipped);
+    (latency, h.join().expect("worker thread panicked"))
+}
+
+#[test]
+fn parallel_cancel_returns_promptly_with_partial_result() {
+    let token = CancelToken::new();
+    let cfg = EngineConfig::light().cancel_token(token.clone());
+    let (latency, pr) = cancel_midway(token, move || {
+        let g = generators::complete(150);
+        run_query_parallel(&Query::P7.pattern(), &g, &cfg, &ParallelConfig::new(4))
+    });
+    assert!(
+        latency <= latency_bound(),
+        "cancel-to-return took {latency:?} (bound {:?})",
+        latency_bound()
+    );
+    assert_eq!(pr.report.outcome, Outcome::Cancelled);
+    assert!(!pr.is_complete());
+    let part = pr.partial_result();
+    // Cancellation abandons roots without failing them: accounting stays
+    // a valid lower bound, and nothing is reported as a panic.
+    assert!(part.failed_subtrees == 0 && pr.failures.is_empty());
+    assert!(part.completed_subtrees < 150);
+    assert_eq!(part.count, pr.report.matches);
+}
+
+#[test]
+fn serial_cancel_returns_promptly() {
+    let token = CancelToken::new();
+    let cfg = EngineConfig::light().cancel_token(token.clone());
+    let (latency, report) = cancel_midway(token, move || {
+        let g = generators::complete(150);
+        run_query(&Query::P7.pattern(), &g, &cfg)
+    });
+    assert!(
+        latency <= latency_bound(),
+        "cancel-to-return took {latency:?} (bound {:?})",
+        latency_bound()
+    );
+    assert_eq!(report.outcome, Outcome::Cancelled);
+    assert!(!report.is_complete());
+}

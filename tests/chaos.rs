@@ -1,0 +1,229 @@
+//! Deterministic chaos harness: drive the enumeration runtime through
+//! every registered failpoint site and check the fault-tolerance
+//! contract of DESIGN.md §8 — no hang, no lost accounting, and partial
+//! counts that are exact over the surviving subtrees.
+//!
+//! Requires the `failpoint` feature (`cargo test --features failpoint
+//! --test chaos`); CI runs the matrix with metrics both on and off,
+//! since the unwind path crosses the metrics shard-flush code.
+//!
+//! Every test runs the workload on a watchdog thread: a hang is reported
+//! as a test failure within [`WATCHDOG`], not a CI timeout. Panic-hook
+//! noise from *injected* panics is filtered; real assertion failures
+//! still print.
+
+#![cfg(feature = "failpoint")]
+
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::time::Duration;
+
+use light::core::{run_query, Outcome};
+use light::failpoint;
+use light::graph::generators;
+use light::parallel::ParallelReport;
+use light::prelude::*;
+
+const WATCHDOG: Duration = Duration::from_secs(60);
+
+/// Every site the runtime registers, with the crate layer it lives in.
+/// `docs/failpoints.md` documents each; the chaos matrix must cover all.
+const SITES: &[&str] = &[
+    "scheduler::steal",
+    "scheduler::donate",
+    "engine::comp",
+    "engine::mat",
+    "engine::intersect",
+    "pool::acquire",
+];
+
+/// Silence panic-hook output for injected panics (payloads carry the
+/// `failpoint <site> triggered` marker); everything else still prints.
+fn quiet_injected_panics() {
+    let saved = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.contains("failpoint"));
+        if !injected {
+            saved(info);
+        }
+    }));
+}
+
+/// Run `f` on a watchdog thread; a case that neither finishes nor panics
+/// within [`WATCHDOG`] is a deadlock regression.
+fn watchdog<T: Send + 'static>(name: &str, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = mpsc::channel();
+    let h = std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(WATCHDOG) {
+        Ok(v) => {
+            h.join().expect("worker sent a value, join cannot fail");
+            v
+        }
+        Err(RecvTimeoutError::Disconnected) => match h.join() {
+            Err(payload) => std::panic::resume_unwind(payload),
+            Ok(()) => unreachable!("sender dropped without panicking"),
+        },
+        Err(RecvTimeoutError::Timeout) => {
+            panic!("chaos case {name:?} hung past the {WATCHDOG:?} watchdog")
+        }
+    }
+}
+
+fn test_graph() -> CsrGraph {
+    generators::barabasi_albert(300, 4, 9)
+}
+
+fn golden() -> u64 {
+    let g = test_graph();
+    run_query(&Query::P2.pattern(), &g, &EngineConfig::light()).matches
+}
+
+/// Arm `site` with `spec`, run P2 on the test graph with 4 workers, and
+/// disarm. The `FailScenario` guard is held by the caller.
+fn parallel_case(site: &'static str, spec: &'static str) -> ParallelReport {
+    watchdog(site, move || {
+        let g = test_graph();
+        failpoint::configure(site, spec).unwrap();
+        let pr = run_query_parallel(
+            &Query::P2.pattern(),
+            &g,
+            &EngineConfig::light(),
+            &ParallelConfig::new(4),
+        );
+        failpoint::remove(site);
+        pr
+    })
+}
+
+/// The full contract a chaos run must satisfy regardless of which site
+/// fired: termination (implied by returning), conserved subtree
+/// accounting, one typed failure per abandoned subtree, the ticket
+/// invariant, and a count that never exceeds (and without failures,
+/// equals) the golden count.
+fn assert_chaos_contract(site: &str, pr: &ParallelReport, golden: u64, n: u64) {
+    assert_eq!(pr.report.outcome, Outcome::Complete, "{site}");
+    let part = pr.partial_result();
+    assert_eq!(
+        part.completed_subtrees + part.failed_subtrees,
+        n,
+        "{site}: subtree accounting must be conserved"
+    );
+    assert_eq!(
+        part.failed_subtrees,
+        pr.failures.len() as u64,
+        "{site}: one typed failure per abandoned subtree"
+    );
+    let donations: u64 = pr.workers.iter().map(|w| w.donations).sum();
+    let tickets: u64 = pr.workers.iter().map(|w| w.tickets).sum();
+    assert!(
+        donations <= tickets,
+        "{site}: ticket invariant broken ({donations} donations > {tickets} tickets)"
+    );
+    assert!(
+        part.count <= golden,
+        "{site}: partial count {} exceeds golden {golden}",
+        part.count
+    );
+    if pr.failures.is_empty() {
+        assert_eq!(part.count, golden, "{site}: unfailed run must be exact");
+    }
+    for f in &pr.failures {
+        let msg = f.to_string();
+        assert!(msg.contains("panicked"), "{site}: odd failure {msg:?}");
+    }
+}
+
+#[test]
+fn unarmed_scenario_is_count_neutral() {
+    let _s = failpoint::FailScenario::setup();
+    let expect = golden();
+    let pr = watchdog("unarmed", move || {
+        let g = test_graph();
+        run_query_parallel(
+            &Query::P2.pattern(),
+            &g,
+            &EngineConfig::light(),
+            &ParallelConfig::new(4),
+        )
+    });
+    assert!(pr.is_complete());
+    assert_eq!(pr.report.matches, expect);
+    let part = pr.partial_result();
+    assert_eq!(part.completed_subtrees, 300);
+    assert_eq!(part.failed_subtrees, 0);
+}
+
+#[test]
+fn panic_matrix_every_site_parallel() {
+    let _s = failpoint::FailScenario::setup();
+    quiet_injected_panics();
+    let expect = golden();
+    for site in SITES {
+        let pr = parallel_case(site, "panic");
+        assert_chaos_contract(site, &pr, expect, 300);
+    }
+}
+
+#[test]
+fn probabilistic_panics_conserve_accounting() {
+    let _s = failpoint::FailScenario::setup();
+    quiet_injected_panics();
+    let expect = golden();
+    // Seeded probability: every run of this test injects the same faults.
+    let pr = parallel_case("engine::comp", "0.3@7:panic");
+    assert_chaos_contract("engine::comp@p=0.3", &pr, expect, 300);
+    let part = pr.partial_result();
+    assert!(
+        part.failed_subtrees > 0,
+        "p=0.3 over thousands of COMPs cannot miss every root"
+    );
+    assert!(
+        part.completed_subtrees > 0,
+        "p=0.3 cannot poison every root"
+    );
+}
+
+#[test]
+fn delay_injection_preserves_exact_counts() {
+    let _s = failpoint::FailScenario::setup();
+    let expect = golden();
+    // Slowing every steal attempt shifts interleavings but must not
+    // change the answer or the accounting.
+    let pr = parallel_case("scheduler::steal", "delay(1)");
+    assert!(pr.is_complete(), "delay is not a fault");
+    assert_eq!(pr.report.matches, expect);
+}
+
+#[test]
+fn serial_panic_propagates_to_caller() {
+    let _s = failpoint::FailScenario::setup();
+    quiet_injected_panics();
+    // Containment is a property of the parallel scheduler; the serial
+    // engine deliberately lets panics unwind to the caller.
+    let g = test_graph();
+    failpoint::configure("engine::comp", "panic").unwrap();
+    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_query(&Query::P2.pattern(), &g, &EngineConfig::light())
+    }));
+    failpoint::remove("engine::comp");
+    assert!(res.is_err(), "serial run must propagate the injected panic");
+}
+
+#[test]
+fn injected_io_error_is_typed_not_a_panic() {
+    let _s = failpoint::FailScenario::setup();
+    failpoint::configure("io::read_edge_list", "return(disk on fire)").unwrap();
+    let err = light::graph::io::read_edge_list("0 1\n".as_bytes()).unwrap_err();
+    failpoint::remove("io::read_edge_list");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("disk on fire"),
+        "expected injected message, got {msg:?}"
+    );
+    // And once disarmed the same input loads.
+    assert!(light::graph::io::read_edge_list("0 1\n".as_bytes()).is_ok());
+}
