@@ -106,6 +106,132 @@ pub fn fmt_count(n: u64) -> String {
     out
 }
 
+/// One measured case for the machine-readable bench emitter.
+///
+/// Harnesses print their human-readable tables as before AND collect one
+/// of these per (pattern, dataset, config) cell; [`emit_bench`] writes the
+/// batch as `BENCH_<name>.json` so CI can diff runs and upload artifacts
+/// without scraping stdout.
+#[derive(Debug, Clone, Default)]
+pub struct BenchRow {
+    /// Pattern name (`P1`..`P7`, `triangle`, or an edge list).
+    pub pattern: String,
+    /// Dataset name (`yt`, `lj`, ... or a generator description).
+    pub dataset: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Free-form config label distinguishing legs (`aux=on`, `LIGHT`, ...).
+    pub config: String,
+    /// Wall-clock milliseconds for the run.
+    pub wall_ms: f64,
+    /// Matches found.
+    pub matches: u64,
+    /// Outcome (`Complete`, `OutOfTime`, ...).
+    pub outcome: String,
+    /// Named numeric splits (recorder sections, counters, rates).
+    pub splits: Vec<(String, f64)>,
+}
+
+/// The standard recorder splits for a [`BenchRow`]: per-stage estimated
+/// time, call counts, and auxiliary-cache counters. All-zero entries when
+/// the `metrics` feature is off.
+pub fn recorder_splits(s: &light_metrics::Summary) -> Vec<(String, f64)> {
+    let aux_total = s.aux_hits + s.aux_misses;
+    vec![
+        ("comp_est_ms".into(), s.comp_est_ns as f64 / 1e6),
+        ("mat_est_ms".into(), s.mat_est_ns as f64 / 1e6),
+        ("comp_calls".into(), s.comp_calls as f64),
+        ("mat_calls".into(), s.mat_calls as f64),
+        ("alias_assignments".into(), s.alias_assignments as f64),
+        ("owned_intersections".into(), s.owned_intersections as f64),
+        ("aux_hits".into(), s.aux_hits as f64),
+        ("aux_misses".into(), s.aux_misses as f64),
+        (
+            "aux_hit_rate".into(),
+            if aux_total == 0 {
+                0.0
+            } else {
+                s.aux_hits as f64 / aux_total as f64
+            },
+        ),
+        ("aux_evictions".into(), s.aux_evictions as f64),
+        ("aux_bytes_peak".into(), s.aux_bytes_peak as f64),
+    ]
+}
+
+/// Directory bench artifacts go to: `LIGHT_BENCH_DIR`, defaulting to
+/// `target/bench-results`.
+pub fn bench_dir() -> std::path::PathBuf {
+    std::env::var("LIGHT_BENCH_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| std::path::PathBuf::from("target/bench-results"))
+}
+
+/// Write `BENCH_<name>.json` into [`bench_dir`]. Returns the path written.
+/// Hand-rolled JSON, matching the workspace's no-serde policy.
+pub fn emit_bench(name: &str, rows: &[BenchRow]) -> std::io::Result<std::path::PathBuf> {
+    emit_bench_to(&bench_dir(), name, rows)
+}
+
+/// [`emit_bench`] with an explicit target directory (testable form).
+pub fn emit_bench_to(
+    dir: &std::path::Path,
+    name: &str,
+    rows: &[BenchRow],
+) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("BENCH_{name}.json"));
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"bench\": \"{}\",\n  \"metrics_enabled\": {},\n  \"rows\": [",
+        json_escape(name),
+        light_metrics::ENABLED
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"pattern\": \"{}\", \"dataset\": \"{}\", \"threads\": {}, \
+             \"config\": \"{}\", \"wall_ms\": {:.3}, \"matches\": {}, \"outcome\": \"{}\"",
+            json_escape(&r.pattern),
+            json_escape(&r.dataset),
+            r.threads,
+            json_escape(&r.config),
+            r.wall_ms,
+            r.matches,
+            json_escape(&r.outcome),
+        ));
+        if !r.splits.is_empty() {
+            out.push_str(", \"splits\": {");
+            for (j, (k, v)) in r.splits.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let v = if v.is_finite() { *v } else { 0.0 };
+                out.push_str(&format!("\"{}\": {v:.3}", json_escape(k)));
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push_str("\n  ]\n}\n");
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
 /// Simple fixed-width table printer for harness output.
 pub struct TablePrinter {
     widths: Vec<usize>,
@@ -169,6 +295,45 @@ mod tests {
         let mut t = TablePrinter::new(&["a", "b"]);
         t.row(&["123".into(), "x".into()]);
         t.print(); // visual check only; must not panic
+    }
+
+    #[test]
+    fn bench_emitter_writes_wellformed_json() {
+        let dir = std::path::Path::new("target/test-bench-results");
+        let rows = vec![
+            BenchRow {
+                pattern: "P1".into(),
+                dataset: "yt".into(),
+                threads: 2,
+                config: "aux=on".into(),
+                wall_ms: 12.5,
+                matches: 99,
+                outcome: "Complete".into(),
+                splits: vec![("aux_hits".into(), 7.0), ("aux_hit_rate".into(), 0.5)],
+            },
+            BenchRow {
+                pattern: "a\"b".into(), // escaping
+                ..Default::default()
+            },
+        ];
+        let path = emit_bench_to(dir, "unit_test", &rows).unwrap();
+        assert_eq!(path.file_name().unwrap(), "BENCH_unit_test.json");
+        let body = std::fs::read_to_string(&path).unwrap();
+        for key in [
+            "\"bench\": \"unit_test\"",
+            "\"pattern\": \"P1\"",
+            "\"threads\": 2",
+            "\"wall_ms\": 12.500",
+            "\"aux_hit_rate\": 0.500",
+            "\"pattern\": \"a\\\"b\"",
+        ] {
+            assert!(body.contains(key), "missing {key} in {body}");
+        }
+        // Balanced braces/brackets — a cheap well-formedness proxy given
+        // the no-serde policy (no parser to round-trip through).
+        let opens = body.matches(['{', '[']).count();
+        let closes = body.matches(['}', ']']).count();
+        assert_eq!(opens, closes, "{body}");
     }
 
     #[test]

@@ -69,6 +69,16 @@ pub struct EngineConfig {
     pub intersect: IntersectKind,
     /// Hybrid skew threshold δ (paper: 50).
     pub delta: usize,
+    /// Enable the auxiliary candidate cache (trimmed-adjacency reuse
+    /// across sibling subtrees, DESIGN.md §11). On by default; the
+    /// `LIGHT_AUX_CACHE=0` environment variable (read at config
+    /// construction) or [`EngineConfig::aux_cache`] turns it off.
+    pub aux_cache: bool,
+    /// Benefit threshold for the auxiliary-cache planner: a σ slot is only
+    /// memoized when a cached entry's estimated reuse (Eq. 8 expand
+    /// factors) clears this value. Default
+    /// [`light_order::DEFAULT_AUX_THRESHOLD`].
+    pub aux_threshold: f64,
     /// Enforce the symmetry-breaking partial order (§II-A). Disable only
     /// for tests that count raw (duplicate-inclusive) matches, as in
     /// Example IV.2's note.
@@ -99,6 +109,8 @@ impl std::fmt::Debug for EngineConfig {
             .field("variant", &self.variant)
             .field("intersect", &self.intersect)
             .field("delta", &self.delta)
+            .field("aux_cache", &self.aux_cache)
+            .field("aux_threshold", &self.aux_threshold)
             .field("symmetry_breaking", &self.symmetry_breaking)
             .field("time_budget", &self.time_budget)
             .field("bind_filter", &self.bind_filter.as_ref().map(|_| "<fn>"))
@@ -131,6 +143,9 @@ impl EngineConfig {
             variant,
             intersect: IntersectKind::best_available(),
             delta: DEFAULT_DELTA,
+            aux_cache: std::env::var("LIGHT_AUX_CACHE")
+                .map_or(true, |v| !(v == "0" || v.eq_ignore_ascii_case("off"))),
+            aux_threshold: light_order::DEFAULT_AUX_THRESHOLD,
             symmetry_breaking: true,
             time_budget: None,
             bind_filter: None,
@@ -143,6 +158,24 @@ impl EngineConfig {
     /// Builder-style kernel override.
     pub fn intersect(mut self, kind: IntersectKind) -> Self {
         self.intersect = kind;
+        self
+    }
+
+    /// Builder-style Hybrid galloping threshold δ override (paper: 50).
+    pub fn delta(mut self, delta: usize) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Builder-style auxiliary-cache toggle.
+    pub fn aux_cache(mut self, on: bool) -> Self {
+        self.aux_cache = on;
+        self
+    }
+
+    /// Builder-style auxiliary-cache benefit threshold override.
+    pub fn aux_threshold(mut self, threshold: f64) -> Self {
+        self.aux_threshold = threshold;
         self
     }
 
@@ -189,14 +222,14 @@ impl EngineConfig {
     pub fn plan(&self, pattern: &PatternGraph, g: &CsrGraph) -> QueryPlan {
         let (mat, strat) = self.variant.knobs();
         if self.symmetry_breaking {
-            QueryPlan::optimized_with(pattern, g, mat, strat)
+            QueryPlan::optimized_tuned(pattern, g, mat, strat, self.aux_threshold)
         } else {
             // Without symmetry breaking there is no partial order to
             // respect; still use the optimizer for π.
             let est = light_order::estimate::Estimator::from_graph(g);
             let po = light_pattern::PartialOrder::none();
             let pi = light_order::cost::choose_order(pattern, &po, &est);
-            QueryPlan::with_order(pattern, &pi, po, mat, strat)
+            QueryPlan::with_order_estimated(pattern, &pi, po, mat, strat, &est, self.aux_threshold)
         }
     }
 }

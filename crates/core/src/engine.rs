@@ -52,9 +52,10 @@ use std::time::Instant;
 use light_graph::{CsrGraph, VertexId, INVALID_VERTEX};
 use light_metrics::{LocalRecorder, Recorder, Stopwatch};
 use light_order::exec_order::ExecOp;
-use light_order::QueryPlan;
-use light_setops::{intersect_many_recorded, Intersector};
+use light_order::{QueryPlan, TrimDirective};
+use light_setops::{intersect_many_recorded, trim_into, Intersector};
 
+use crate::auxcache::AuxCache;
 use crate::config::EngineConfig;
 use crate::pool::BufferPool;
 use crate::report::{EnumStats, Outcome, Report};
@@ -96,6 +97,14 @@ pub struct Enumerator<'a, V: MatchVisitor> {
     scratch: Vec<VertexId>,
     pool: BufferPool,
 
+    // Auxiliary candidate cache (DESIGN.md §11): memoized trimmed
+    // adjacency lists, plus the bind-serial stamps that make staleness a
+    // single u64 compare. `None` when disabled or the plan has no
+    // directives — the hot path then pays one branch.
+    aux: Option<AuxCache>,
+    bind_serial: u64,
+    bind_stamp: Vec<u64>,
+
     cand_bytes: usize,
     matches: u64,
     stats: EnumStats,
@@ -125,6 +134,11 @@ impl<'a, V: MatchVisitor> Enumerator<'a, V> {
         let n = plan.pattern().num_vertices();
         let mut pool = BufferPool::new();
         pool.set_watermark(config.max_memory_bytes);
+        let aux = if config.aux_cache && !plan.aux_directives().is_empty() {
+            Some(AuxCache::new(plan.aux_directives().len()))
+        } else {
+            None
+        };
         Enumerator {
             plan,
             g,
@@ -137,6 +151,9 @@ impl<'a, V: MatchVisitor> Enumerator<'a, V> {
             cand_ref: vec![CandRef::Owned; n],
             scratch: Vec::new(),
             pool,
+            aux,
+            bind_serial: 0,
+            bind_stamp: vec![0; plan.sigma().len()],
             cand_bytes: 0,
             matches: 0,
             stats: EnumStats::default(),
@@ -178,6 +195,8 @@ impl<'a, V: MatchVisitor> Enumerator<'a, V> {
             }
             self.cur_depth = 0;
             self.phi[root as usize] = v;
+            self.bind_serial += 1;
+            self.bind_stamp[0] = self.bind_serial;
             self.step(1);
             self.phi[root as usize] = INVALID_VERTEX;
         }
@@ -376,67 +395,134 @@ impl<'a, V: MatchVisitor> Enumerator<'a, V> {
                 // while aliased): recycle pooled capacity if any.
                 out = self.pool.acquire();
             }
-            // Split the borrow of `self` field-by-field instead of
-            // `mem::take`-ing the scratch buffer, the intersect counters,
-            // and the metrics shard around the kernel call. The shard in
-            // particular must stay in place: taking it meant a panic inside
-            // the kernel dropped every counter recorded since the last
-            // flush (the shard-loss bug exercised by
-            // `panic_in_intersection_keeps_metrics_shard`).
-            let Enumerator {
-                plan,
-                g,
-                isec,
-                phi,
-                cands,
-                cand_ref,
-                scratch,
-                stats,
-                local,
-                ..
-            } = self;
-            let (g, cands, cand_ref, phi) = (*g, &**cands, &**cand_ref, &**phi);
-            let ops = &plan.operands()[u as usize];
-            local.owned_intersection();
-            light_failpoint::fail_point!("engine::intersect");
-            if ops.num_operands() <= STACK_OPERANDS {
-                let mut sets: [&[VertexId]; STACK_OPERANDS] = [&[]; STACK_OPERANDS];
-                let mut k = 0;
-                for &w in &ops.k1 {
-                    debug_assert_ne!(phi[w as usize], INVALID_VERTEX);
-                    sets[k] = g.neighbors(phi[w as usize]);
-                    k += 1;
-                }
-                for &w in &ops.k2 {
-                    sets[k] = resolve_cand(cand_ref, cands, g, w);
-                    k += 1;
-                }
-                intersect_many_recorded(
-                    isec,
-                    &sets[..k],
-                    &mut out,
-                    scratch,
-                    &mut stats.intersect,
-                    local,
-                );
+            // Auxiliary cache probe (DESIGN.md §11): if the planner marked
+            // this COMP, its result while the fixed prefix stands is a pure
+            // function of φ(key) — a valid entry replaces the whole
+            // intersection with a copy.
+            let aux_idx = if self.aux.is_some() {
+                self.plan.aux_for(u)
             } else {
-                // Cold path for absurdly wide patterns.
-                let mut sets: Vec<&[VertexId]> = Vec::with_capacity(ops.num_operands());
-                for &w in &ops.k1 {
-                    debug_assert_ne!(phi[w as usize], INVALID_VERTEX);
-                    sets.push(g.neighbors(phi[w as usize]));
+                None
+            };
+            let mut pending_store: Option<(usize, TrimDirective, VertexId)> = None;
+            let mut aux_hit = false;
+            if let Some(di) = aux_idx {
+                let d = self.plan.aux_directives()[di];
+                let key_v = self.phi[d.key as usize];
+                debug_assert_ne!(key_v, INVALID_VERTEX);
+                let guard = self.bind_stamp[d.guard_slot];
+                match self.aux.as_ref().and_then(|a| a.lookup(di, key_v, guard)) {
+                    Some(cached) => {
+                        out.clear();
+                        out.extend_from_slice(cached);
+                        aux_hit = true;
+                    }
+                    None => pending_store = Some((di, d, key_v)),
                 }
-                for &w in &ops.k2 {
-                    sets.push(resolve_cand(cand_ref, cands, g, w));
+                if aux_hit {
+                    self.stats.aux.hits += 1;
+                    self.local.aux_hit();
+                } else {
+                    self.stats.aux.misses += 1;
+                    self.local.aux_miss();
                 }
-                intersect_many_recorded(
+            }
+            if !aux_hit {
+                // Split the borrow of `self` field-by-field instead of
+                // `mem::take`-ing the scratch buffer, the intersect counters,
+                // and the metrics shard around the kernel call. The shard in
+                // particular must stay in place: taking it meant a panic inside
+                // the kernel dropped every counter recorded since the last
+                // flush (the shard-loss bug exercised by
+                // `panic_in_intersection_keeps_metrics_shard`).
+                let Enumerator {
+                    plan,
+                    g,
                     isec,
-                    &sets,
-                    &mut out,
+                    phi,
+                    cands,
+                    cand_ref,
                     scratch,
-                    &mut stats.intersect,
+                    stats,
                     local,
-                );
+                    ..
+                } = self;
+                let (g, cands, cand_ref, phi) = (*g, &**cands, &**cand_ref, &**phi);
+                let ops = &plan.operands()[u as usize];
+                local.owned_intersection();
+                light_failpoint::fail_point!("engine::intersect");
+                if let Some((_, d, key_v)) = pending_store {
+                    // Trim form of the same intersection: fold the key
+                    // vertex's neighbor list against the fixed operands so
+                    // the result is directly storable.
+                    debug_assert!(ops.num_operands() <= STACK_OPERANDS);
+                    let mut filters: [&[VertexId]; STACK_OPERANDS] = [&[]; STACK_OPERANDS];
+                    let mut k = 0;
+                    let mut skipped = false;
+                    for &w in &ops.k1 {
+                        if !skipped && w == d.key {
+                            skipped = true;
+                            continue;
+                        }
+                        debug_assert_ne!(phi[w as usize], INVALID_VERTEX);
+                        filters[k] = g.neighbors(phi[w as usize]);
+                        k += 1;
+                    }
+                    for &w in &ops.k2 {
+                        filters[k] = resolve_cand(cand_ref, cands, g, w);
+                        k += 1;
+                    }
+                    trim_into(
+                        isec,
+                        g.neighbors(key_v),
+                        &filters[..k],
+                        &mut out,
+                        scratch,
+                        &mut stats.intersect,
+                        local,
+                    );
+                } else if ops.num_operands() <= STACK_OPERANDS {
+                    let mut sets: [&[VertexId]; STACK_OPERANDS] = [&[]; STACK_OPERANDS];
+                    let mut k = 0;
+                    for &w in &ops.k1 {
+                        debug_assert_ne!(phi[w as usize], INVALID_VERTEX);
+                        sets[k] = g.neighbors(phi[w as usize]);
+                        k += 1;
+                    }
+                    for &w in &ops.k2 {
+                        sets[k] = resolve_cand(cand_ref, cands, g, w);
+                        k += 1;
+                    }
+                    intersect_many_recorded(
+                        isec,
+                        &sets[..k],
+                        &mut out,
+                        scratch,
+                        &mut stats.intersect,
+                        local,
+                    );
+                } else {
+                    // Cold path for absurdly wide patterns.
+                    let mut sets: Vec<&[VertexId]> = Vec::with_capacity(ops.num_operands());
+                    for &w in &ops.k1 {
+                        debug_assert_ne!(phi[w as usize], INVALID_VERTEX);
+                        sets.push(g.neighbors(phi[w as usize]));
+                    }
+                    for &w in &ops.k2 {
+                        sets.push(resolve_cand(cand_ref, cands, g, w));
+                    }
+                    intersect_many_recorded(
+                        isec,
+                        &sets,
+                        &mut out,
+                        scratch,
+                        &mut stats.intersect,
+                        local,
+                    );
+                }
+            }
+            if let Some((di, _, key_v)) = pending_store {
+                self.try_aux_store(di, key_v, &out);
             }
             self.set_cand_owned(u, out);
         }
@@ -495,6 +581,11 @@ impl<'a, V: MatchVisitor> Enumerator<'a, V> {
             self.stats.bindings += 1;
             self.tick_deadline();
             self.phi[u as usize] = v;
+            // Monotone bind stamp: anything the aux cache filled under an
+            // earlier binding of this slot is now provably stale (the
+            // guard-slot validity check in DESIGN.md §11).
+            self.bind_serial += 1;
+            self.bind_stamp[i] = self.bind_serial;
             self.step(i + 1);
             self.phi[u as usize] = INVALID_VERTEX;
         }
@@ -514,14 +605,56 @@ impl<'a, V: MatchVisitor> Enumerator<'a, V> {
 
     /// Install a freshly computed (owned) candidate set for `u`. The slot
     /// must have been released by [`Self::release_cand`] first.
+    ///
+    /// The watermark check covers candidate bytes *plus* auxiliary-cache
+    /// bytes, but the cache is sacrificed first: only if live candidates
+    /// alone still cross the limit does the run end with
+    /// [`Outcome::MemoryExceeded`] — caching never turns a feasible run
+    /// into a failed one.
     fn set_cand_owned(&mut self, u: u8, buf: Vec<VertexId>) {
         debug_assert_eq!(self.cand_ref[u as usize], CandRef::Owned);
         self.cand_bytes += buf.len() * 4;
         self.cands[u as usize] = buf;
         self.stats.peak_candidate_bytes = self.stats.peak_candidate_bytes.max(self.cand_bytes);
-        if self.pool.over_watermark(self.cand_bytes) {
-            self.mem_exceeded = true;
+        let aux_bytes = self.aux.as_ref().map_or(0, |a| a.bytes());
+        if self.pool.over_watermark(self.cand_bytes + aux_bytes) {
+            if aux_bytes > 0 {
+                let n = self.aux.as_mut().expect("aux_bytes > 0").evict_all();
+                self.stats.aux.evictions += n;
+                self.local.aux_evict(n);
+            }
+            if self.pool.over_watermark(self.cand_bytes) {
+                self.mem_exceeded = true;
+            }
         }
+    }
+
+    /// Try to insert a freshly trimmed list into the auxiliary cache.
+    /// Under watermark pressure the cache empties itself (returning heap
+    /// to the allocator) and the store is skipped — graceful degradation
+    /// instead of a [`Outcome::MemoryExceeded`] exit.
+    fn try_aux_store(&mut self, di: usize, key_v: VertexId, data: &[VertexId]) {
+        let serial = self.bind_serial;
+        let Some(aux) = self.aux.as_mut() else { return };
+        // `data` is about to be accounted as a live candidate set by
+        // set_cand_owned AND copied into the cache; project both.
+        let projected = self.cand_bytes + 2 * data.len() * 4 + aux.bytes();
+        if self.pool.over_watermark(projected) {
+            let n = aux.evict_all();
+            self.stats.aux.evictions += n;
+            self.local.aux_evict(n);
+            self.stats.aux.skipped_stores += 1;
+            self.local.aux_store_skip();
+            return;
+        }
+        let evicted = aux.store(di, key_v, serial, data, &mut self.pool);
+        if evicted {
+            self.stats.aux.evictions += 1;
+            self.local.aux_evict(1);
+        }
+        let b = aux.bytes();
+        self.stats.aux.bytes_peak = self.stats.aux.bytes_peak.max(b);
+        self.local.aux_bytes(b);
     }
 }
 
@@ -920,6 +1053,82 @@ mod tests {
         assert_eq!(count(&p, &empty, &cfg), 0);
         let edge = light_graph::builder::from_edges([(0, 1)]);
         assert_eq!(count(&p, &edge, &cfg), 0);
+    }
+
+    #[test]
+    fn config_delta_reaches_the_dispatcher() {
+        // δ=1 makes every Hybrid dispatch gallop; a huge δ makes every
+        // dispatch merge. Counts must agree; the stats must show the knob
+        // actually reached the kernel (regression for a config field that
+        // parses but is never wired through).
+        let g = generators::barabasi_albert(200, 5, 7);
+        let p = Query::P2.pattern();
+        let base = EngineConfig::light().intersect(light_setops::IntersectKind::HybridScalar);
+        let all_gallop = base.clone().delta(1);
+        let no_gallop = base.clone().delta(1_000_000);
+        let plan = base.plan(&p, &g);
+        let mut v1 = CountVisitor::default();
+        let r1 = run_plan(&plan, &g, &all_gallop, &mut v1);
+        let mut v2 = CountVisitor::default();
+        let r2 = run_plan(&plan, &g, &no_gallop, &mut v2);
+        assert_eq!(r1.matches, r2.matches);
+        assert!(r1.stats.intersect.total > 0);
+        assert_eq!(r1.stats.intersect.galloping, r1.stats.intersect.total);
+        assert_eq!(r2.stats.intersect.galloping, 0);
+    }
+
+    #[test]
+    fn aux_cache_hits_and_is_count_neutral() {
+        // The square (P1) carries a trim directive; on a graph with shared
+        // neighborhoods the key vertex recurs across siblings, so the
+        // cache must record hits — and the count must match cache-off.
+        let g = generators::barabasi_albert(300, 6, 41);
+        let p = Query::P1.pattern();
+        let on = EngineConfig::light().aux_cache(true);
+        let off = EngineConfig::light().aux_cache(false);
+        let plan_on = on.plan(&p, &g);
+        assert!(
+            !plan_on.aux_directives().is_empty(),
+            "P1 must plan a directive"
+        );
+        let mut v1 = CountVisitor::default();
+        let r_on = run_plan(&plan_on, &g, &on, &mut v1);
+        let mut v2 = CountVisitor::default();
+        let r_off = run_plan(&off.plan(&p, &g), &g, &off, &mut v2);
+        assert_eq!(r_on.matches, r_off.matches);
+        assert!(r_on.stats.aux.hits > 0, "{:?}", r_on.stats.aux);
+        assert_eq!(r_off.stats.aux.hits + r_off.stats.aux.misses, 0);
+        // Every hit is an intersection the engine did not perform.
+        assert!(
+            r_on.stats.intersect.total < r_off.stats.intersect.total,
+            "on {} vs off {}",
+            r_on.stats.intersect.total,
+            r_off.stats.intersect.total
+        );
+        assert!(r_on.stats.aux.bytes_peak > 0);
+    }
+
+    #[test]
+    fn aux_cache_under_memory_pressure_degrades_not_dies() {
+        // Watermark sized so candidates alone fit but candidates + cache
+        // do not: the run must complete with the exact count, shedding the
+        // cache instead of reporting MemoryExceeded.
+        let g = generators::barabasi_albert(300, 6, 41);
+        let p = Query::P1.pattern();
+        let off = EngineConfig::light().aux_cache(false);
+        let mut v = CountVisitor::default();
+        let r_off = run_plan(&off.plan(&p, &g), &g, &off, &mut v);
+        let budget = r_off.stats.peak_candidate_bytes * 2 + 256;
+        let on = EngineConfig::light().aux_cache(true).max_memory(budget);
+        let mut v = CountVisitor::default();
+        let r_on = run_plan(&on.plan(&p, &g), &g, &on, &mut v);
+        assert_eq!(r_on.outcome, Outcome::Complete, "{:?}", r_on.stats.aux);
+        assert_eq!(r_on.matches, r_off.matches);
+        assert!(
+            r_on.stats.aux.skipped_stores > 0 || r_on.stats.aux.evictions > 0,
+            "pressure never materialized: {:?}",
+            r_on.stats.aux
+        );
     }
 
     #[test]

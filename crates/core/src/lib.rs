@@ -31,6 +31,7 @@
 //! assert_eq!(report.matches, 20); // C(6,3) distinct triangles
 //! ```
 
+pub mod auxcache;
 pub mod cancel;
 pub mod config;
 pub mod engine;
@@ -41,13 +42,14 @@ pub mod reference;
 pub mod report;
 pub mod visitor;
 
+pub use auxcache::AuxCache;
 pub use cancel::CancelToken;
 pub use config::{EngineConfig, EngineVariant};
 pub use engine::Enumerator;
 pub use error::{validate_query, EnumError, QueryError};
 pub use iter::MatchIter;
 pub use pool::{BufferPool, PoolStats};
-pub use report::{EnumStats, Outcome, Report};
+pub use report::{AuxStats, EnumStats, Outcome, Report};
 pub use visitor::{CollectVisitor, CountVisitor, FirstKVisitor, MatchVisitor};
 
 use light_graph::CsrGraph;

@@ -25,6 +25,22 @@ pub enum Outcome {
     MemoryExceeded,
 }
 
+/// Auxiliary candidate-cache counters (DESIGN.md §11). All zero when the
+/// cache is disabled or the plan has no trim directives.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AuxStats {
+    /// COMPs answered from a memoized trimmed list (no intersection ran).
+    pub hits: u64,
+    /// COMPs that computed and attempted a store.
+    pub misses: u64,
+    /// Entries dropped: collision overwrites plus watermark purges.
+    pub evictions: u64,
+    /// Stores skipped because they would have crossed the watermark.
+    pub skipped_stores: u64,
+    /// Peak bytes of cached buffer capacity.
+    pub bytes_peak: usize,
+}
+
 /// Counters gathered during one enumeration.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct EnumStats {
@@ -36,6 +52,8 @@ pub struct EnumStats {
     pub peak_candidate_bytes: usize,
     /// Candidate-buffer pool effectiveness counters.
     pub pool: PoolStats,
+    /// Auxiliary candidate-cache counters.
+    pub aux: AuxStats,
 }
 
 impl EnumStats {
@@ -49,6 +67,13 @@ impl EnumStats {
         self.pool.reused += other.pool.reused;
         self.pool.fresh += other.pool.fresh;
         self.pool.released += other.pool.released;
+        self.aux.hits += other.aux.hits;
+        self.aux.misses += other.aux.misses;
+        self.aux.evictions += other.aux.evictions;
+        self.aux.skipped_stores += other.aux.skipped_stores;
+        // Per-worker caches are held concurrently, so peaks add like
+        // candidate peaks above.
+        self.aux.bytes_peak += other.aux.bytes_peak;
     }
 }
 

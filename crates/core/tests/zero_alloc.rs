@@ -53,9 +53,11 @@ fn run_range_allocates_nothing_after_warm_up() {
     let g = generators::barabasi_albert(400, 6, 71);
     let n = g.num_vertices() as VertexId;
 
+    // Leg 1 — cache off, disjoint ranges: the original steady-state
+    // contract with nothing but the pool recycling buffers.
     for query in [Query::P2, Query::P4] {
         let pattern = query.pattern();
-        let cfg = EngineConfig::light();
+        let cfg = EngineConfig::light().aux_cache(false);
         let plan = cfg.plan(&pattern, &g);
         let mut visitor = CountVisitor::default();
         let mut e = Enumerator::new(&plan, &g, &cfg, &mut visitor);
@@ -83,6 +85,61 @@ fn run_range_allocates_nothing_after_warm_up() {
             delta,
             0,
             "{}: {} heap allocations during steady-state run_range",
+            query.name(),
+            delta
+        );
+    }
+
+    // Leg 2 — aux cache on (threshold 0 forces directives): the cache must
+    // honour the same contract. A slot's buffer grows to its high-water
+    // capacity during warm-up; stores then recycle it in place
+    // (`clear` + `extend_from_slice`), and hits copy into pooled candidate
+    // buffers that are already at capacity. The steady pass repeats the
+    // warmed range so every store lands in a slot whose capacity the
+    // warm-up already established.
+    // P1 and P5 are the two catalog patterns whose plans are structurally
+    // eligible for a trim directive (a multi-operand COMP below a
+    // re-entered MAT slot).
+    for query in [Query::P1, Query::P5] {
+        let pattern = query.pattern();
+        let cfg = EngineConfig::light().aux_cache(true).aux_threshold(0.0);
+        let plan = cfg.plan(&pattern, &g);
+        assert!(
+            !plan.aux_directives().is_empty(),
+            "{}: structural planning emitted no trim directive — the \
+             cache-on leg would be vacuous",
+            query.name()
+        );
+        let mut visitor = CountVisitor::default();
+        let mut e = Enumerator::new(&plan, &g, &cfg, &mut visitor);
+
+        let warm = e.run_range(0, n);
+        assert!(
+            warm.matches > 0,
+            "{}: cache-on warm-up found no matches",
+            query.name()
+        );
+
+        let before = allocs();
+        let steady = e.run_range(0, n);
+        let delta = allocs() - before;
+        // Matches accumulate across `run_range` calls: an identical second
+        // pass must land on exactly double, or the cache changed results.
+        assert_eq!(
+            steady.matches,
+            2 * warm.matches,
+            "{}: repeated range changed the count",
+            query.name()
+        );
+        assert!(
+            steady.stats.aux.hits + steady.stats.aux.misses > 0,
+            "{}: cache-on steady pass never consulted the cache",
+            query.name()
+        );
+        assert_eq!(
+            delta,
+            0,
+            "{}: {} heap allocations during cache-on steady-state run_range",
             query.name(),
             delta
         );

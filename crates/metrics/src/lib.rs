@@ -135,6 +135,19 @@ pub struct Summary {
     pub queue_residency_count: u64,
     /// Sum of the sampled pending-task depths.
     pub queue_residency_sum: u64,
+    /// Auxiliary-cache hits (COMPs answered from a memoized trimmed list).
+    pub aux_hits: u64,
+    /// Auxiliary-cache misses (COMPs that computed and tried to store).
+    pub aux_misses: u64,
+    /// Auxiliary-cache entries dropped (collision overwrites of live
+    /// entries plus watermark-pressure purges).
+    pub aux_evictions: u64,
+    /// Stores skipped because they would have crossed the memory
+    /// watermark.
+    pub aux_skipped_stores: u64,
+    /// Peak bytes resident in auxiliary-cache buffers (max across
+    /// workers' peaks).
+    pub aux_bytes_peak: u64,
     /// Per-worker scheduler samples, in worker order (only workers that
     /// actually flushed).
     pub workers: Vec<WorkerSample>,

@@ -58,6 +58,26 @@ impl LocalRecorder {
     /// No-op.
     #[inline(always)]
     pub fn intersect_pair(&mut self, _la: usize, _lb: usize, _tier: usize, _galloping: bool) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn aux_hit(&mut self) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn aux_miss(&mut self) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn aux_evict(&mut self, _n: u64) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn aux_store_skip(&mut self) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn aux_bytes(&mut self, _bytes: usize) {}
 }
 
 /// Inert stand-in for the sampled timer.

@@ -65,6 +65,12 @@ struct LocalInner {
     skew_ratio: LocalHist,
     tier_calls: [u64; 3],
     tier_galloping: [u64; 3],
+    // Auxiliary candidate cache (engine COMP memoization).
+    aux_hits: u64,
+    aux_misses: u64,
+    aux_evictions: u64,
+    aux_skipped_stores: u64,
+    aux_bytes_peak: u64,
     shared: Arc<Shared>,
 }
 
@@ -165,6 +171,48 @@ impl LocalRecorder {
     pub fn budget_poll_gap(&mut self, nanos: u64) {
         if let Some(l) = &mut self.inner {
             l.budget_poll.record(nanos);
+        }
+    }
+
+    /// Count an auxiliary-cache hit (COMP answered from a memoized
+    /// trimmed list).
+    #[inline]
+    pub fn aux_hit(&mut self) {
+        if let Some(l) = &mut self.inner {
+            l.aux_hits += 1;
+        }
+    }
+
+    /// Count an auxiliary-cache miss (COMP computed, store attempted).
+    #[inline]
+    pub fn aux_miss(&mut self) {
+        if let Some(l) = &mut self.inner {
+            l.aux_misses += 1;
+        }
+    }
+
+    /// Count `n` auxiliary-cache entries dropped (collision overwrite or
+    /// watermark purge).
+    #[inline]
+    pub fn aux_evict(&mut self, n: u64) {
+        if let Some(l) = &mut self.inner {
+            l.aux_evictions += n;
+        }
+    }
+
+    /// Count a store skipped to stay under the memory watermark.
+    #[inline]
+    pub fn aux_store_skip(&mut self) {
+        if let Some(l) = &mut self.inner {
+            l.aux_skipped_stores += 1;
+        }
+    }
+
+    /// Track the peak bytes resident in auxiliary-cache buffers.
+    #[inline]
+    pub fn aux_bytes(&mut self, bytes: usize) {
+        if let Some(l) = &mut self.inner {
+            l.aux_bytes_peak = l.aux_bytes_peak.max(bytes as u64);
         }
     }
 
@@ -311,6 +359,11 @@ struct Shared {
     skew_ratio: AtomicHist,
     tier_calls: [AtomicU64; 3],
     tier_galloping: [AtomicU64; 3],
+    aux_hits: AtomicU64,
+    aux_misses: AtomicU64,
+    aux_evictions: AtomicU64,
+    aux_skipped_stores: AtomicU64,
+    aux_bytes_peak: AtomicU64,
     workers: Vec<AtomicWorker>,
     queue_residency: AtomicHist,
 }
@@ -345,6 +398,11 @@ impl Recorder {
                 skew_ratio: AtomicHist::new(),
                 tier_calls: std::array::from_fn(|_| AtomicU64::new(0)),
                 tier_galloping: std::array::from_fn(|_| AtomicU64::new(0)),
+                aux_hits: AtomicU64::new(0),
+                aux_misses: AtomicU64::new(0),
+                aux_evictions: AtomicU64::new(0),
+                aux_skipped_stores: AtomicU64::new(0),
+                aux_bytes_peak: AtomicU64::new(0),
                 workers: (0..MAX_WORKERS).map(|_| AtomicWorker::default()).collect(),
                 queue_residency: AtomicHist::new(),
             })),
@@ -378,6 +436,11 @@ impl Recorder {
                     skew_ratio: LocalHist::default(),
                     tier_calls: [0; 3],
                     tier_galloping: [0; 3],
+                    aux_hits: 0,
+                    aux_misses: 0,
+                    aux_evictions: 0,
+                    aux_skipped_stores: 0,
+                    aux_bytes_peak: 0,
                     shared: Arc::clone(shared),
                 })
             }),
@@ -411,6 +474,11 @@ impl Recorder {
             s.tier_calls[t].fetch_add(l.tier_calls[t], R);
             s.tier_galloping[t].fetch_add(l.tier_galloping[t], R);
         }
+        s.aux_hits.fetch_add(l.aux_hits, R);
+        s.aux_misses.fetch_add(l.aux_misses, R);
+        s.aux_evictions.fetch_add(l.aux_evictions, R);
+        s.aux_skipped_stores.fetch_add(l.aux_skipped_stores, R);
+        s.aux_bytes_peak.fetch_max(l.aux_bytes_peak, R);
         let shared = Arc::clone(s);
         *l.as_mut() = LocalInner {
             slots: [LocalSlot::default(); MAX_SLOTS],
@@ -422,6 +490,11 @@ impl Recorder {
             skew_ratio: LocalHist::default(),
             tier_calls: [0; 3],
             tier_galloping: [0; 3],
+            aux_hits: 0,
+            aux_misses: 0,
+            aux_evictions: 0,
+            aux_skipped_stores: 0,
+            aux_bytes_peak: 0,
             shared,
         };
     }
@@ -482,6 +555,11 @@ impl Recorder {
         }
         out.input_len_count = s.input_len.count.load(R);
         out.input_len_sum = s.input_len.sum.load(R);
+        out.aux_hits = s.aux_hits.load(R);
+        out.aux_misses = s.aux_misses.load(R);
+        out.aux_evictions = s.aux_evictions.load(R);
+        out.aux_skipped_stores = s.aux_skipped_stores.load(R);
+        out.aux_bytes_peak = s.aux_bytes_peak.load(R);
         out.queue_residency_count = s.queue_residency.count.load(R);
         out.queue_residency_sum = s.queue_residency.sum.load(R);
         for (i, w) in s.workers.iter().enumerate() {
@@ -566,11 +644,24 @@ impl Recorder {
         let gall: u64 = s.tier_galloping.iter().map(|c| c.load(R)).sum();
         out.push_str(&format!(
             "}},\n    \"total\": {total}, \"galloping\": {gall}, \"merge\": {},\n    \
-             \"input_len\": {},\n    \"skew_ratio\": {}\n  }},\n  \"scheduler\": {{\n    \
-             \"workers\": [",
+             \"input_len\": {},\n    \"skew_ratio\": {}\n  }},\n",
             total - gall,
             s.input_len.json(),
             s.skew_ratio.json()
+        ));
+        let (ah, am) = (s.aux_hits.load(R), s.aux_misses.load(R));
+        let hit_rate = if ah + am == 0 {
+            0.0
+        } else {
+            ah as f64 / (ah + am) as f64
+        };
+        out.push_str(&format!(
+            "  \"auxcache\": {{\n    \"hits\": {ah}, \"misses\": {am}, \
+             \"hit_rate\": {hit_rate:.4},\n    \"evictions\": {}, \"skipped_stores\": {}, \
+             \"bytes_peak\": {}\n  }},\n  \"scheduler\": {{\n    \"workers\": [",
+            s.aux_evictions.load(R),
+            s.aux_skipped_stores.load(R),
+            s.aux_bytes_peak.load(R)
         ));
         first = true;
         for (i, w) in s.workers.iter().enumerate() {

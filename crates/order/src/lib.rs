@@ -20,6 +20,9 @@
 //!   statistics.
 //! * [`cost`] — Equation 8 and the exhaustive connected-order optimizer with
 //!   symmetry-breaking pruning and partial-order tie-breaking (§VI).
+//! * [`auxplan`] — the auxiliary-cache planning pass: which COMPs profit
+//!   from memoizing trimmed adjacency lists across sibling subtrees, decided
+//!   with the same Eq. 8 expand factors.
 //! * [`plan`] — [`plan::QueryPlan`], the bundle the engines consume.
 //!
 //! ```
@@ -35,11 +38,13 @@
 //! ```
 
 pub mod anchor;
+pub mod auxplan;
 pub mod cost;
 pub mod estimate;
 pub mod exec_order;
 pub mod plan;
 pub mod setcover;
 
+pub use auxplan::{TrimDirective, DEFAULT_AUX_THRESHOLD};
 pub use exec_order::{ExecOp, ExecutionOrder};
 pub use plan::QueryPlan;

@@ -14,6 +14,7 @@ use light_pattern::symmetry::VertexConstraints;
 use light_pattern::{PartialOrder, PatternGraph, PatternVertex};
 
 use crate::anchor::{anchor_info, AnchorInfo};
+use crate::auxplan::{plan_trims, TrimDirective, DEFAULT_AUX_THRESHOLD};
 use crate::cost::choose_order;
 use crate::estimate::Estimator;
 use crate::exec_order::ExecutionOrder;
@@ -48,6 +49,8 @@ pub struct QueryPlan {
     constraints: Vec<VertexConstraints>,
     materialization: Materialization,
     strategy: CandidateStrategy,
+    aux: Vec<TrimDirective>,
+    aux_for: Vec<Option<u8>>,
 }
 
 impl QueryPlan {
@@ -55,13 +58,9 @@ impl QueryPlan {
     /// order, estimate cardinalities from `g`'s statistics, pick the best
     /// connected order by Equation 8, and build a lazy, set-cover plan.
     pub fn optimized(pattern: &PatternGraph, g: &CsrGraph) -> QueryPlan {
-        let po = PartialOrder::for_pattern(pattern);
-        let est = Estimator::from_graph(g);
-        let pi = choose_order(pattern, &po, &est);
-        Self::build(
+        Self::optimized_with(
             pattern,
-            &pi,
-            po,
+            g,
             Materialization::Lazy,
             CandidateStrategy::MinSetCover,
         )
@@ -75,14 +74,37 @@ impl QueryPlan {
         materialization: Materialization,
         strategy: CandidateStrategy,
     ) -> QueryPlan {
+        Self::optimized_tuned(pattern, g, materialization, strategy, DEFAULT_AUX_THRESHOLD)
+    }
+
+    /// [`QueryPlan::optimized_with`] with an explicit auxiliary-cache
+    /// benefit threshold (entries whose estimated reuse falls below it get
+    /// no [`TrimDirective`]; see [`crate::auxplan`]).
+    pub fn optimized_tuned(
+        pattern: &PatternGraph,
+        g: &CsrGraph,
+        materialization: Materialization,
+        strategy: CandidateStrategy,
+        aux_threshold: f64,
+    ) -> QueryPlan {
         let po = PartialOrder::for_pattern(pattern);
         let est = Estimator::from_graph(g);
         let pi = choose_order(pattern, &po, &est);
-        Self::build(pattern, &pi, po, materialization, strategy)
+        Self::build(
+            pattern,
+            &pi,
+            po,
+            materialization,
+            strategy,
+            Some(&est),
+            aux_threshold,
+        )
     }
 
     /// Build a plan over an explicit enumeration order (tests, simulators,
-    /// and the paper's "same π for SE/LM/MSC/LIGHT" experiments).
+    /// and the paper's "same π for SE/LM/MSC/LIGHT" experiments). With no
+    /// data graph to estimate against, every structurally eligible slot
+    /// gets a trim directive.
     pub fn with_order(
         pattern: &PatternGraph,
         pi: &[PatternVertex],
@@ -90,7 +112,39 @@ impl QueryPlan {
         materialization: Materialization,
         strategy: CandidateStrategy,
     ) -> QueryPlan {
-        Self::build(pattern, pi, partial_order, materialization, strategy)
+        Self::build(
+            pattern,
+            pi,
+            partial_order,
+            materialization,
+            strategy,
+            None,
+            DEFAULT_AUX_THRESHOLD,
+        )
+    }
+
+    /// [`QueryPlan::with_order`] with estimator-driven trim planning —
+    /// the non-symmetry engine path, which picks π itself but still has
+    /// the data graph's statistics.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_order_estimated(
+        pattern: &PatternGraph,
+        pi: &[PatternVertex],
+        partial_order: PartialOrder,
+        materialization: Materialization,
+        strategy: CandidateStrategy,
+        est: &Estimator,
+        aux_threshold: f64,
+    ) -> QueryPlan {
+        Self::build(
+            pattern,
+            pi,
+            partial_order,
+            materialization,
+            strategy,
+            Some(est),
+            aux_threshold,
+        )
     }
 
     fn build(
@@ -99,6 +153,8 @@ impl QueryPlan {
         partial_order: PartialOrder,
         materialization: Materialization,
         strategy: CandidateStrategy,
+        est: Option<&Estimator>,
+        aux_threshold: f64,
     ) -> QueryPlan {
         let exec = match materialization {
             Materialization::Eager => ExecutionOrder::eager(pattern, pi),
@@ -111,6 +167,11 @@ impl QueryPlan {
         };
         let anchors = anchor_info(pattern, &exec);
         let constraints = partial_order.per_vertex(pattern.num_vertices());
+        let aux = plan_trims(pattern, &exec, &operands, est, aux_threshold);
+        let mut aux_for = vec![None; pattern.num_vertices()];
+        for (i, d) in aux.iter().enumerate() {
+            aux_for[d.target as usize] = Some(i as u8);
+        }
         QueryPlan {
             pattern: *pattern,
             exec,
@@ -120,6 +181,8 @@ impl QueryPlan {
             constraints,
             materialization,
             strategy,
+            aux,
+            aux_for,
         }
     }
 
@@ -173,6 +236,18 @@ impl QueryPlan {
         self.strategy
     }
 
+    /// Auxiliary-cache trim directives (see [`crate::auxplan`]).
+    pub fn aux_directives(&self) -> &[TrimDirective] {
+        &self.aux
+    }
+
+    /// The index into [`QueryPlan::aux_directives`] targeting pattern
+    /// vertex `u`, if its COMP is memoizable.
+    #[inline]
+    pub fn aux_for(&self, u: PatternVertex) -> Option<usize> {
+        self.aux_for[u as usize].map(|i| i as usize)
+    }
+
     /// Expected set intersections along a single root-to-leaf search path:
     /// `Σ_u w_u` (compare Fig. 2b's "2 → 1" on the diamond).
     pub fn per_path_intersections(&self) -> usize {
@@ -220,6 +295,13 @@ impl QueryPlan {
             "per-path set intersections: {}",
             self.per_path_intersections()
         );
+        for d in &self.aux {
+            let _ = writeln!(
+                s,
+                "  aux: memoize C(u{}) by phi(u{}) [anchor slot {}, guard slot {}, est reuse {:.1}]",
+                d.target, d.key, d.anchor_slot, d.guard_slot, d.est_reuse
+            );
+        }
         s
     }
 }

@@ -290,6 +290,31 @@ mod tests {
     }
 
     #[test]
+    fn custom_delta_boundary_is_exact() {
+        // The dispatch boundary must sit exactly at the configured δ, for
+        // every kind that runs on this CPU: |b| = δ·|a| gallops, one
+        // element fewer merges. Pins the `>=`-vs-`>` convention so a
+        // configurable δ cannot silently shift it.
+        let delta = 7;
+        let a: Vec<u32> = (0..12).collect();
+        let at: Vec<u32> = (0..12 * delta as u32).collect();
+        let under: Vec<u32> = (0..12 * delta as u32 - 1).collect();
+        for kind in [
+            IntersectKind::HybridScalar,
+            IntersectKind::HybridAvx2,
+            IntersectKind::HybridAvx512,
+        ] {
+            let isec = Intersector::with_delta(kind, delta);
+            let mut out = Vec::new();
+            let mut st = IntersectStats::default();
+            isec.intersect_into(&a, &at, &mut out, &mut st);
+            assert_eq!((st.galloping, st.merge), (1, 0), "{} at δ×", kind.name());
+            isec.intersect_into(&a, &under, &mut out, &mut st);
+            assert_eq!((st.galloping, st.merge), (1, 1), "{} under δ×", kind.name());
+        }
+    }
+
+    #[test]
     fn merge_kinds_never_gallop() {
         let a: Vec<u32> = (0..2).collect();
         let b: Vec<u32> = (0..10_000).collect();

@@ -43,7 +43,9 @@ pub mod scalar;
 pub mod simd;
 pub mod simd512;
 pub mod stats;
+pub mod trim;
 
 pub use hybrid::{IntersectKind, Intersector, DEFAULT_DELTA};
 pub use multi::{intersect_many, intersect_many_recorded};
 pub use stats::{IntersectStats, KernelTier};
+pub use trim::trim_into;

@@ -52,6 +52,10 @@ pub struct IntersectStats {
     /// Galloping dispatches per kernel tier, indexed by [`KernelTier`]
     /// (the per-tier numerator of the Table III galloping share).
     pub tier_galloping: [u64; 3],
+    /// Adjacency-trim folds performed (see [`crate::trim::trim_into`]);
+    /// the pairwise intersections inside a trim are counted in the fields
+    /// above as usual.
+    pub trims: u64,
 }
 
 impl IntersectStats {
@@ -102,6 +106,7 @@ impl IntersectStats {
             self.tier_calls[t] += other.tier_calls[t];
             self.tier_galloping[t] += other.tier_galloping[t];
         }
+        self.trims += other.trims;
     }
 }
 
@@ -135,6 +140,7 @@ mod tests {
             elements_scanned: 10,
             tier_calls: [1, 0, 0],
             tier_galloping: [0, 0, 0],
+            trims: 1,
         };
         let b = IntersectStats {
             total: 2,
@@ -143,8 +149,10 @@ mod tests {
             elements_scanned: 5,
             tier_calls: [0, 1, 1],
             tier_galloping: [0, 1, 1],
+            trims: 2,
         };
         a.merge_from(&b);
+        assert_eq!(a.trims, 3);
         assert_eq!(a.total, 3);
         assert_eq!(a.merge, 1);
         assert_eq!(a.galloping, 2);

@@ -1,0 +1,134 @@
+//! Adjacency trimming: intersect a base neighbor list against a batch of
+//! filter sets, producing a *reusable trimmed operand*.
+//!
+//! This is the kernel behind the engine's auxiliary candidate cache: the
+//! trimmed list is stored keyed by the data vertex that owns `base` and
+//! replayed across sibling subtrees whose filter sets are unchanged. The
+//! fold delegates to [`Intersector::intersect_into_recorded`], so trimming
+//! shares the scalar → AVX2 → AVX-512 dispatch ladder (and the Hybrid δ
+//! rule) with every other intersection in the system, and preserves the
+//! min property by folding smallest-first.
+
+use crate::hybrid::Intersector;
+use crate::stats::IntersectStats;
+
+/// Same stack bound as the k-way fold in [`crate::multi`].
+const STACK_OPERANDS: usize = 32;
+
+/// Compute `out = base ∩ filters[0] ∩ … ∩ filters[k-1]`.
+///
+/// With no filters this degenerates to a copy of `base` (counted as a trim
+/// but not as an intersection). `scratch` is caller-provided so steady
+/// state allocates nothing; the result is sorted and duplicate-free like
+/// every kernel output.
+#[allow(clippy::too_many_arguments)]
+pub fn trim_into(
+    isec: &Intersector,
+    base: &[u32],
+    filters: &[&[u32]],
+    out: &mut Vec<u32>,
+    scratch: &mut Vec<u32>,
+    stats: &mut IntersectStats,
+    rec: &mut light_metrics::LocalRecorder,
+) {
+    stats.trims += 1;
+    match filters.len() {
+        0 => {
+            out.clear();
+            out.extend_from_slice(base);
+        }
+        k if k < STACK_OPERANDS => {
+            let mut sets: [&[u32]; STACK_OPERANDS] = [&[]; STACK_OPERANDS];
+            sets[0] = base;
+            sets[1..=k].copy_from_slice(filters);
+            crate::multi::intersect_many_recorded(isec, &sets[..=k], out, scratch, stats, rec);
+        }
+        _ => {
+            let mut sets: Vec<&[u32]> = Vec::with_capacity(filters.len() + 1);
+            sets.push(base);
+            sets.extend_from_slice(filters);
+            crate::multi::intersect_many_recorded(isec, &sets, out, scratch, stats, rec);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hybrid::IntersectKind;
+
+    fn run(base: &[u32], filters: &[&[u32]]) -> (Vec<u32>, IntersectStats) {
+        let isec = Intersector::new(IntersectKind::HybridScalar);
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        let mut st = IntersectStats::default();
+        trim_into(
+            &isec,
+            base,
+            filters,
+            &mut out,
+            &mut scratch,
+            &mut st,
+            &mut Default::default(),
+        );
+        (out, st)
+    }
+
+    #[test]
+    fn no_filters_copies_base() {
+        let (out, st) = run(&[2, 4, 6], &[]);
+        assert_eq!(out, vec![2, 4, 6]);
+        assert_eq!(st.trims, 1);
+        assert_eq!(st.total, 0);
+    }
+
+    #[test]
+    fn single_filter() {
+        let (out, st) = run(&[1, 2, 3, 4, 5], &[&[2, 4, 6]]);
+        assert_eq!(out, vec![2, 4]);
+        assert_eq!(st.trims, 1);
+        assert_eq!(st.total, 1);
+    }
+
+    #[test]
+    fn matches_reference_intersection() {
+        let base: Vec<u32> = (0..200).collect();
+        let f1: Vec<u32> = (0..200).filter(|x| x % 2 == 0).collect();
+        let f2: Vec<u32> = (0..200).filter(|x| x % 3 == 0).collect();
+        let (out, st) = run(&base, &[&f1, &f2]);
+        let expect: Vec<u32> = (0..200).filter(|x| x % 6 == 0).collect();
+        assert_eq!(out, expect);
+        assert_eq!(st.total, 2); // k pairwise intersections for k filters
+        assert_eq!(st.trims, 1);
+    }
+
+    #[test]
+    fn empty_base_or_filter() {
+        assert!(run(&[], &[&[1, 2, 3]]).0.is_empty());
+        assert!(run(&[1, 2, 3], &[&[]]).0.is_empty());
+    }
+
+    #[test]
+    fn all_kinds_agree() {
+        let base: Vec<u32> = (0..512).map(|x| x * 3).collect();
+        let f1: Vec<u32> = (0..512).map(|x| x * 2).collect();
+        let f2: Vec<u32> = (100..900).collect();
+        let expect = run(&base, &[&f1, &f2]).0;
+        for kind in IntersectKind::ALL {
+            let isec = Intersector::new(kind);
+            let mut out = Vec::new();
+            let mut scratch = Vec::new();
+            let mut st = IntersectStats::default();
+            trim_into(
+                &isec,
+                &base,
+                &[&f1, &f2],
+                &mut out,
+                &mut scratch,
+                &mut st,
+                &mut Default::default(),
+            );
+            assert_eq!(out, expect, "{kind:?}");
+        }
+    }
+}

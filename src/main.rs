@@ -125,6 +125,7 @@ USAGE:
                  [--scale <f>] [--threads <k>] [--variant se|lm|msc|light]
                  [--kernel merge|merge-avx2|merge-avx512|hybrid|hybrid-avx2|hybrid-avx512]
                  [--budget <secs>] [--timeout <secs>] [--max-memory <bytes[K|M|G]>]
+                 [--delta <k>] [--no-aux-cache] [--aux-threshold <f>]
                  [--profile]
 
   count exits 0 on a complete run, 124 on --timeout, 130 on Ctrl-C, and
@@ -134,9 +135,14 @@ USAGE:
   memory per run, split evenly across --threads workers.
 
   --profile prints a JSON profile to stdout (per-slot COMP/MAT timings,
-  candidate histograms, setops tier counters, per-worker scheduler stats)
-  and moves the human-readable summary to stderr. Requires the default
-  `metrics` feature; without it the document is {{\"enabled\": false}}.
+  candidate histograms, setops tier counters, auxiliary-cache hit rates,
+  per-worker scheduler stats) and moves the human-readable summary to
+  stderr. Requires the default `metrics` feature; without it the document
+  is {{\"enabled\": false}}.
+
+  --delta sets the Hybrid kernel's galloping threshold (paper: 50).
+  --no-aux-cache disables the auxiliary candidate cache (DESIGN.md §11);
+  --aux-threshold tunes its planner benefit threshold (default 1.5).
   light plan     --pattern <..> (--dataset <name>|--graph <file>) [--scale <f>]
   light generate --kind ba|er|rmat|complete|grid --n <n> [--k <k>] [--m <m>]
                  [--seed <s>] --out <file>
@@ -148,7 +154,7 @@ USAGE:
 type Opts = HashMap<String, String>;
 
 /// Options that are boolean flags: present or absent, no value operand.
-const FLAG_OPTS: &[&str] = &["profile"];
+const FLAG_OPTS: &[&str] = &["profile", "no-aux-cache"];
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut out = HashMap::new();
@@ -193,12 +199,23 @@ fn load_graph(opts: &Opts) -> Result<CsrGraph, String> {
             .transpose()?
             .unwrap_or(0.1);
         eprintln!("building {} at scale {scale}...", d.full_name());
-        Ok(d.build_scaled(scale))
+        let g = d.build_scaled(scale);
+        debug_assert!(
+            light::graph::ordered::is_degree_ordered(&g),
+            "dataset {} violates the degree-ordered ID invariant symmetry breaking relies on",
+            d.name()
+        );
+        Ok(g)
     } else if let Some(path) = opts.get("graph") {
         let raw = light::graph::io::load_edge_list(path)
             .map_err(|e| format!("cannot load {path}: {e}"))?;
         // Relabel for symmetry breaking (documented CLI behavior).
-        Ok(light::graph::ordered::into_degree_ordered(&raw).0)
+        let g = light::graph::ordered::into_degree_ordered(&raw).0;
+        debug_assert!(
+            light::graph::ordered::is_degree_ordered(&g),
+            "into_degree_ordered produced a non-degree-ordered graph"
+        );
+        Ok(g)
     } else {
         Err("need --dataset <name> or --graph <file>".into())
     }
@@ -222,6 +239,23 @@ fn engine_config(opts: &Opts) -> Result<EngineConfig, String> {
         Some("merge-avx512") => cfg = cfg.intersect(IntersectKind::MergeAvx512),
         Some("hybrid-avx512") => cfg = cfg.intersect(IntersectKind::HybridAvx512),
         Some(k) => return Err(format!("unknown kernel {k:?}")),
+    }
+    if let Some(d) = opts.get("delta") {
+        let delta: usize = d.parse().map_err(|e| format!("bad --delta: {e}"))?;
+        if delta == 0 {
+            return Err("--delta must be at least 1".into());
+        }
+        cfg = cfg.delta(delta);
+    }
+    if opts.contains_key("no-aux-cache") {
+        cfg = cfg.aux_cache(false);
+    }
+    if let Some(t) = opts.get("aux-threshold") {
+        let thr: f64 = t.parse().map_err(|e| format!("bad --aux-threshold: {e}"))?;
+        if !thr.is_finite() || thr < 0.0 {
+            return Err("--aux-threshold must be a finite non-negative number".into());
+        }
+        cfg = cfg.aux_threshold(thr);
     }
     if let Some(b) = opts.get("budget") {
         let secs: f64 = b.parse().map_err(|e| format!("bad --budget: {e}"))?;
@@ -317,6 +351,16 @@ fn cmd_count(opts: &Opts) -> Result<ExitCode, String> {
         "candidate memory:   {} bytes peak",
         report.stats.peak_candidate_bytes
     ));
+    let aux = &report.stats.aux;
+    if aux.hits + aux.misses > 0 {
+        summary(format!(
+            "aux cache:          {} hits / {} misses ({:.1}% hit rate), {} bytes peak",
+            aux.hits,
+            aux.misses,
+            100.0 * aux.hits as f64 / (aux.hits + aux.misses) as f64,
+            aux.bytes_peak
+        ));
+    }
     if profile {
         println!("{}", recorder.to_json());
     }
