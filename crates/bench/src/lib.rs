@@ -66,18 +66,55 @@ pub fn threads(default: usize) -> usize {
     env_usize("LIGHT_THREADS", default)
 }
 
-/// Build (and memoize on disk under `target/light-datasets/`) a dataset at
-/// a scale — repeated harness runs skip regeneration.
-pub fn dataset(d: Dataset, s: f64) -> CsrGraph {
-    let dir = std::path::Path::new("target/light-datasets");
-    std::fs::create_dir_all(dir).ok();
+/// Directory the dataset memoizer caches snapshots in:
+/// `LIGHT_DATASET_CACHE_DIR`, defaulting to `target/light-datasets`.
+pub fn dataset_cache_dir() -> std::path::PathBuf {
+    std::env::var("LIGHT_DATASET_CACHE_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| std::path::PathBuf::from("target/light-datasets"))
+}
+
+/// Build (and memoize on disk under [`dataset_cache_dir`]) a dataset at a
+/// scale — repeated harness runs skip regeneration.
+///
+/// A missing cache file is the normal first-run case and rebuilds
+/// silently. Any *other* load failure (truncated snapshot, bad magic,
+/// version skew, permissions) is reported on stderr with the underlying
+/// [`light_graph::io::GraphIoError`], the corrupt file is deleted, and the
+/// dataset is rebuilt — so one bad write cannot wedge every future harness
+/// run, and it cannot do so *silently* either. Cache-write failures
+/// propagate: a harness that thinks it memoized but didn't would
+/// re-measure generation time in every run that follows.
+pub fn try_dataset(d: Dataset, s: f64) -> Result<CsrGraph, String> {
+    let dir = dataset_cache_dir();
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| format!("cannot create dataset cache dir {}: {e}", dir.display()))?;
     let path = dir.join(format!("{}_{:.3}.bin", d.name(), s));
-    if let Ok(g) = light_graph::io::load_snapshot(&path) {
-        return g;
+    match light_graph::io::load_snapshot(&path) {
+        Ok(g) => return Ok(g),
+        Err(light_graph::io::GraphIoError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+            // First run at this (dataset, scale); build below.
+        }
+        Err(e) => {
+            eprintln!(
+                "warning: dataset cache {} is unusable ({e}); deleting and regenerating",
+                path.display()
+            );
+            std::fs::remove_file(&path)
+                .map_err(|e| format!("cannot delete corrupt cache {}: {e}", path.display()))?;
+        }
     }
     let g = d.build_scaled(s);
-    light_graph::io::save_snapshot(&g, &path).ok();
-    g
+    light_graph::io::save_snapshot(&g, &path)
+        .map_err(|e| format!("cannot write dataset cache {}: {e}", path.display()))?;
+    Ok(g)
+}
+
+/// [`try_dataset`] for harness `main`s: panics with the cache error, which
+/// is the right behavior for a bench binary (a broken cache directory
+/// should fail the run loudly, not skew its timings).
+pub fn dataset(d: Dataset, s: f64) -> CsrGraph {
+    try_dataset(d, s).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Format a duration as the paper's tables do (seconds with adaptive
@@ -336,10 +373,66 @@ mod tests {
         assert_eq!(opens, closes, "{body}");
     }
 
+    /// Serializes the tests that touch the cache directory / env override
+    /// (cargo runs tests in parallel; the env var is process-global).
+    static CACHE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn dataset_memoization_roundtrip() {
+        let _g = CACHE_LOCK.lock().unwrap();
         let a = dataset(Dataset::Yt, 0.05);
         let b = dataset(Dataset::Yt, 0.05); // loaded from the snapshot
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dataset_cache_dir_env_override() {
+        let _g = CACHE_LOCK.lock().unwrap();
+        assert_eq!(
+            dataset_cache_dir(),
+            std::path::PathBuf::from("target/light-datasets")
+        );
+        std::env::set_var("LIGHT_DATASET_CACHE_DIR", "/tmp/light-bench-cache-test");
+        assert_eq!(
+            dataset_cache_dir(),
+            std::path::PathBuf::from("/tmp/light-bench-cache-test")
+        );
+        std::env::remove_var("LIGHT_DATASET_CACHE_DIR");
+    }
+
+    #[test]
+    fn corrupt_dataset_cache_recovers_loudly() {
+        let _g = CACHE_LOCK.lock().unwrap();
+        // A scale no other test uses, so this test owns the cache file.
+        let s = 0.041;
+        let path = dataset_cache_dir().join(format!("{}_{s:.3}.bin", Dataset::Yt.name()));
+        std::fs::create_dir_all(dataset_cache_dir()).unwrap();
+
+        // Truncated garbage where a snapshot should be: the old code
+        // silently fell back to regeneration and left the corrupt file in
+        // place; now the file is deleted and replaced with a valid one.
+        std::fs::write(&path, b"LIGHTCSR_truncated_garbage").unwrap();
+        let a = try_dataset(Dataset::Yt, s).expect("corrupt cache must rebuild");
+        let reloaded =
+            light_graph::io::load_snapshot(&path).expect("rebuilt cache file must be valid");
+        assert_eq!(a, reloaded);
+
+        // Non-snapshot garbage (wrong magic entirely) recovers too.
+        std::fs::write(&path, b"not a snapshot at all").unwrap();
+        let b = try_dataset(Dataset::Yt, s).unwrap();
+        assert_eq!(a, b);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unwritable_dataset_cache_propagates() {
+        let _g = CACHE_LOCK.lock().unwrap();
+        std::env::set_var("LIGHT_DATASET_CACHE_DIR", "/proc/light-bench-no-such-dir");
+        let err = try_dataset(Dataset::Yt, 0.041).unwrap_err();
+        std::env::remove_var("LIGHT_DATASET_CACHE_DIR");
+        assert!(
+            err.contains("cannot create dataset cache dir"),
+            "unexpected error: {err}"
+        );
     }
 }

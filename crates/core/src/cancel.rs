@@ -39,6 +39,13 @@ impl CancelToken {
     pub fn is_cancelled(&self) -> bool {
         self.flag.load(Ordering::Relaxed)
     }
+
+    /// Whether two tokens share the same underlying flag (clones of one
+    /// another). Registries of in-flight tokens use this to deregister the
+    /// right entry without imposing `Eq` semantics on the flag value.
+    pub fn ptr_eq(&self, other: &CancelToken) -> bool {
+        Arc::ptr_eq(&self.flag, &other.flag)
+    }
 }
 
 #[cfg(test)]
@@ -50,6 +57,8 @@ mod tests {
         let a = CancelToken::new();
         let b = a.clone();
         assert!(!a.is_cancelled());
+        assert!(a.ptr_eq(&b));
+        assert!(!a.ptr_eq(&CancelToken::new()));
         b.cancel();
         b.cancel();
         assert!(a.is_cancelled() && b.is_cancelled());

@@ -343,6 +343,51 @@ pub fn load_snapshot(path: impl AsRef<Path>) -> Result<CsrGraph, GraphIoError> {
     from_snapshot(Bytes::from(std::fs::read(path)?))
 }
 
+/// The on-disk format [`load_any`] detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphFormat {
+    /// `LIGHTCSR` binary snapshot ([`to_snapshot`]).
+    Snapshot,
+    /// SNAP-style text edge list ([`read_edge_list`]).
+    EdgeList,
+}
+
+impl GraphFormat {
+    /// Human-readable format name (`"snapshot"` / `"edge-list"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            GraphFormat::Snapshot => "snapshot",
+            GraphFormat::EdgeList => "edge-list",
+        }
+    }
+}
+
+/// Detect the format of an in-memory graph file by its magic bytes.
+///
+/// Anything that does not start with the 8-byte `LIGHTCSR` magic is
+/// treated as a text edge list — including files shorter than the magic.
+pub fn detect_format(data: &[u8]) -> GraphFormat {
+    if data.len() >= MAGIC.len() && &data[..MAGIC.len()] == MAGIC {
+        GraphFormat::Snapshot
+    } else {
+        GraphFormat::EdgeList
+    }
+}
+
+/// Load a graph file in either supported format, auto-detected by magic
+/// bytes, returning the graph and the format found.
+///
+/// This is the shared load path of `light count --graph`, `light convert`,
+/// and the serve catalog: a snapshot produced by `light convert` and the
+/// text edge list it came from load to the same graph through here.
+pub fn load_any(path: impl AsRef<Path>) -> Result<(CsrGraph, GraphFormat), GraphIoError> {
+    let data = std::fs::read(path)?;
+    match detect_format(&data) {
+        GraphFormat::Snapshot => Ok((from_snapshot(Bytes::from(data))?, GraphFormat::Snapshot)),
+        GraphFormat::EdgeList => Ok((read_edge_list(&data[..])?, GraphFormat::EdgeList)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -468,6 +513,54 @@ mod tests {
         let io_err: io::Error = e.into();
         assert_eq!(io_err.kind(), io::ErrorKind::InvalidData);
         assert!(io_err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn load_any_autodetects_both_formats() {
+        let g = generators::barabasi_albert(80, 3, 5);
+        let dir = std::env::temp_dir().join("light_graph_io_load_any");
+        std::fs::create_dir_all(&dir).unwrap();
+        let text = dir.join("g.txt");
+        let bin = dir.join("g.bin");
+        write_edge_list(&g, std::fs::File::create(&text).unwrap()).unwrap();
+        save_snapshot(&g, &bin).unwrap();
+
+        let (gt, ft) = load_any(&text).unwrap();
+        let (gb, fb) = load_any(&bin).unwrap();
+        assert_eq!(ft, GraphFormat::EdgeList);
+        assert_eq!(fb, GraphFormat::Snapshot);
+        assert_eq!(gt, g);
+        assert_eq!(gb, g);
+
+        std::fs::remove_file(&text).ok();
+        std::fs::remove_file(&bin).ok();
+    }
+
+    #[test]
+    fn detect_format_edge_cases() {
+        assert_eq!(detect_format(b""), GraphFormat::EdgeList);
+        assert_eq!(detect_format(b"LIGHT"), GraphFormat::EdgeList); // shorter than magic
+        assert_eq!(detect_format(b"LIGHTCSR"), GraphFormat::Snapshot);
+        assert_eq!(detect_format(b"0 1\n1 2\n"), GraphFormat::EdgeList);
+        // A text file that *begins* with the magic would be misdetected;
+        // no valid edge list can, since 'L' is not a digit/comment char.
+        assert_eq!(GraphFormat::Snapshot.name(), "snapshot");
+        assert_eq!(GraphFormat::EdgeList.name(), "edge-list");
+    }
+
+    #[test]
+    fn load_any_surfaces_typed_errors() {
+        let dir = std::env::temp_dir().join("light_graph_io_load_any_err");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("trunc.bin");
+        let g = generators::complete(6);
+        let snap = to_snapshot(&g);
+        std::fs::write(&p, &snap[..snap.len() - 2]).unwrap();
+        assert!(matches!(
+            load_any(&p),
+            Err(GraphIoError::SnapshotTruncated { .. })
+        ));
+        std::fs::remove_file(&p).ok();
     }
 
     #[test]

@@ -1,0 +1,241 @@
+//! The plan cache: repeated patterns skip order / exec-order / aux-plan
+//! search entirely.
+//!
+//! Planning is cheap relative to enumeration on one query, but a serving
+//! daemon sees the *same* handful of patterns over and over — the CECI /
+//! SEED amortization argument. A cached [`QueryPlan`] is keyed by
+//! everything that feeds plan construction:
+//!
+//! * the pattern's exact edge set (patterns are ≤ 8 vertices, so the edge
+//!   list is the canonical form — no isomorphism folding, by design:
+//!   clients that spell the same shape differently get distinct but
+//!   equally valid plans);
+//! * the catalog graph name (plans embed graph-derived cardinality
+//!   estimates, so a plan never transfers between graphs);
+//! * the engine knobs that alter planning: variant (materialization ×
+//!   candidate strategy), symmetry breaking, and the aux-cache benefit
+//!   threshold.
+//!
+//! Kernel choice and δ do *not* key the cache — they configure execution,
+//! not the plan — so switching kernels on a warm pattern still hits.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use light_core::{EngineConfig, EngineVariant};
+use light_order::QueryPlan;
+use light_pattern::PatternGraph;
+
+/// Bound on resident plans. Plans are small (a few hundred bytes), but an
+/// adversarial client cycling unique patterns must not grow the daemon
+/// without bound; past the cap the oldest entry is evicted (FIFO).
+pub const PLAN_CACHE_CAP: usize = 4096;
+
+/// Everything that distinguishes one plan from another.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Catalog graph name (estimates are graph-specific).
+    graph: String,
+    /// Pattern vertex count.
+    n: usize,
+    /// Canonical (sorted `a < b`) pattern edge list.
+    edges: Vec<(u8, u8)>,
+    /// Engine variant (materialization × candidate strategy).
+    variant: EngineVariant,
+    /// Symmetry breaking on/off (changes the partial order, hence π).
+    symmetry: bool,
+    /// Aux-cache benefit threshold, bit-exact (feeds TrimDirective
+    /// emission).
+    aux_threshold_bits: u64,
+}
+
+impl PlanKey {
+    /// Build the key for `(pattern, graph, config)`.
+    pub fn new(pattern: &PatternGraph, graph: &str, cfg: &EngineConfig) -> PlanKey {
+        let mut edges = pattern.edges();
+        edges.sort_unstable();
+        PlanKey {
+            graph: graph.to_string(),
+            n: pattern.num_vertices(),
+            edges,
+            variant: cfg.variant,
+            symmetry: cfg.symmetry_breaking,
+            aux_threshold_bits: cfg.aux_threshold.to_bits(),
+        }
+    }
+}
+
+struct CacheState {
+    map: HashMap<PlanKey, Arc<QueryPlan>>,
+    /// Insertion order for FIFO eviction at [`PLAN_CACHE_CAP`].
+    order: Vec<PlanKey>,
+}
+
+/// Thread-safe plan cache with hit/miss counters.
+pub struct PlanCache {
+    state: Mutex<CacheState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache {
+            state: Mutex::new(CacheState {
+                map: HashMap::new(),
+                order: Vec::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Fetch the plan for `key`, building it with `build` on a miss.
+    /// Returns the plan and whether this was a hit. The build runs outside
+    /// the lock: two racing misses on the same key both build, and the
+    /// loser's plan is dropped — wasted work, never a wrong answer.
+    pub fn get_or_build(
+        &self,
+        key: PlanKey,
+        build: impl FnOnce() -> QueryPlan,
+    ) -> (Arc<QueryPlan>, bool) {
+        if let Some(hit) = self.state.lock().unwrap().map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (Arc::clone(hit), true);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(build());
+        let mut st = self.state.lock().unwrap();
+        if let Some(raced) = st.map.get(&key) {
+            // Another thread built it first; keep theirs (already shared).
+            return (Arc::clone(raced), false);
+        }
+        if st.map.len() >= PLAN_CACHE_CAP {
+            let victim = st.order.remove(0);
+            st.map.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        st.order.push(key.clone());
+        st.map.insert(key, Arc::clone(&plan));
+        (plan, false)
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted at the capacity bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit rate in `[0, 1]` (0 when no lookups yet).
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits();
+        let m = self.misses();
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use light_graph::generators;
+    use light_pattern::Query;
+
+    fn key_for(q: Query, graph: &str, cfg: &EngineConfig) -> PlanKey {
+        PlanKey::new(&q.pattern(), graph, cfg)
+    }
+
+    #[test]
+    fn hit_on_repeat_miss_on_new() {
+        let g = generators::barabasi_albert(200, 3, 1);
+        let cfg = EngineConfig::light();
+        let cache = PlanCache::new();
+        let build = || cfg.plan(&Query::P2.pattern(), &g);
+
+        let (_, hit1) = cache.get_or_build(key_for(Query::P2, "g", &cfg), build);
+        let (_, hit2) = cache.get_or_build(key_for(Query::P2, "g", &cfg), build);
+        assert!(!hit1 && hit2);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+
+        // Different graph name, variant, or symmetry → different key.
+        let se = EngineConfig::se();
+        assert_ne!(key_for(Query::P2, "g", &cfg), key_for(Query::P2, "h", &cfg));
+        assert_ne!(key_for(Query::P2, "g", &cfg), key_for(Query::P2, "g", &se));
+        assert_ne!(
+            key_for(Query::P2, "g", &cfg),
+            key_for(Query::P2, "g", &cfg.clone().symmetry(false))
+        );
+        // Kernel/δ do not key the cache.
+        assert_eq!(
+            key_for(Query::P2, "g", &cfg),
+            key_for(
+                Query::P2,
+                "g",
+                &cfg.clone()
+                    .intersect(light_setops::IntersectKind::MergeScalar)
+                    .delta(7)
+            )
+        );
+    }
+
+    #[test]
+    fn same_shape_same_key_across_spellings() {
+        // Edge order in the input must not matter: the key sorts.
+        let a = PatternGraph::parse("0-1,1-2,2-0").unwrap();
+        let b = PatternGraph::parse("2-0,0-1,1-2").unwrap();
+        let cfg = EngineConfig::light();
+        assert_eq!(PlanKey::new(&a, "g", &cfg), PlanKey::new(&b, "g", &cfg));
+    }
+
+    #[test]
+    fn eviction_bounds_residency() {
+        let g = generators::complete(6);
+        let cfg = EngineConfig::light();
+        let cache = PlanCache::new();
+        // Unique patterns beyond the cap: grow paths of distinct lengths
+        // is impossible at ≤8 vertices, so reuse distinct graph names.
+        for i in 0..(PLAN_CACHE_CAP + 5) {
+            let key = PlanKey::new(&Query::Triangle.pattern(), &format!("g{i}"), &cfg);
+            cache.get_or_build(key, || cfg.plan(&Query::Triangle.pattern(), &g));
+        }
+        assert_eq!(cache.len(), PLAN_CACHE_CAP);
+        assert_eq!(cache.evictions(), 5);
+        // The very first key was evicted: re-querying it is a miss.
+        let key0 = PlanKey::new(&Query::Triangle.pattern(), "g0", &cfg);
+        let (_, hit) = cache.get_or_build(key0, || cfg.plan(&Query::Triangle.pattern(), &g));
+        assert!(!hit);
+    }
+}

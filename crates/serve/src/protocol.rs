@@ -1,0 +1,532 @@
+//! The serve wire protocol: newline-delimited JSON, one request per line,
+//! one response line per request, in order.
+//!
+//! See `docs/serve.md` for the field reference. The protocol is
+//! deliberately flat and versioned by field presence, not negotiation:
+//! unknown request fields are ignored, unknown ops are a typed error, and
+//! every response carries a `status` from a closed set —
+//! `ok` | `partial` | `error` | `overloaded` — so clients can dispatch
+//! without guessing.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"op":"query","pattern":"P2","graph":"yt","id":1,
+//!  "timeout_ms":5000,"threads":4,"variant":"light","profile":false}
+//! {"op":"stats","engine":false}
+//! {"op":"catalog"}
+//! {"op":"ping"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! `id` is echoed verbatim on the response (any JSON scalar); requests
+//! without one get `"id":null`.
+
+use crate::json::{Json, ObjWriter};
+
+/// Upper bound on one request line. Far beyond any legitimate request
+/// (patterns are ≤ 8 vertices); a client streaming an unbounded "line"
+/// must not buffer the daemon to death.
+pub const MAX_REQUEST_BYTES: usize = 64 * 1024;
+
+/// Machine-readable error codes (the `code` field of error responses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The line was not valid JSON / not an object / missing or bad fields.
+    BadRequest,
+    /// `op` was not one of the known operations.
+    UnknownOp,
+    /// `graph` named nothing in the catalog.
+    UnknownGraph,
+    /// `pattern` did not parse as a catalog name or edge list.
+    BadPattern,
+    /// The query was structurally invalid for the target graph.
+    BadQuery,
+    /// The daemon is draining and accepts no new queries.
+    Draining,
+    /// Internal failure (should not happen; always a bug).
+    Internal,
+}
+
+impl ErrorCode {
+    /// Wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownOp => "unknown_op",
+            ErrorCode::UnknownGraph => "unknown_graph",
+            ErrorCode::BadPattern => "bad_pattern",
+            ErrorCode::BadQuery => "bad_query",
+            ErrorCode::Draining => "draining",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Run a pattern query (the workhorse).
+    Query(QueryRequest),
+    /// Service + engine metrics snapshot.
+    Stats {
+        /// Echoed request id (rendered form).
+        id: String,
+        /// Include the full `light-metrics` recorder document.
+        engine: bool,
+    },
+    /// List resident graphs with their precomputed stats.
+    Catalog {
+        /// Echoed request id (rendered form).
+        id: String,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Echoed request id (rendered form).
+        id: String,
+    },
+    /// Begin a graceful drain (same path as SIGINT).
+    Shutdown {
+        /// Echoed request id (rendered form).
+        id: String,
+    },
+}
+
+/// Fields of a `query` request.
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// Echoed request id (rendered JSON scalar; `"null"` when absent).
+    pub id: String,
+    /// Pattern: `P1`..`P7`, `triangle`, or an `a-b,c-d` edge list.
+    pub pattern: String,
+    /// Catalog graph name; `None` defers to the daemon's sole graph.
+    pub graph: Option<String>,
+    /// Per-query deadline override, milliseconds.
+    pub timeout_ms: Option<u64>,
+    /// Worker threads for this query (capped by the daemon).
+    pub threads: Option<usize>,
+    /// Engine variant override (`se`|`lm`|`msc`|`light`).
+    pub variant: Option<String>,
+    /// Attach a per-query metrics recorder and return its JSON document.
+    pub profile: bool,
+}
+
+/// Render a request `id` field for echoing: any scalar is kept verbatim,
+/// structured ids are rejected by the caller, absence becomes `null`.
+fn render_id(v: Option<&Json>) -> Result<String, String> {
+    match v {
+        None => Ok("null".to_string()),
+        Some(Json::Arr(_)) | Some(Json::Obj(_)) => {
+            Err("\"id\" must be a scalar (string, number, bool, or null)".into())
+        }
+        Some(scalar) => Ok(scalar.to_string()),
+    }
+}
+
+/// Parse one request line. `Err` carries `(echoed-id, message)` for a
+/// `bad_request`/`unknown_op` response — the id is recovered when the line
+/// at least parsed as an object.
+pub fn parse_request(line: &str) -> Result<Request, (String, ErrorCode, String)> {
+    if line.len() > MAX_REQUEST_BYTES {
+        return Err((
+            "null".into(),
+            ErrorCode::BadRequest,
+            format!("request exceeds {MAX_REQUEST_BYTES} bytes"),
+        ));
+    }
+    let doc = Json::parse(line).map_err(|e| {
+        (
+            "null".to_string(),
+            ErrorCode::BadRequest,
+            format!("invalid JSON: {e}"),
+        )
+    })?;
+    if !matches!(doc, Json::Obj(_)) {
+        return Err((
+            "null".into(),
+            ErrorCode::BadRequest,
+            "request must be a JSON object".into(),
+        ));
+    }
+    let id =
+        render_id(doc.get("id")).map_err(|m| ("null".to_string(), ErrorCode::BadRequest, m))?;
+    let fail = |code: ErrorCode, msg: String| (id.clone(), code, msg);
+
+    let op = doc
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| fail(ErrorCode::BadRequest, "missing string field \"op\"".into()))?;
+
+    let str_field = |name: &str| -> Result<Option<String>, (String, ErrorCode, String)> {
+        match doc.get(name) {
+            None | Some(Json::Null) => Ok(None),
+            Some(Json::Str(s)) => Ok(Some(s.clone())),
+            Some(_) => Err(fail(
+                ErrorCode::BadRequest,
+                format!("field \"{name}\" must be a string"),
+            )),
+        }
+    };
+    let u64_field = |name: &str| -> Result<Option<u64>, (String, ErrorCode, String)> {
+        match doc.get(name) {
+            None | Some(Json::Null) => Ok(None),
+            Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+                fail(
+                    ErrorCode::BadRequest,
+                    format!("field \"{name}\" must be a non-negative integer"),
+                )
+            }),
+        }
+    };
+    let bool_field = |name: &str| -> Result<bool, (String, ErrorCode, String)> {
+        match doc.get(name) {
+            None | Some(Json::Null) => Ok(false),
+            Some(v) => v.as_bool().ok_or_else(|| {
+                fail(
+                    ErrorCode::BadRequest,
+                    format!("field \"{name}\" must be a boolean"),
+                )
+            }),
+        }
+    };
+
+    match op {
+        "query" => {
+            let pattern = str_field("pattern")?.ok_or_else(|| {
+                fail(
+                    ErrorCode::BadRequest,
+                    "query needs a string field \"pattern\"".into(),
+                )
+            })?;
+            let graph = str_field("graph")?;
+            let timeout_ms = u64_field("timeout_ms")?;
+            let threads = u64_field("threads")?.map(|t| t as usize);
+            let variant = str_field("variant")?;
+            let profile = bool_field("profile")?;
+            Ok(Request::Query(QueryRequest {
+                id,
+                pattern,
+                graph,
+                timeout_ms,
+                threads,
+                variant,
+                profile,
+            }))
+        }
+        "stats" => {
+            let engine = bool_field("engine")?;
+            Ok(Request::Stats { id, engine })
+        }
+        "catalog" => Ok(Request::Catalog { id }),
+        "ping" => Ok(Request::Ping { id }),
+        "shutdown" => Ok(Request::Shutdown { id }),
+        other => Err(fail(ErrorCode::UnknownOp, format!("unknown op {other:?}"))),
+    }
+}
+
+/// How a finished query is classified on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireOutcome {
+    /// Exhaustive count.
+    Complete,
+    /// Deadline (`timeout_ms` or the daemon default) expired.
+    Timeout,
+    /// Cancelled (drain grace expired under load).
+    Cancelled,
+    /// Per-query memory watermark hit.
+    MemoryExceeded,
+    /// One or more worker panics were contained; count covers surviving
+    /// subtrees.
+    PartialPanic,
+}
+
+impl WireOutcome {
+    /// Wire spelling of the outcome.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WireOutcome::Complete => "complete",
+            WireOutcome::Timeout => "timeout",
+            WireOutcome::Cancelled => "cancelled",
+            WireOutcome::MemoryExceeded => "memory_exceeded",
+            WireOutcome::PartialPanic => "partial_panic",
+        }
+    }
+}
+
+/// Result fields of a finished query, rendered into an `ok`/`partial`
+/// response line.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Echoed id.
+    pub id: String,
+    /// Matches counted (partial outcomes: matches so far).
+    pub matches: u64,
+    /// How the run ended.
+    pub outcome: WireOutcome,
+    /// Enumeration wall time, milliseconds.
+    pub elapsed_ms: f64,
+    /// Time spent queued behind admission control, milliseconds.
+    pub queue_ms: f64,
+    /// Whether the plan came from the cache.
+    pub plan_cache_hit: bool,
+    /// Graph the query ran against.
+    pub graph: String,
+    /// Contained worker panics (0 on healthy runs).
+    pub failures: u64,
+    /// `--profile`-style recorder document, when requested.
+    pub profile: Option<String>,
+}
+
+/// Render a query result line.
+pub fn render_result(r: &QueryResult) -> String {
+    let mut w = ObjWriter::new();
+    w.raw("id", &r.id)
+        .str(
+            "status",
+            if r.outcome == WireOutcome::Complete {
+                "ok"
+            } else {
+                "partial"
+            },
+        )
+        .u64("matches", r.matches)
+        .str("outcome", r.outcome.as_str())
+        .str("graph", &r.graph)
+        .f64("elapsed_ms", r.elapsed_ms)
+        .f64("queue_ms", r.queue_ms)
+        .str("plan_cache", if r.plan_cache_hit { "hit" } else { "miss" });
+    if r.failures > 0 {
+        w.u64("failures", r.failures);
+    }
+    if let Some(p) = &r.profile {
+        w.raw("profile", p);
+    }
+    w.finish()
+}
+
+/// Render a typed error line.
+pub fn render_error(id: &str, code: ErrorCode, message: &str) -> String {
+    let mut w = ObjWriter::new();
+    w.raw("id", id)
+        .str("status", "error")
+        .str("code", code.as_str())
+        .str("error", message);
+    w.finish()
+}
+
+/// Render an admission-control rejection. `queue_depth`/`max_concurrent`
+/// tell the client what bound it hit; there is no retry-after — clients
+/// should back off.
+pub fn render_overloaded(id: &str, in_flight: usize, queued: usize, limit: usize) -> String {
+    let mut w = ObjWriter::new();
+    w.raw("id", id)
+        .str("status", "overloaded")
+        .str(
+            "error",
+            "admission queue full; retry later or lower request rate",
+        )
+        .u64("in_flight", in_flight as u64)
+        .u64("queued", queued as u64)
+        .u64("max_concurrent", limit as u64);
+    w.finish()
+}
+
+/// Render a `ping` response.
+pub fn render_pong(id: &str) -> String {
+    let mut w = ObjWriter::new();
+    w.raw("id", id).str("status", "ok").bool("pong", true);
+    w.finish()
+}
+
+/// Render a `shutdown` acknowledgement.
+pub fn render_shutdown_ack(id: &str) -> String {
+    let mut w = ObjWriter::new();
+    w.raw("id", id).str("status", "ok").bool("draining", true);
+    w.finish()
+}
+
+/// Render one catalog entry as an object (used by the `catalog` response).
+pub fn render_catalog_entry(e: &crate::catalog::CatalogEntry) -> String {
+    let mut w = ObjWriter::new();
+    w.str("name", &e.name)
+        .str("source", &e.source)
+        .str("format", e.format)
+        .u64("vertices", e.stats.num_vertices as u64)
+        .u64("edges", e.stats.num_edges as u64)
+        .u64("max_degree", e.stats.max_degree as u64)
+        .u64("triangles", e.stats.triangles)
+        .f64("load_ms", e.load_ms);
+    w.finish()
+}
+
+/// Render the `catalog` response from rendered entries.
+pub fn render_catalog(id: &str, entries: &[String]) -> String {
+    let mut w = ObjWriter::new();
+    w.raw("id", id)
+        .str("status", "ok")
+        .raw("graphs", &format!("[{}]", entries.join(",")));
+    w.finish()
+}
+
+/// Convenience for tests: pull `field` out of a rendered response line.
+pub fn response_field(line: &str, field: &str) -> Option<Json> {
+    Json::parse(line).ok()?.get(field).cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_query_request() {
+        let r = parse_request(
+            r#"{"op":"query","pattern":"P2","graph":"yt","id":7,"timeout_ms":100,"threads":2,"profile":true}"#,
+        )
+        .unwrap();
+        match r {
+            Request::Query(q) => {
+                assert_eq!(q.id, "7");
+                assert_eq!(q.pattern, "P2");
+                assert_eq!(q.graph.as_deref(), Some("yt"));
+                assert_eq!(q.timeout_ms, Some(100));
+                assert_eq!(q.threads, Some(2));
+                assert!(q.profile);
+            }
+            other => panic!("expected query, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn id_is_echoed_verbatim() {
+        for (req, want) in [
+            (r#"{"op":"ping","id":"abc"}"#, "\"abc\""),
+            (r#"{"op":"ping","id":3.5}"#, "3.5"),
+            (r#"{"op":"ping","id":null}"#, "null"),
+            (r#"{"op":"ping"}"#, "null"),
+        ] {
+            match parse_request(req).unwrap() {
+                Request::Ping { id } => assert_eq!(id, want),
+                other => panic!("{other:?}"),
+            }
+        }
+        // Structured ids are rejected.
+        let (_, code, _) = parse_request(r#"{"op":"ping","id":[1]}"#).unwrap_err();
+        assert_eq!(code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn typed_parse_failures() {
+        let cases: &[(&str, ErrorCode)] = &[
+            ("not json", ErrorCode::BadRequest),
+            ("[1,2,3]", ErrorCode::BadRequest),
+            (r#"{"pattern":"P1"}"#, ErrorCode::BadRequest), // missing op
+            (r#"{"op":"nope"}"#, ErrorCode::UnknownOp),
+            (r#"{"op":"query"}"#, ErrorCode::BadRequest), // missing pattern
+            (r#"{"op":"query","pattern":7}"#, ErrorCode::BadRequest),
+            (
+                r#"{"op":"query","pattern":"P1","timeout_ms":-5}"#,
+                ErrorCode::BadRequest,
+            ),
+            (
+                r#"{"op":"query","pattern":"P1","threads":"x"}"#,
+                ErrorCode::BadRequest,
+            ),
+            (
+                r#"{"op":"query","pattern":"P1","profile":"yes"}"#,
+                ErrorCode::BadRequest,
+            ),
+        ];
+        for (line, want) in cases {
+            let (_, code, _) = parse_request(line).unwrap_err();
+            assert_eq!(code, *want, "line {line:?}");
+        }
+        // The unknown-op error still echoes the id.
+        let (id, _, _) = parse_request(r#"{"op":"nope","id":9}"#).unwrap_err();
+        assert_eq!(id, "9");
+    }
+
+    #[test]
+    fn oversized_line_rejected() {
+        let big = format!(
+            "{{\"op\":\"ping\",\"pad\":\"{}\"}}",
+            "x".repeat(MAX_REQUEST_BYTES)
+        );
+        let (_, code, msg) = parse_request(&big).unwrap_err();
+        assert_eq!(code, ErrorCode::BadRequest);
+        assert!(msg.contains("exceeds"));
+    }
+
+    #[test]
+    fn response_renderers_emit_valid_json() {
+        let res = render_result(&QueryResult {
+            id: "1".into(),
+            matches: 123,
+            outcome: WireOutcome::Complete,
+            elapsed_ms: 4.2,
+            queue_ms: 0.0,
+            plan_cache_hit: true,
+            graph: "g".into(),
+            failures: 0,
+            profile: None,
+        });
+        assert_eq!(response_field(&res, "status").unwrap().as_str(), Some("ok"));
+        assert_eq!(response_field(&res, "matches").unwrap().as_u64(), Some(123));
+        assert_eq!(
+            response_field(&res, "plan_cache").unwrap().as_str(),
+            Some("hit")
+        );
+
+        let partial = render_result(&QueryResult {
+            id: "null".into(),
+            matches: 5,
+            outcome: WireOutcome::Timeout,
+            elapsed_ms: 100.0,
+            queue_ms: 1.5,
+            plan_cache_hit: false,
+            graph: "g".into(),
+            failures: 2,
+            profile: Some("{\"enabled\":false}".into()),
+        });
+        assert_eq!(
+            response_field(&partial, "status").unwrap().as_str(),
+            Some("partial")
+        );
+        assert_eq!(
+            response_field(&partial, "outcome").unwrap().as_str(),
+            Some("timeout")
+        );
+        assert_eq!(
+            response_field(&partial, "failures").unwrap().as_u64(),
+            Some(2)
+        );
+
+        let err = render_error("null", ErrorCode::UnknownGraph, "no graph \"x\"");
+        assert_eq!(
+            response_field(&err, "code").unwrap().as_str(),
+            Some("unknown_graph")
+        );
+
+        let ov = render_overloaded("3", 4, 8, 4);
+        assert_eq!(
+            response_field(&ov, "status").unwrap().as_str(),
+            Some("overloaded")
+        );
+        assert_eq!(
+            response_field(&ov, "max_concurrent").unwrap().as_u64(),
+            Some(4)
+        );
+
+        assert_eq!(
+            response_field(&render_pong("null"), "pong")
+                .unwrap()
+                .as_bool(),
+            Some(true)
+        );
+        assert_eq!(
+            response_field(&render_shutdown_ack("null"), "draining")
+                .unwrap()
+                .as_bool(),
+            Some(true)
+        );
+    }
+}

@@ -1,0 +1,290 @@
+//! Transports and drain orchestration for the resident daemon.
+//!
+//! Two transports share one [`QueryService`]:
+//!
+//! * **stdio** — request lines on stdin, response lines on stdout; EOF
+//!   drains. The mode golden tests and shell pipelines use.
+//! * **Unix domain socket** — `--socket <path>`, dependency-free via
+//!   `std::os::unix::net`. Each connection gets a handler thread running
+//!   the same line loop; the accept loop polls non-blockingly so a drain
+//!   can stop it promptly.
+//!
+//! Drain protocol (SIGINT or a `shutdown` request): stop accepting
+//! connections, answer new queries with a `draining` error, let running
+//! and queued queries finish, cancel whatever outlives the grace period,
+//! join every handler, remove the socket file. [`drain`] returns only when
+//! the service is quiescent, so the process can exit 0.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::protocol::MAX_REQUEST_BYTES;
+use crate::service::QueryService;
+
+/// How often blocked loops (accept, connection read) wake to check the
+/// drain flag.
+pub const POLL_PERIOD: Duration = Duration::from_millis(100);
+
+/// Reading one request line off a connection can end several ways.
+enum LineRead {
+    /// A complete line is in the buffer.
+    Line,
+    /// Clean end of stream with nothing buffered.
+    Eof,
+    /// The peer overflowed [`MAX_REQUEST_BYTES`]; answer-and-hang-up.
+    Oversized,
+    /// The service started draining while the connection was idle.
+    Drained,
+    /// Hard connection error.
+    Closed,
+}
+
+/// Read one `\n`-terminated line into `buf` (which is cleared first).
+///
+/// Tolerates `WouldBlock`/`TimedOut` ticks from sockets with a read
+/// timeout — those poll `service` for a drain, which only terminates the
+/// connection *between* requests: a partially received line is still
+/// completed and answered. `service = None` (stdio/tests) treats timeouts
+/// as stream errors.
+fn read_line(r: &mut impl BufRead, buf: &mut Vec<u8>, service: Option<&QueryService>) -> LineRead {
+    buf.clear();
+    loop {
+        match r.read_until(b'\n', buf) {
+            Ok(0) => {
+                // EOF; a final unterminated line still gets served.
+                return if buf.is_empty() {
+                    LineRead::Eof
+                } else {
+                    LineRead::Line
+                };
+            }
+            Ok(_) => {
+                if buf.len() > MAX_REQUEST_BYTES {
+                    return LineRead::Oversized;
+                }
+                if buf.last() == Some(&b'\n') {
+                    return LineRead::Line;
+                }
+                // Short read mid-line; keep accumulating.
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                match service {
+                    Some(s) if s.is_draining() && buf.is_empty() => return LineRead::Drained,
+                    Some(_) => {} // idle tick; keep waiting
+                    None => return LineRead::Closed,
+                }
+            }
+            Err(_) => return LineRead::Closed,
+        }
+    }
+}
+
+/// Serve one connection: read request lines, write one response line each.
+/// Returns on EOF, on a hard stream error, or — for socket connections
+/// with `poll_drain` — when a drain begins while the connection is idle.
+/// Generic over the stream so tests can drive it with byte buffers.
+pub fn serve_connection<R: BufRead, W: Write>(
+    service: &QueryService,
+    mut reader: R,
+    mut writer: W,
+    poll_drain: bool,
+) -> io::Result<()> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        match read_line(&mut reader, &mut buf, poll_drain.then_some(service)) {
+            LineRead::Eof | LineRead::Closed | LineRead::Drained => return Ok(()),
+            LineRead::Oversized => {
+                // parse_request owns the length policy; routing the
+                // oversized line through handle_line keeps the typed
+                // error and the error counter in one place.
+                let resp = service.handle_line(&String::from_utf8_lossy(&buf));
+                writeln_flush(&mut writer, &resp)?;
+                return Ok(()); // stream position unrecoverable mid-line
+            }
+            LineRead::Line => {
+                let line = String::from_utf8_lossy(&buf);
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                let resp = service.handle_line(line);
+                writeln_flush(&mut writer, &resp)?;
+            }
+        }
+    }
+}
+
+fn writeln_flush<W: Write>(w: &mut W, line: &str) -> io::Result<()> {
+    w.write_all(line.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// Serve stdin/stdout until EOF. The CLI treats stdin EOF as a drain
+/// request on stdio-only daemons.
+pub fn serve_stdio(service: &QueryService) -> io::Result<()> {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    serve_connection(service, stdin.lock(), stdout.lock(), false)
+}
+
+/// A running Unix-socket listener.
+pub struct SocketServer {
+    /// Accept-loop thread; joins (with all handlers) after a drain.
+    accept: JoinHandle<io::Result<()>>,
+    path: std::path::PathBuf,
+}
+
+impl SocketServer {
+    /// Bind `path` (replacing a stale socket file) and start accepting.
+    /// Refuses to displace a *live* daemon (detected by connecting).
+    pub fn bind(
+        service: Arc<QueryService>,
+        path: impl Into<std::path::PathBuf>,
+    ) -> io::Result<SocketServer> {
+        use std::os::unix::net::UnixListener;
+        let path = path.into();
+        if path.exists() {
+            match std::os::unix::net::UnixStream::connect(&path) {
+                Ok(_) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AddrInUse,
+                        format!("another daemon is live on {}", path.display()),
+                    ))
+                }
+                // Stale socket file from a dead daemon; safe to replace.
+                Err(_) => std::fs::remove_file(&path)?,
+            }
+        }
+        let listener = UnixListener::bind(&path)?;
+        listener.set_nonblocking(true)?;
+        let spath = path.clone();
+        let accept = std::thread::Builder::new()
+            .name("light-serve-accept".into())
+            .spawn(move || accept_loop(service, listener, spath))?;
+        Ok(SocketServer { accept, path })
+    }
+
+    /// The socket path being served.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+
+    /// Wait for the accept loop and every connection handler to finish.
+    /// Only returns after a drain has been signalled on the service.
+    pub fn join(self) -> io::Result<()> {
+        match self.accept.join() {
+            Ok(r) => r,
+            Err(_) => Err(io::Error::other("accept loop panicked")),
+        }
+    }
+}
+
+fn accept_loop(
+    service: Arc<QueryService>,
+    listener: std::os::unix::net::UnixListener,
+    path: std::path::PathBuf,
+) -> io::Result<()> {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !service.is_draining() {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let svc = Arc::clone(&service);
+                // Blocking reads with a poll timeout: handlers notice a
+                // drain within POLL_PERIOD even on idle connections.
+                stream.set_nonblocking(false)?;
+                stream.set_read_timeout(Some(POLL_PERIOD))?;
+                let h = std::thread::Builder::new()
+                    .name("light-serve-conn".into())
+                    .spawn(move || handle_socket_conn(&svc, stream))?;
+                handlers.push(h);
+                handlers.retain(|h| !h.is_finished());
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                std::thread::sleep(POLL_PERIOD);
+            }
+            Err(e) => {
+                // Accept errors are transient (e.g. EMFILE under burst);
+                // throttle and keep serving existing connections.
+                eprintln!("serve: accept error: {e}");
+                std::thread::sleep(POLL_PERIOD);
+            }
+        }
+    }
+    drop(listener);
+    std::fs::remove_file(&path).ok();
+    for h in handlers {
+        h.join().ok();
+    }
+    Ok(())
+}
+
+fn handle_socket_conn(service: &QueryService, stream: std::os::unix::net::UnixStream) {
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(e) => {
+            eprintln!("serve: cannot clone connection stream: {e}");
+            return;
+        }
+    };
+    // Write errors just end the connection; the client went away.
+    let _ = serve_connection(service, reader, stream, true);
+}
+
+/// Statistics of a completed drain, for the exit log line.
+#[derive(Debug, Clone, Copy)]
+pub struct DrainReport {
+    /// In-flight queries when the drain began.
+    pub in_flight_at_start: usize,
+    /// Queries force-cancelled at grace expiry (0 on a clean drain).
+    pub cancelled: usize,
+    /// Wall time the drain took.
+    pub elapsed: Duration,
+}
+
+/// Block until every in-flight and queued query has finished, cancelling
+/// whatever outlives the service's drain grace. Call after the shutdown
+/// token fires; transports stop themselves by polling the same token.
+pub fn drain(service: &QueryService) -> DrainReport {
+    let start = Instant::now();
+    let grace = service.config().drain_grace;
+    let at_start = service.snapshot();
+    let mut cancelled = 0usize;
+    loop {
+        let snap = service.snapshot();
+        if snap.in_flight == 0 && snap.queued == 0 {
+            break;
+        }
+        if start.elapsed() > grace {
+            // Every tick, not once: queries admitted from the queue after
+            // the first sweep must be cancelled too. Token cancellation is
+            // idempotent.
+            let n = service.cancel_in_flight();
+            if n > 0 && cancelled == 0 {
+                eprintln!(
+                    "serve: drain grace ({grace:?}) expired; cancelling {n} in-flight quer{}",
+                    if n == 1 { "y" } else { "ies" }
+                );
+            }
+            cancelled = cancelled.max(n);
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    DrainReport {
+        in_flight_at_start: at_start.in_flight,
+        cancelled,
+        elapsed: start.elapsed(),
+    }
+}

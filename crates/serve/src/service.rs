@@ -1,0 +1,533 @@
+//! The query service: admission control, plan-cached execution, and
+//! service metrics.
+//!
+//! One [`QueryService`] is shared (behind `Arc`) by every connection
+//! handler; [`QueryService::handle_line`] is the single entry point that
+//! turns a request line into a response line, so stdio, socket handlers,
+//! and tests all exercise the identical path.
+//!
+//! ## Admission control
+//!
+//! At most `max_concurrent` queries execute at once; up to `queue_depth`
+//! more wait (FIFO via condvar) and anything beyond that is rejected with
+//! a typed `overloaded` response instead of oversubscribing the worker
+//! pool — burst traffic degrades into fast rejections, not a thrashing
+//! machine. Queue wait is measured per query and aggregated.
+//!
+//! ## Deadlines, cancellation, drain
+//!
+//! Every query carries a deadline (`timeout_ms`, capped by the daemon's
+//! `default_timeout`) enforced by the engine's budget polling, plus a
+//! per-query [`CancelToken`] registered with the service. A drain (SIGINT
+//! or a `shutdown` request) stops *new* queries with a `draining` error,
+//! lets running and queued ones finish, and — if they outlive
+//! `drain_grace` — cancels their tokens so they return partial counts
+//! within the engine's ≤ 100 ms cancel latency.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use light_core::{validate_query, CancelToken, EngineConfig, EngineVariant, Outcome};
+use light_parallel::{run_plan_parallel, ParallelConfig};
+use light_pattern::{PatternGraph, Query};
+
+use crate::catalog::GraphCatalog;
+use crate::json::ObjWriter;
+use crate::plan_cache::{PlanCache, PlanKey};
+use crate::protocol::{self, ErrorCode, QueryRequest, QueryResult, Request, WireOutcome};
+
+/// Daemon-side service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Queries executing at once (admission permits).
+    pub max_concurrent: usize,
+    /// Admitted-but-waiting bound; beyond it requests are `overloaded`.
+    pub queue_depth: usize,
+    /// Worker threads per query (total engine threads ≤
+    /// `max_concurrent × threads_per_query`; clients may request fewer).
+    pub threads_per_query: usize,
+    /// Deadline applied when a query sends none; also the cap on
+    /// client-requested deadlines. `None` = unbounded.
+    pub default_timeout: Option<Duration>,
+    /// How long a drain waits before cancelling in-flight queries.
+    pub drain_grace: Duration,
+    /// Base engine configuration (variant, kernel, δ, aux-cache knobs).
+    /// Per-query fields (budget, cancel, metrics) are overwritten.
+    pub engine: EngineConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_concurrent: 2,
+            queue_depth: 4,
+            threads_per_query: 1,
+            default_timeout: Some(Duration::from_secs(60)),
+            drain_grace: Duration::from_secs(10),
+            engine: EngineConfig::light(),
+        }
+    }
+}
+
+/// Why admission failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Overloaded {
+    /// Queries executing when the request was rejected.
+    pub in_flight: usize,
+    /// Queries waiting when the request was rejected.
+    pub queued: usize,
+}
+
+struct AdmissionState {
+    running: usize,
+    waiting: usize,
+}
+
+/// Counting semaphore with a bounded FIFO wait queue.
+struct Admission {
+    state: Mutex<AdmissionState>,
+    cv: Condvar,
+    max_concurrent: usize,
+    queue_depth: usize,
+}
+
+impl Admission {
+    fn new(max_concurrent: usize, queue_depth: usize) -> Admission {
+        Admission {
+            state: Mutex::new(AdmissionState {
+                running: 0,
+                waiting: 0,
+            }),
+            cv: Condvar::new(),
+            max_concurrent: max_concurrent.max(1),
+            queue_depth,
+        }
+    }
+
+    /// Acquire an execution permit, blocking in the bounded queue if the
+    /// service is saturated. Returns the queue wait on success.
+    fn acquire(&self) -> Result<Duration, Overloaded> {
+        let mut st = self.state.lock().unwrap();
+        if st.running < self.max_concurrent {
+            st.running += 1;
+            return Ok(Duration::ZERO);
+        }
+        if st.waiting >= self.queue_depth {
+            return Err(Overloaded {
+                in_flight: st.running,
+                queued: st.waiting,
+            });
+        }
+        st.waiting += 1;
+        let start = Instant::now();
+        while st.running >= self.max_concurrent {
+            st = self.cv.wait(st).unwrap();
+        }
+        st.waiting -= 1;
+        st.running += 1;
+        Ok(start.elapsed())
+    }
+
+    fn release(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.running -= 1;
+        drop(st);
+        self.cv.notify_one();
+    }
+
+    fn in_flight(&self) -> usize {
+        self.state.lock().unwrap().running
+    }
+
+    fn queued(&self) -> usize {
+        self.state.lock().unwrap().waiting
+    }
+}
+
+/// Aggregate service counters (all monotonic except the gauges derived
+/// from admission state). Lock-free: handlers bump atomics.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    /// Query requests that reached admission (well-formed `query` ops).
+    pub queries: AtomicU64,
+    /// Complete results.
+    pub ok: AtomicU64,
+    /// Partial results (timeout / cancelled / memory / contained panics).
+    pub partial: AtomicU64,
+    /// Typed error responses (bad request, unknown graph, draining, ...).
+    pub errors: AtomicU64,
+    /// Admission-control rejections.
+    pub overloaded: AtomicU64,
+    /// Partial results that were specifically deadline expiries.
+    pub timeouts: AtomicU64,
+    /// Partial results that were cancellations (drain grace).
+    pub cancelled: AtomicU64,
+    /// Queries that waited in the admission queue at all.
+    pub queued_queries: AtomicU64,
+    /// Total queue wait, nanoseconds.
+    pub queue_wait_ns: AtomicU64,
+    /// Maximum single queue wait, nanoseconds.
+    pub queue_wait_max_ns: AtomicU64,
+    /// Total matches returned (completeness-weighted traffic volume).
+    pub matches_returned: AtomicU64,
+    /// Non-query ops served (ping/stats/catalog/shutdown).
+    pub control_ops: AtomicU64,
+}
+
+impl ServiceMetrics {
+    fn note_queue_wait(&self, wait: Duration) {
+        if wait.is_zero() {
+            return;
+        }
+        let ns = wait.as_nanos() as u64;
+        self.queued_queries.fetch_add(1, Ordering::Relaxed);
+        self.queue_wait_ns.fetch_add(ns, Ordering::Relaxed);
+        self.queue_wait_max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+}
+
+/// The resident query service.
+pub struct QueryService {
+    catalog: GraphCatalog,
+    plans: PlanCache,
+    cfg: ServeConfig,
+    admission: Admission,
+    /// Service-level counters, exported by `stats`.
+    pub metrics: ServiceMetrics,
+    /// Long-lived engine recorder attached to every query: aggregate
+    /// COMP/MAT/setops/scheduler metrics across the daemon's lifetime
+    /// flow through the standard `light-metrics` pipeline (active only
+    /// when the `metrics` feature is compiled in).
+    recorder: light_metrics::Recorder,
+    /// Drain signal shared with the signal handler / listener threads.
+    shutdown: CancelToken,
+    /// Cancel tokens of in-flight queries (drain-grace enforcement).
+    live: Mutex<Vec<CancelToken>>,
+    /// Generation counter so stale tokens can be pruned cheaply.
+    started: Instant,
+}
+
+impl QueryService {
+    /// Build a service over a loaded catalog.
+    pub fn new(catalog: GraphCatalog, cfg: ServeConfig) -> QueryService {
+        QueryService {
+            admission: Admission::new(cfg.max_concurrent, cfg.queue_depth),
+            plans: PlanCache::new(),
+            metrics: ServiceMetrics::default(),
+            recorder: light_metrics::Recorder::new(),
+            shutdown: CancelToken::new(),
+            live: Mutex::new(Vec::new()),
+            started: Instant::now(),
+            catalog,
+            cfg,
+        }
+    }
+
+    /// The shared drain token: cancel it to start a graceful drain. The
+    /// CLI wires SIGINT to this; the `shutdown` op cancels it too.
+    pub fn shutdown_token(&self) -> CancelToken {
+        self.shutdown.clone()
+    }
+
+    /// Whether a drain has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.shutdown.is_cancelled()
+    }
+
+    /// Queries currently executing.
+    pub fn in_flight(&self) -> usize {
+        self.admission.in_flight()
+    }
+
+    /// The catalog this service answers from.
+    pub fn catalog(&self) -> &GraphCatalog {
+        &self.catalog
+    }
+
+    /// The plan cache (counters feed `stats`).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plans
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Cancel every in-flight query (drain-grace expiry). Returns how many
+    /// tokens were cancelled.
+    pub fn cancel_in_flight(&self) -> usize {
+        let live = self.live.lock().unwrap();
+        for t in live.iter() {
+            t.cancel();
+        }
+        live.len()
+    }
+
+    /// Handle one request line, producing exactly one response line
+    /// (without trailing newline). Never panics on untrusted input.
+    pub fn handle_line(&self, line: &str) -> String {
+        let req = match protocol::parse_request(line.trim()) {
+            Ok(r) => r,
+            Err((id, code, msg)) => {
+                self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                return protocol::render_error(&id, code, &msg);
+            }
+        };
+        match req {
+            Request::Ping { id } => {
+                self.metrics.control_ops.fetch_add(1, Ordering::Relaxed);
+                protocol::render_pong(&id)
+            }
+            Request::Shutdown { id } => {
+                self.metrics.control_ops.fetch_add(1, Ordering::Relaxed);
+                self.shutdown.cancel();
+                protocol::render_shutdown_ack(&id)
+            }
+            Request::Catalog { id } => {
+                self.metrics.control_ops.fetch_add(1, Ordering::Relaxed);
+                let entries: Vec<String> = self
+                    .catalog
+                    .entries()
+                    .iter()
+                    .map(protocol::render_catalog_entry)
+                    .collect();
+                protocol::render_catalog(&id, &entries)
+            }
+            Request::Stats { id, engine } => {
+                self.metrics.control_ops.fetch_add(1, Ordering::Relaxed);
+                self.render_stats(&id, engine)
+            }
+            Request::Query(q) => self.execute(&q),
+        }
+    }
+
+    /// Resolve and run one query request end to end.
+    fn execute(&self, q: &QueryRequest) -> String {
+        let err = |code: ErrorCode, msg: String| {
+            self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            protocol::render_error(&q.id, code, &msg)
+        };
+        if self.is_draining() {
+            return err(
+                ErrorCode::Draining,
+                "service is draining; no new queries accepted".into(),
+            );
+        }
+        // Resolve inputs *before* consuming an admission slot: malformed
+        // queries must not queue behind real work.
+        let entry = match &q.graph {
+            Some(name) => match self.catalog.get(name) {
+                Some(e) => e,
+                None => {
+                    return err(
+                        ErrorCode::UnknownGraph,
+                        format!("no graph {name:?} in the catalog (try \"op\":\"catalog\")"),
+                    )
+                }
+            },
+            None => match self.catalog.sole_entry() {
+                Some(e) => e,
+                None => {
+                    return err(
+                        ErrorCode::BadRequest,
+                        format!(
+                            "\"graph\" is required on a {}-graph daemon",
+                            self.catalog.len()
+                        ),
+                    )
+                }
+            },
+        };
+        let pattern = match parse_pattern(&q.pattern) {
+            Ok(p) => p,
+            Err(e) => return err(ErrorCode::BadPattern, e),
+        };
+        if let Err(e) = validate_query(&pattern, entry.graph.num_vertices()) {
+            return err(ErrorCode::BadQuery, e.to_string());
+        }
+        let mut cfg = self.cfg.engine.clone();
+        if let Some(v) = &q.variant {
+            cfg.variant = match v.as_str() {
+                "se" => EngineVariant::Se,
+                "lm" => EngineVariant::Lm,
+                "msc" => EngineVariant::Msc,
+                "light" => EngineVariant::Light,
+                other => return err(ErrorCode::BadRequest, format!("unknown variant {other:?}")),
+            };
+        }
+        // Deadline: client value capped by the daemon default.
+        let deadline = match (q.timeout_ms, self.cfg.default_timeout) {
+            (Some(ms), Some(cap)) => Some(Duration::from_millis(ms).min(cap)),
+            (Some(ms), None) => Some(Duration::from_millis(ms)),
+            (None, cap) => cap,
+        };
+        cfg.time_budget = deadline;
+        let threads = q
+            .threads
+            .unwrap_or(self.cfg.threads_per_query)
+            .clamp(1, self.cfg.threads_per_query.max(1));
+
+        self.metrics.queries.fetch_add(1, Ordering::Relaxed);
+        let queue_wait = match self.admission.acquire() {
+            Ok(w) => w,
+            Err(ov) => {
+                self.metrics.overloaded.fetch_add(1, Ordering::Relaxed);
+                return protocol::render_overloaded(
+                    &q.id,
+                    ov.in_flight,
+                    ov.queued,
+                    self.cfg.max_concurrent,
+                );
+            }
+        };
+        self.metrics.note_queue_wait(queue_wait);
+
+        // Per-query cancellation token, registered for drain-grace kills.
+        let token = CancelToken::new();
+        cfg.cancel = Some(token.clone());
+        self.live.lock().unwrap().push(token.clone());
+
+        // Per-query recorder when profiling; the service recorder
+        // otherwise, so engine metrics aggregate across queries.
+        let profile_rec = q.profile.then(light_metrics::Recorder::new);
+        cfg.metrics = profile_rec.clone().unwrap_or_else(|| self.recorder.clone());
+
+        let key = PlanKey::new(&pattern, &entry.name, &cfg);
+        let (plan, cache_hit) = self
+            .plans
+            .get_or_build(key, || cfg.plan(&pattern, &entry.graph));
+
+        let pr = run_plan_parallel(&plan, &entry.graph, &cfg, &ParallelConfig::new(threads));
+
+        self.admission.release();
+        {
+            let mut live = self.live.lock().unwrap();
+            live.retain(|t| !same_token(t, &token));
+        }
+
+        let outcome = match pr.report.outcome {
+            Outcome::OutOfTime => WireOutcome::Timeout,
+            Outcome::Cancelled => WireOutcome::Cancelled,
+            Outcome::MemoryExceeded => WireOutcome::MemoryExceeded,
+            _ if !pr.failures.is_empty() => WireOutcome::PartialPanic,
+            _ => WireOutcome::Complete,
+        };
+        match outcome {
+            WireOutcome::Complete => self.metrics.ok.fetch_add(1, Ordering::Relaxed),
+            WireOutcome::Timeout => {
+                self.metrics.partial.fetch_add(1, Ordering::Relaxed);
+                self.metrics.timeouts.fetch_add(1, Ordering::Relaxed)
+            }
+            WireOutcome::Cancelled => {
+                self.metrics.partial.fetch_add(1, Ordering::Relaxed);
+                self.metrics.cancelled.fetch_add(1, Ordering::Relaxed)
+            }
+            _ => self.metrics.partial.fetch_add(1, Ordering::Relaxed),
+        };
+        self.metrics
+            .matches_returned
+            .fetch_add(pr.report.matches, Ordering::Relaxed);
+
+        protocol::render_result(&QueryResult {
+            id: q.id.clone(),
+            matches: pr.report.matches,
+            outcome,
+            elapsed_ms: pr.report.elapsed.as_secs_f64() * 1e3,
+            queue_ms: queue_wait.as_secs_f64() * 1e3,
+            plan_cache_hit: cache_hit,
+            graph: entry.name.clone(),
+            failures: pr.failures.len() as u64,
+            profile: profile_rec.map(|r| r.to_json()),
+        })
+    }
+
+    /// Render the `stats` response.
+    fn render_stats(&self, id: &str, engine: bool) -> String {
+        let m = &self.metrics;
+        let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
+
+        let mut queries = ObjWriter::new();
+        queries
+            .u64("total", ld(&m.queries))
+            .u64("ok", ld(&m.ok))
+            .u64("partial", ld(&m.partial))
+            .u64("error", ld(&m.errors))
+            .u64("overloaded", ld(&m.overloaded))
+            .u64("timeout", ld(&m.timeouts))
+            .u64("cancelled", ld(&m.cancelled))
+            .u64("matches_returned", ld(&m.matches_returned))
+            .u64("control_ops", ld(&m.control_ops));
+
+        let mut queue = ObjWriter::new();
+        queue
+            .u64("waited", ld(&m.queued_queries))
+            .f64("wait_ms_total", ld(&m.queue_wait_ns) as f64 / 1e6)
+            .f64("wait_ms_max", ld(&m.queue_wait_max_ns) as f64 / 1e6)
+            .u64("depth", self.admission.queued() as u64)
+            .u64("limit", self.cfg.queue_depth as u64);
+
+        let mut plans = ObjWriter::new();
+        plans
+            .u64("hits", self.plans.hits())
+            .u64("misses", self.plans.misses())
+            .f64("hit_rate", self.plans.hit_rate())
+            .u64("entries", self.plans.len() as u64)
+            .u64("evictions", self.plans.evictions());
+
+        let mut w = ObjWriter::new();
+        w.raw("id", id)
+            .str("status", "ok")
+            .f64("uptime_ms", self.started.elapsed().as_secs_f64() * 1e3)
+            .u64("in_flight", self.in_flight() as u64)
+            .u64("max_concurrent", self.cfg.max_concurrent as u64)
+            .bool("draining", self.is_draining())
+            .u64("graphs", self.catalog.len() as u64)
+            .raw("queries", &queries.finish())
+            .raw("queue", &queue.finish())
+            .raw("plan_cache", &plans.finish());
+        if engine {
+            // The full light-metrics document ({"enabled": false} when the
+            // feature is compiled out) — engine-side observability rides
+            // the same recorder as `light count --profile`.
+            w.raw("engine", &self.recorder.to_json());
+        }
+        w.finish()
+    }
+}
+
+/// Identity comparison for cancel tokens via their shared flag allocation.
+fn same_token(a: &CancelToken, b: &CancelToken) -> bool {
+    a.ptr_eq(b)
+}
+
+/// Parse a pattern spec: catalog name (`P1`..`P7`, `triangle`) or explicit
+/// edge list (`0-1,1-2,...`). Mirrors the `light count --pattern` parser.
+pub fn parse_pattern(s: &str) -> Result<PatternGraph, String> {
+    if let Some(q) = Query::parse(s) {
+        Ok(q.pattern())
+    } else {
+        PatternGraph::parse(s)
+    }
+}
+
+/// The in-flight gauge, queue depths, and counter snapshot used by tests
+/// and the drain loop.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceSnapshot {
+    /// Queries executing now.
+    pub in_flight: usize,
+    /// Queries waiting for a permit now.
+    pub queued: usize,
+}
+
+impl QueryService {
+    /// Current admission gauges.
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        ServiceSnapshot {
+            in_flight: self.admission.in_flight(),
+            queued: self.admission.queued(),
+        }
+    }
+}

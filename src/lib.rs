@@ -32,6 +32,7 @@ pub use light_metrics as metrics;
 pub use light_order as order;
 pub use light_parallel as parallel;
 pub use light_pattern as pattern;
+pub use light_serve as serve;
 pub use light_setops as setops;
 
 /// Common imports for applications.

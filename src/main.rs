@@ -53,6 +53,16 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::FAILURE;
     };
+    // `convert` takes positional operands; everything else is pure --opts.
+    if cmd == "convert" {
+        return match cmd_convert(rest) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let opts = match parse_opts(rest) {
         Ok(o) => o,
         Err(e) => {
@@ -66,6 +76,8 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&opts).map(|()| ExitCode::SUCCESS),
         "stats" => cmd_stats(&opts).map(|()| ExitCode::SUCCESS),
         "datasets" => cmd_datasets().map(|()| ExitCode::SUCCESS),
+        "serve" => cmd_serve(&opts),
+        "query" => cmd_query(&opts),
         "help" | "--help" | "-h" => {
             usage();
             Ok(ExitCode::SUCCESS)
@@ -90,19 +102,35 @@ fn main() -> ExitCode {
 #[cfg(unix)]
 mod sigint {
     use light::core::CancelToken;
+    use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::OnceLock;
 
     static TOKEN: OnceLock<CancelToken> = OnceLock::new();
+    static SEEN: AtomicBool = AtomicBool::new(false);
 
     const SIGINT: i32 = 2;
+    /// POSIX `SIG_DFL` — the default disposition, numerically 0.
+    const SIG_DFL: usize = 0;
 
     extern "C" {
         // POSIX signal(2); the handler pointer travels as usize to avoid
         // declaring sighandler_t without libc.
         fn signal(signum: i32, handler: usize) -> usize;
+        // POSIX _exit(2): async-signal-safe immediate termination.
+        fn _exit(code: i32) -> !;
     }
 
     extern "C" fn on_sigint(_sig: i32) {
+        if SEEN.swap(true, Ordering::Relaxed) {
+            // Second Ctrl-C: the user is done waiting for the graceful
+            // drain. Restore the default disposition and hard-exit with
+            // the conventional 128+SIGINT code. Both calls are
+            // async-signal-safe.
+            unsafe {
+                signal(SIGINT, SIG_DFL);
+                _exit(130);
+            }
+        }
         if let Some(t) = TOKEN.get() {
             t.cancel();
         }
@@ -110,7 +138,14 @@ mod sigint {
 
     /// Install the handler (idempotent) and return the shared token.
     pub fn install() -> CancelToken {
-        let token = TOKEN.get_or_init(CancelToken::new).clone();
+        install_token(CancelToken::new())
+    }
+
+    /// Install the handler wired to a caller-supplied token (the serve
+    /// daemon passes its drain token). First installation wins; later
+    /// calls return the already-registered token.
+    pub fn install_token(token: CancelToken) -> CancelToken {
+        let token = TOKEN.get_or_init(|| token).clone();
         unsafe { signal(SIGINT, on_sigint as *const () as usize) };
         token
     }
@@ -147,7 +182,34 @@ USAGE:
   light generate --kind ba|er|rmat|complete|grid --n <n> [--k <k>] [--m <m>]
                  [--seed <s>] --out <file>
   light stats    --graph <file>
-  light datasets"
+  light datasets
+
+  light convert  <in> <out> [--to snapshot|edge-list]
+
+  Converts between text edge lists and binary LIGHTCSR snapshots (input
+  format auto-detected by magic bytes; output defaults to snapshot).
+  Snapshots load ~10-100x faster than text and are written degree-ordered,
+  so `light count --graph g.bin` and the serve catalog skip the relabel.
+
+  light serve    --graphs <name=path,name=dataset:<ds>[@scale],..>
+                 [--socket <path>] [--max-concurrent <k>] [--queue-depth <k>]
+                 [--threads <per-query>] [--timeout <secs>|none]
+                 [--drain-grace <secs>] [engine options as for count]
+
+  Resident daemon: loads the catalog once, answers newline-delimited JSON
+  requests on stdin/stdout and (with --socket) a Unix domain socket. A
+  single --graph <file> or --dataset <name> also works as a one-entry
+  catalog. Ctrl-C or an {{\"op\":\"shutdown\"}} request drains gracefully
+  (running queries finish, stragglers are cancelled after --drain-grace);
+  a second Ctrl-C hard-exits 130. See docs/serve.md for the protocol.
+
+  light query    --socket <path> [--pattern <..>] [--graph <name>]
+                 [--timeout-ms <ms>] [--threads <k>] [--variant ..]
+                 [--op query|stats|catalog|ping|shutdown] [--id <s>] [--profile]
+
+  One-shot client for a serve daemon. Prints the JSON response line and
+  maps it to count's exit codes (0 ok, 3/124/130 partial, 2 overloaded,
+  1 error)."
     );
 }
 
@@ -207,10 +269,25 @@ fn load_graph(opts: &Opts) -> Result<CsrGraph, String> {
         );
         Ok(g)
     } else if let Some(path) = opts.get("graph") {
-        let raw = light::graph::io::load_edge_list(path)
-            .map_err(|e| format!("cannot load {path}: {e}"))?;
+        // Format auto-detection by magic bytes: binary LIGHTCSR snapshots
+        // (`light convert` output) load mmap-fast; anything else parses as
+        // a SNAP-style text edge list.
+        let (raw, format) =
+            light::graph::io::load_any(path).map_err(|e| format!("cannot load {path}: {e}"))?;
         // Relabel for symmetry breaking (documented CLI behavior).
-        let g = light::graph::ordered::into_degree_ordered(&raw).0;
+        // Snapshots written by `light convert` are already ordered, so the
+        // relabel is a verify-only pass for them.
+        let g = if light::graph::ordered::is_degree_ordered(&raw) {
+            raw
+        } else {
+            if format == light::graph::io::GraphFormat::Snapshot {
+                eprintln!(
+                    "warning: snapshot {path} is not degree-ordered; relabeling \
+                     (regenerate it with `light convert` to skip this)"
+                );
+            }
+            light::graph::ordered::into_degree_ordered(&raw).0
+        };
         debug_assert!(
             light::graph::ordered::is_degree_ordered(&g),
             "into_degree_ordered produced a non-degree-ordered graph"
@@ -474,6 +551,274 @@ fn cmd_stats(opts: &Opts) -> Result<(), String> {
     println!("clustering:      {:.5}", s.clustering);
     println!("CSR memory:      {} bytes", g.memory_bytes());
     Ok(())
+}
+
+/// `light convert <in> <out> [--to snapshot|edge-list]` — re-encode a
+/// graph file. Input format is auto-detected by magic bytes; the output
+/// defaults to a binary `LIGHTCSR` snapshot. The graph is normalized to
+/// the degree-ordered ID space on the way through, so converted snapshots
+/// load straight into `light count` / `light serve` with no relabel pass.
+fn cmd_convert(args: &[String]) -> Result<(), String> {
+    use light::graph::io::GraphFormat;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut to: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--to" {
+            let v = it.next().ok_or("--to needs a value")?;
+            to = Some(v.as_str());
+        } else if a.starts_with("--") {
+            return Err(format!("unknown convert option {a:?}"));
+        } else {
+            positional.push(a);
+        }
+    }
+    let [input, output] = positional[..] else {
+        return Err("usage: light convert <in> <out> [--to snapshot|edge-list]".into());
+    };
+    let out_format = match to {
+        None | Some("snapshot") => GraphFormat::Snapshot,
+        Some("edge-list") => GraphFormat::EdgeList,
+        Some(other) => return Err(format!("unknown --to format {other:?}")),
+    };
+
+    let t0 = std::time::Instant::now();
+    let (raw, in_format) =
+        light::graph::io::load_any(input).map_err(|e| format!("cannot load {input}: {e}"))?;
+    let load_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let g = if light::graph::ordered::is_degree_ordered(&raw) {
+        raw
+    } else {
+        light::graph::ordered::into_degree_ordered(&raw).0
+    };
+
+    let t1 = std::time::Instant::now();
+    match out_format {
+        GraphFormat::Snapshot => light::graph::io::save_snapshot(&g, output)
+            .map_err(|e| format!("cannot write {output}: {e}"))?,
+        GraphFormat::EdgeList => {
+            let f = std::fs::File::create(output)
+                .map_err(|e| format!("cannot create {output}: {e}"))?;
+            light::graph::io::write_edge_list(&g, f)
+                .map_err(|e| format!("cannot write {output}: {e}"))?;
+        }
+    }
+    let write_ms = t1.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "converted {input} ({}) -> {output} ({}): {} vertices, {} edges",
+        in_format.name(),
+        out_format.name(),
+        g.num_vertices(),
+        g.num_edges()
+    );
+    println!("load: {load_ms:.1} ms, write: {write_ms:.1} ms");
+    if in_format == GraphFormat::EdgeList && out_format == GraphFormat::Snapshot {
+        let t2 = std::time::Instant::now();
+        let _ = light::graph::io::load_any(output)
+            .map_err(|e| format!("verify reload of {output} failed: {e}"))?;
+        let reload_ms = t2.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "snapshot reload: {reload_ms:.1} ms ({:.1}x faster than the text parse)",
+            load_ms / reload_ms.max(0.001)
+        );
+    }
+    Ok(())
+}
+
+/// `light serve` — the resident query daemon (DESIGN.md §12, docs/serve.md).
+fn cmd_serve(opts: &Opts) -> Result<ExitCode, String> {
+    use light::serve::{drain, serve_stdio, GraphCatalog, QueryService, ServeConfig, SocketServer};
+    use std::sync::Arc;
+
+    // Catalog: --graphs spec, or a single --graph/--dataset entry named
+    // after its source (same convenience flags count uses).
+    let mut catalog = GraphCatalog::new();
+    if let Some(spec) = opts.get("graphs") {
+        catalog.load_spec(spec)?;
+    } else if let Some(path) = opts.get("graph") {
+        let name = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("default");
+        catalog.load_entry(name, path)?;
+    } else if let Some(ds) = opts.get("dataset") {
+        let scale = opts.get("scale").map(|s| s.as_str()).unwrap_or("0.1");
+        catalog.load_entry(ds, &format!("dataset:{ds}@{scale}"))?;
+    } else {
+        return Err("serve needs --graphs <spec>, --graph <file>, or --dataset <name>".into());
+    }
+
+    let parse_usize = |key: &str, default: usize| -> Result<usize, String> {
+        opts.get(key)
+            .map(|s| s.parse().map_err(|e| format!("bad --{key}: {e}")))
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    let default_timeout = match opts.get("timeout").map(|s| s.as_str()) {
+        None => Some(Duration::from_secs(60)),
+        Some("none") => None,
+        Some(t) => {
+            let secs: f64 = t.parse().map_err(|e| format!("bad --timeout: {e}"))?;
+            Some(Duration::from_secs_f64(secs))
+        }
+    };
+    let drain_grace = opts
+        .get("drain-grace")
+        .map(|s| {
+            s.parse::<f64>()
+                .map_err(|e| format!("bad --drain-grace: {e}"))
+        })
+        .transpose()?
+        .map(Duration::from_secs_f64)
+        .unwrap_or(Duration::from_secs(10));
+    let cfg = ServeConfig {
+        max_concurrent: parse_usize("max-concurrent", 2)?.max(1),
+        queue_depth: parse_usize("queue-depth", 4)?,
+        threads_per_query: parse_usize("threads", 1)?.max(1),
+        default_timeout,
+        drain_grace,
+        engine: engine_config(opts)?,
+    };
+
+    let service = Arc::new(QueryService::new(catalog, cfg));
+    for e in service.catalog().entries() {
+        eprintln!(
+            "loaded {:?} from {} ({}): {} vertices, {} edges, {:.1} ms",
+            e.name, e.source, e.format, e.stats.num_vertices, e.stats.num_edges, e.load_ms
+        );
+    }
+
+    // First Ctrl-C starts the graceful drain; a second hard-exits 130.
+    #[cfg(unix)]
+    sigint::install_token(service.shutdown_token());
+
+    let socket = opts
+        .get("socket")
+        .map(|p| SocketServer::bind(Arc::clone(&service), p.as_str()))
+        .transpose()
+        .map_err(|e| format!("cannot bind socket: {e}"))?;
+
+    if let Some(srv) = socket {
+        eprintln!(
+            "serving on {} (and stdio); Ctrl-C to drain",
+            srv.path().display()
+        );
+        // stdio serves concurrently; its EOF does NOT drain a socket
+        // daemon (it is routinely started with stdin closed).
+        let stdio_svc = Arc::clone(&service);
+        std::thread::Builder::new()
+            .name("light-serve-stdio".into())
+            .spawn(move || {
+                let _ = serve_stdio(&stdio_svc);
+            })
+            .map_err(|e| format!("cannot spawn stdio handler: {e}"))?;
+        let token = service.shutdown_token();
+        while !token.is_cancelled() {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        let report = drain(&service);
+        srv.join().map_err(|e| format!("socket listener: {e}"))?;
+        eprintln!(
+            "drained: {} in flight at start, {} cancelled, {:.1} ms",
+            report.in_flight_at_start,
+            report.cancelled,
+            report.elapsed.as_secs_f64() * 1e3
+        );
+    } else {
+        eprintln!("serving on stdio (EOF or Ctrl-C drains)");
+        let _ = serve_stdio(&service);
+        // stdin EOF on a stdio-only daemon is a drain request.
+        service.shutdown_token().cancel();
+        let report = drain(&service);
+        eprintln!(
+            "drained: {} in flight at start, {} cancelled, {:.1} ms",
+            report.in_flight_at_start,
+            report.cancelled,
+            report.elapsed.as_secs_f64() * 1e3
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `light query` — one-shot client for a serve daemon's Unix socket.
+/// Prints the response line to stdout and maps it onto count's exit-code
+/// taxonomy (0 ok, 3/124/130 by partial outcome, 2 overloaded, 1 error).
+fn cmd_query(opts: &Opts) -> Result<ExitCode, String> {
+    use light::serve::json::{Json, ObjWriter};
+    use std::io::{BufRead, BufReader, Write};
+
+    let socket = get(opts, "socket")?;
+    let op = opts.get("op").map(|s| s.as_str()).unwrap_or("query");
+    let mut w = ObjWriter::new();
+    w.str("op", op);
+    if let Some(id) = opts.get("id") {
+        w.str("id", id);
+    }
+    match op {
+        "query" => {
+            w.str("pattern", get(opts, "pattern")?);
+            if let Some(g) = opts.get("graph") {
+                w.str("graph", g);
+            }
+            if let Some(t) = opts.get("timeout-ms") {
+                let ms: u64 = t.parse().map_err(|e| format!("bad --timeout-ms: {e}"))?;
+                w.u64("timeout_ms", ms);
+            }
+            if let Some(t) = opts.get("threads") {
+                let k: u64 = t.parse().map_err(|e| format!("bad --threads: {e}"))?;
+                w.u64("threads", k);
+            }
+            if let Some(v) = opts.get("variant") {
+                w.str("variant", v);
+            }
+            if opts.contains_key("profile") {
+                w.bool("profile", true);
+            }
+        }
+        "stats" => {
+            if opts.contains_key("profile") {
+                // --profile on stats asks for the engine-side document.
+                w.bool("engine", true);
+            }
+        }
+        "catalog" | "ping" | "shutdown" => {}
+        other => return Err(format!("unknown --op {other:?}")),
+    }
+    let request = w.finish();
+
+    let stream = std::os::unix::net::UnixStream::connect(socket)
+        .map_err(|e| format!("cannot connect to {socket}: {e}"))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("cannot clone socket stream: {e}"))?;
+    writer
+        .write_all(request.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("cannot send request: {e}"))?;
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| format!("cannot read response: {e}"))?;
+    let line = line.trim();
+    if line.is_empty() {
+        return Err("daemon closed the connection without a response".into());
+    }
+    println!("{line}");
+
+    let doc = Json::parse(line).map_err(|e| format!("malformed response: {e}"))?;
+    let status = doc.get("status").and_then(Json::as_str).unwrap_or("error");
+    let code = match status {
+        "ok" => ExitCode::SUCCESS,
+        "overloaded" => ExitCode::from(2),
+        "partial" => match doc.get("outcome").and_then(Json::as_str) {
+            Some("timeout") => ExitCode::from(EXIT_TIMEOUT),
+            Some("cancelled") => ExitCode::from(EXIT_CANCELLED),
+            _ => ExitCode::from(EXIT_PARTIAL),
+        },
+        _ => ExitCode::FAILURE,
+    };
+    Ok(code)
 }
 
 fn cmd_datasets() -> Result<(), String> {

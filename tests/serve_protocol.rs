@@ -1,0 +1,230 @@
+//! Protocol golden tests for the resident query service: malformed
+//! requests, typed overload rejections under admission pressure, and
+//! per-query deadline responses.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use light::core::EngineConfig;
+use light::serve::json::Json;
+use light::serve::{GraphCatalog, QueryService, ServeConfig};
+
+fn service_with(cfg: ServeConfig, n: usize) -> Arc<QueryService> {
+    let mut catalog = GraphCatalog::new();
+    catalog
+        .insert("g", light::graph::generators::barabasi_albert(n, 3, 77))
+        .unwrap();
+    Arc::new(QueryService::new(catalog, cfg))
+}
+
+fn parse(resp: &str) -> Json {
+    Json::parse(resp).unwrap_or_else(|e| panic!("response is not valid JSON ({e}): {resp}"))
+}
+
+fn assert_error(resp: &str, code: &str) {
+    let doc = parse(resp);
+    assert_eq!(
+        doc.get("status").and_then(Json::as_str),
+        Some("error"),
+        "{resp}"
+    );
+    assert_eq!(doc.get("code").and_then(Json::as_str), Some(code), "{resp}");
+    assert!(
+        doc.get("error").and_then(Json::as_str).is_some(),
+        "error responses carry a message: {resp}"
+    );
+}
+
+#[test]
+fn malformed_requests_get_typed_errors() {
+    let svc = service_with(ServeConfig::default(), 200);
+
+    // Golden table: input line → expected error code.
+    let cases: &[(&str, &str)] = &[
+        ("", "bad_request"),
+        ("not json", "bad_request"),
+        ("{\"op\":\"query\",", "bad_request"),
+        ("[1,2,3]", "bad_request"),
+        ("\"just a string\"", "bad_request"),
+        ("{}", "bad_request"),          // missing op
+        ("{\"op\":42}", "bad_request"), // op not a string
+        ("{\"op\":\"nope\"}", "unknown_op"),
+        ("{\"op\":\"query\"}", "bad_request"), // missing pattern
+        ("{\"op\":\"query\",\"pattern\":7}", "bad_request"), // pattern not a string
+        ("{\"op\":\"query\",\"pattern\":\"zigzag9\"}", "bad_pattern"),
+        (
+            "{\"op\":\"query\",\"pattern\":\"triangle\",\"graph\":\"missing\"}",
+            "unknown_graph",
+        ),
+        (
+            "{\"op\":\"query\",\"pattern\":\"triangle\",\"timeout_ms\":-5}",
+            "bad_request",
+        ),
+        (
+            "{\"op\":\"query\",\"pattern\":\"triangle\",\"timeout_ms\":\"soon\"}",
+            "bad_request",
+        ),
+        (
+            "{\"op\":\"query\",\"pattern\":\"triangle\",\"threads\":1.5}",
+            "bad_request",
+        ),
+        (
+            "{\"op\":\"query\",\"pattern\":\"triangle\",\"variant\":\"turbo\"}",
+            "bad_request",
+        ),
+        (
+            "{\"op\":\"query\",\"pattern\":\"triangle\",\"profile\":\"yes\"}",
+            "bad_request",
+        ),
+        (
+            "{\"op\":\"query\",\"pattern\":\"triangle\",\"id\":{\"a\":1}}",
+            "bad_request",
+        ),
+    ];
+    for (line, code) in cases {
+        assert_error(&svc.handle_line(line), code);
+    }
+
+    // Oversized request: typed bad_request, never a panic or a truncated
+    // parse.
+    let big = format!("{{\"op\":\"ping\",\"pad\":\"{}\"}}", "x".repeat(100_000));
+    assert_error(&svc.handle_line(&big), "bad_request");
+
+    // The id is echoed on errors whenever it is recoverable.
+    let resp = svc.handle_line("{\"op\":\"nope\",\"id\":\"req-7\"}");
+    assert_eq!(parse(&resp).get("id").and_then(Json::as_str), Some("req-7"));
+    let resp = svc.handle_line("{\"op\":\"nope\",\"id\":42}");
+    assert_eq!(parse(&resp).get("id").and_then(Json::as_u64), Some(42));
+}
+
+#[test]
+fn overload_rejections_are_typed_and_bounded() {
+    // One execution slot, zero queue: the second concurrent query must be
+    // rejected with a typed overloaded response, not block or error.
+    let svc = service_with(
+        ServeConfig {
+            max_concurrent: 1,
+            queue_depth: 0,
+            threads_per_query: 1,
+            default_timeout: Some(Duration::from_secs(30)),
+            drain_grace: Duration::from_secs(5),
+            engine: EngineConfig::light(),
+        },
+        3000,
+    );
+
+    // Hold the only slot with a slow query (P5 on a larger graph).
+    let slow = {
+        let svc = Arc::clone(&svc);
+        std::thread::spawn(move || {
+            svc.handle_line("{\"op\":\"query\",\"pattern\":\"P5\",\"id\":\"slow\"}")
+        })
+    };
+
+    // Wait until the slow query actually occupies the slot, then probe.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let overloaded = loop {
+        if svc.in_flight() > 0 {
+            let resp =
+                svc.handle_line("{\"op\":\"query\",\"pattern\":\"triangle\",\"id\":\"probe\"}");
+            let doc = parse(&resp);
+            match doc.get("status").and_then(Json::as_str) {
+                Some("overloaded") => break resp,
+                // The slow query finished between the gauge read and the
+                // probe; it can't be re-held — only possible on a fast
+                // machine with an already-warm plan. Retry while in-flight.
+                Some("ok") => {}
+                other => panic!("unexpected status {other:?}: {resp}"),
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "slow query never occupied the slot"
+        );
+        if slow.is_finished() {
+            // Too fast to observe; the admission unit tests in
+            // crates/serve cover the rejection path deterministically.
+            slow.join().unwrap();
+            return;
+        }
+        std::thread::yield_now();
+    };
+
+    let doc = parse(&overloaded);
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("overloaded"));
+    assert_eq!(doc.get("id").and_then(Json::as_str), Some("probe"));
+    assert_eq!(doc.get("in_flight").and_then(Json::as_u64), Some(1));
+    assert_eq!(doc.get("queued").and_then(Json::as_u64), Some(0));
+    assert_eq!(doc.get("max_concurrent").and_then(Json::as_u64), Some(1));
+
+    let slow_resp = slow.join().unwrap();
+    assert_eq!(
+        parse(&slow_resp).get("status").and_then(Json::as_str),
+        Some("ok"),
+        "{slow_resp}"
+    );
+
+    // The rejection is counted in service metrics.
+    let stats = parse(&svc.handle_line("{\"op\":\"stats\"}"));
+    assert!(
+        stats
+            .get("queries")
+            .and_then(|q| q.get("overloaded"))
+            .and_then(Json::as_u64)
+            .unwrap()
+            >= 1
+    );
+}
+
+#[test]
+fn per_query_deadline_yields_partial_timeout_response() {
+    let svc = service_with(ServeConfig::default(), 4000);
+    // 1 ms on a heavy pattern: the engine's budget polling must stop the
+    // run and the service must report a partial result, not an error.
+    let resp = svc
+        .handle_line("{\"op\":\"query\",\"pattern\":\"P5\",\"timeout_ms\":1,\"id\":\"deadline\"}");
+    let doc = parse(&resp);
+    assert_eq!(
+        doc.get("status").and_then(Json::as_str),
+        Some("partial"),
+        "{resp}"
+    );
+    assert_eq!(
+        doc.get("outcome").and_then(Json::as_str),
+        Some("timeout"),
+        "{resp}"
+    );
+    assert_eq!(doc.get("id").and_then(Json::as_str), Some("deadline"));
+    assert!(doc.get("matches").and_then(Json::as_u64).is_some());
+
+    let stats = parse(&svc.handle_line("{\"op\":\"stats\"}"));
+    let q = stats.get("queries").unwrap();
+    assert_eq!(q.get("partial").and_then(Json::as_u64), Some(1));
+    assert_eq!(q.get("timeout").and_then(Json::as_u64), Some(1));
+}
+
+#[test]
+fn client_timeout_is_capped_by_daemon_default() {
+    // Daemon cap 1 ms; client asks for 60 s. The cap must win.
+    let svc = service_with(
+        ServeConfig {
+            default_timeout: Some(Duration::from_millis(1)),
+            ..ServeConfig::default()
+        },
+        4000,
+    );
+    let resp = svc.handle_line(
+        "{\"op\":\"query\",\"pattern\":\"P5\",\"timeout_ms\":60000,\"id\":\"capped\"}",
+    );
+    let doc = parse(&resp);
+    assert_eq!(
+        doc.get("status").and_then(Json::as_str),
+        Some("partial"),
+        "{resp}"
+    );
+    assert_eq!(
+        doc.get("outcome").and_then(Json::as_str),
+        Some("timeout"),
+        "{resp}"
+    );
+}

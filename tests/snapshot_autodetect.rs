@@ -1,0 +1,170 @@
+//! Load-path correctness: `load_any` magic-byte auto-detection, the
+//! `light convert` round trip, and `light count --graph` accepting both
+//! text edge lists and binary snapshots with identical results.
+//!
+//! Lives in the root package so the CI feature matrix (which re-runs the
+//! root tests with metrics/failpoint permutations) exercises the load
+//! path under every configuration.
+
+use std::process::Command;
+
+use light::graph::io::{detect_format, load_any, save_snapshot, write_edge_list, GraphFormat};
+use light::graph::CsrGraph;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_light"))
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("light_autodetect_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn sample_graph() -> CsrGraph {
+    light::graph::generators::barabasi_albert(500, 3, 99)
+}
+
+#[test]
+fn load_any_roundtrips_both_formats() {
+    let dir = tmpdir("roundtrip");
+    let g = sample_graph();
+    let text = dir.join("g.txt");
+    let snap = dir.join("g.bin");
+    write_edge_list(&g, std::fs::File::create(&text).unwrap()).unwrap();
+    save_snapshot(&g, &snap).unwrap();
+
+    let (gt, ft) = load_any(&text).unwrap();
+    let (gs, fs) = load_any(&snap).unwrap();
+    assert_eq!(ft, GraphFormat::EdgeList);
+    assert_eq!(fs, GraphFormat::Snapshot);
+    assert_eq!(gs, g, "snapshot load is exact");
+    assert_eq!(gt.num_edges(), g.num_edges());
+
+    assert_eq!(
+        detect_format(&std::fs::read(&text).unwrap()),
+        GraphFormat::EdgeList
+    );
+    assert_eq!(
+        detect_format(&std::fs::read(&snap).unwrap()),
+        GraphFormat::Snapshot
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn count_cli_agrees_across_formats() {
+    let dir = tmpdir("cli");
+    let g = sample_graph();
+    let text = dir.join("g.txt");
+    write_edge_list(&g, std::fs::File::create(&text).unwrap()).unwrap();
+
+    // Convert through the CLI (text → snapshot), then count on both.
+    let snap = dir.join("g.bin");
+    let out = bin()
+        .args(["convert", text.to_str().unwrap(), snap.to_str().unwrap()])
+        .output()
+        .expect("run convert");
+    assert!(
+        out.status.success(),
+        "convert failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        detect_format(&std::fs::read(&snap).unwrap()),
+        GraphFormat::Snapshot
+    );
+
+    let count = |path: &std::path::Path| -> String {
+        let out = bin()
+            .args([
+                "count",
+                "--pattern",
+                "triangle",
+                "--graph",
+                path.to_str().unwrap(),
+            ])
+            .output()
+            .expect("run count");
+        assert!(
+            out.status.success(),
+            "count on {} failed: {}",
+            path.display(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+        stdout
+            .lines()
+            .find(|l| l.starts_with("matches:"))
+            .unwrap_or_else(|| panic!("no matches line in {stdout}"))
+            .to_string()
+    };
+    assert_eq!(
+        count(&text),
+        count(&snap),
+        "text and snapshot loads must count identically"
+    );
+
+    // Snapshot → edge list conversion round-trips the count as well.
+    let back = dir.join("back.txt");
+    let out = bin()
+        .args([
+            "convert",
+            snap.to_str().unwrap(),
+            back.to_str().unwrap(),
+            "--to",
+            "edge-list",
+        ])
+        .output()
+        .expect("run convert back");
+    assert!(out.status.success());
+    assert_eq!(
+        detect_format(&std::fs::read(&back).unwrap()),
+        GraphFormat::EdgeList
+    );
+    assert_eq!(count(&back), count(&snap));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn load_any_surfaces_typed_errors() {
+    let dir = tmpdir("errors");
+
+    // Missing file: the io error comes through, not a silent fallback.
+    let missing = dir.join("nope.bin");
+    assert!(load_any(&missing).is_err());
+
+    // Truncated snapshot: magic matches, body doesn't — must be a typed
+    // snapshot error, not a misparse as an edge list.
+    let trunc = dir.join("trunc.bin");
+    std::fs::write(&trunc, b"LIGHTCSR").unwrap();
+    let err = load_any(&trunc).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        !msg.is_empty() && !msg.contains("line"),
+        "truncated snapshot must fail as a snapshot, got: {msg}"
+    );
+
+    // Garbage text: fails as an edge list with a line diagnostic.
+    let garbage = dir.join("garbage.txt");
+    std::fs::write(&garbage, "this is not\nan edge list\n").unwrap();
+    assert!(load_any(&garbage).is_err());
+
+    // The CLI surfaces these as load errors (exit 1), never a crash.
+    let out = bin()
+        .args([
+            "count",
+            "--pattern",
+            "triangle",
+            "--graph",
+            trunc.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run count");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot load"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
