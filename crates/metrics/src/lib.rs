@@ -86,6 +86,12 @@ pub const ISEC_HIST_SAMPLE: u64 = 8;
 /// depends on this one).
 pub const TIER_NAMES: [&str; 3] = ["scalar", "avx2", "avx512"];
 
+/// Steal-tier display names, index-compatible with the scheduler's
+/// topology tiers (SMT sibling / same-LLC / same-NUMA-node / remote).
+/// Kept here so the exporter does not depend on the scheduler crate
+/// (which depends on this one).
+pub const STEAL_TIER_NAMES: [&str; 4] = ["smt", "llc", "node", "remote"];
+
 /// One worker's scheduler counters, flushed once when the worker retires.
 /// Plain data in both build configurations.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +100,13 @@ pub struct WorkerSample {
     pub worker: usize,
     /// Tasks obtained by stealing from another worker's deque.
     pub steals: u64,
+    /// Steals broken down by topology tier of the victim (index:
+    /// [`STEAL_TIER_NAMES`]). All-zero under flat (topology-blind)
+    /// stealing; sums to `steals` under tiered stealing.
+    pub steal_tiers: [u64; 4],
+    /// Extra sub-tasks carved out of donations under starvation pressure
+    /// (adaptive granularity; a plain donate-half donation counts zero).
+    pub splits: u64,
     /// Timeout-bounded parks while starving.
     pub parks: u64,
     /// Demand tickets registered.
@@ -251,6 +264,8 @@ mod tests {
         r.record_worker(&WorkerSample {
             worker: 1,
             steals: 3,
+            steal_tiers: [1, 2, 0, 0],
+            splits: 6,
             parks: 4,
             tickets: 5,
             donations: 2,
@@ -265,6 +280,8 @@ mod tests {
             "\"setops\"",
             "\"scheduler\"",
             "\"steals\": 3",
+            "\"steal_tiers\": {\"smt\": 1, \"llc\": 2, \"node\": 0, \"remote\": 0}",
+            "\"splits\": 6",
             "\"parks\": 4",
             "\"budget_poll_ns\"",
             "\"galloping\": 1",

@@ -340,6 +340,8 @@ struct AtomicSlot {
 #[derive(Debug, Default)]
 struct AtomicWorker {
     steals: AtomicU64,
+    steal_tiers: [AtomicU64; 4],
+    splits: AtomicU64,
     parks: AtomicU64,
     tickets: AtomicU64,
     donations: AtomicU64,
@@ -506,6 +508,10 @@ impl Recorder {
         if let Some(s) = &self.inner {
             let a = &s.workers[w.worker.min(MAX_WORKERS - 1)];
             a.steals.fetch_add(w.steals, R);
+            for (t, v) in a.steal_tiers.iter().zip(w.steal_tiers) {
+                t.fetch_add(v, R);
+            }
+            a.splits.fetch_add(w.splits, R);
             a.parks.fetch_add(w.parks, R);
             a.tickets.fetch_add(w.tickets, R);
             a.donations.fetch_add(w.donations, R);
@@ -569,6 +575,8 @@ impl Recorder {
             out.workers.push(WorkerSample {
                 worker: i,
                 steals: w.steals.load(R),
+                steal_tiers: std::array::from_fn(|t| w.steal_tiers[t].load(R)),
+                splits: w.splits.load(R),
                 parks: w.parks.load(R),
                 tickets: w.tickets.load(R),
                 donations: w.donations.load(R),
@@ -672,11 +680,20 @@ impl Recorder {
                 out.push(',');
             }
             first = false;
+            let mut tiers = String::new();
+            for (t, name) in crate::STEAL_TIER_NAMES.iter().enumerate() {
+                if t > 0 {
+                    tiers.push_str(", ");
+                }
+                tiers.push_str(&format!("\"{name}\": {}", w.steal_tiers[t].load(R)));
+            }
             out.push_str(&format!(
-                "\n      {{\"worker\": {i}, \"tasks\": {}, \"steals\": {}, \"parks\": {}, \
+                "\n      {{\"worker\": {i}, \"tasks\": {}, \"steals\": {}, \
+                 \"steal_tiers\": {{{tiers}}}, \"splits\": {}, \"parks\": {}, \
                  \"tickets\": {}, \"donations\": {}, \"parked_ns\": {}}}",
                 w.tasks.load(R),
                 w.steals.load(R),
+                w.splits.load(R),
                 w.parks.load(R),
                 w.tickets.load(R),
                 w.donations.load(R),

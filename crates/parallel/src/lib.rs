@@ -42,6 +42,6 @@
 pub mod scheduler;
 
 pub use scheduler::{
-    run_plan_parallel, run_query_parallel, BalancePolicy, InitialPartition, ParallelConfig,
-    ParallelReport, WorkerStats,
+    run_plan_parallel, run_query_parallel, BalancePolicy, CpuSlot, CpuTopology, InitialPartition,
+    ParallelConfig, ParallelReport, StealTier, TopologyMode, WorkerStats,
 };

@@ -1,0 +1,48 @@
+//! Thin vendored shim over `sched_setaffinity(2)` — no libc crate, same
+//! direct-symbol idiom the CLI's SIGINT handler uses. Pinning is strictly
+//! best-effort: a failure (seccomp filter, cpuset restriction, non-Linux
+//! host) leaves the worker unpinned and the scheduler fully functional,
+//! which the topology-fallback test matrix pins.
+
+/// Pin the calling thread to logical CPU `cpu`. Returns whether the
+/// kernel accepted the mask. Never panics; any failure means "run
+/// unpinned".
+#[cfg(target_os = "linux")]
+pub fn pin_current_thread(cpu: usize) -> bool {
+    // cpu_set_t is 1024 bits on Linux; one u64 word per 64 CPUs.
+    const WORDS: usize = 1024 / 64;
+    if cpu >= 1024 {
+        return false;
+    }
+    let mut mask = [0u64; WORDS];
+    mask[cpu / 64] = 1u64 << (cpu % 64);
+    extern "C" {
+        // glibc/musl wrapper; pid 0 = calling thread.
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+    unsafe { sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr()) == 0 }
+}
+
+/// Non-Linux stub: affinity is unsupported, report failure so callers
+/// take the unpinned path.
+#[cfg(not(target_os = "linux"))]
+pub fn pin_current_thread(_cpu: usize) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn pin_to_current_cpu_usually_succeeds_and_bogus_fails() {
+        // Out-of-range CPU must fail cleanly, never crash.
+        assert!(!pin_current_thread(100_000));
+        assert!(!pin_current_thread(1024));
+        // Pinning to CPU 0 succeeds on any machine whose cpuset includes
+        // it; if the sandbox forbids affinity entirely, false is the
+        // documented fallback — either way, no panic.
+        let _ = pin_current_thread(0);
+    }
+}

@@ -51,6 +51,38 @@
 //! side-effects (victim steal, `submit`), so an injected panic can lose
 //! at most the subtree being processed — never a queued task and never a
 //! `pending` increment.
+//!
+//! ## Topology awareness (DESIGN.md §13)
+//!
+//! On multi-core hosts the scheduler reads the CPU hierarchy from
+//! `/sys` ([`topology::CpuTopology`]), pins each worker to one logical
+//! CPU (best-effort [`affinity::pin_current_thread`]), and sweeps steal
+//! victims nearest-first: SMT sibling → same-LLC → same-node → remote
+//! ([`topology::StealTier`]). A stolen root range's candidate sets are
+//! warm in the victim's caches, so resolving steals within the LLC keeps
+//! the traffic off the interconnect. Per-tier steal counts land in
+//! [`WorkerStats::steal_tiers`] and the `light-metrics` recorder.
+//!
+//! **Adaptive granularity:** a worker that re-arms its demand ticket
+//! (i.e. starved for `REARM_SWEEPS` park periods without being fed)
+//! raises a shared *starvation pressure* counter. The next donor spends
+//! the accumulated pressure by splitting its donated half into that many
+//! finer sub-ranges (capped at [`MAX_DONATION_PIECES`]), so persistent
+//! skew drives granularity down without oversubmitting on balanced
+//! inputs — under zero pressure a donation is exactly the paper's single
+//! donate-half range. Extra pieces are counted in
+//! [`WorkerStats::splits`]; each donation still consumes exactly one
+//! ticket, so the `donations ≤ tickets` bound is untouched.
+//!
+//! The kill-switch `ParallelConfig::flat_topology(true)` (CLI
+//! `--flat-topology`, env `LIGHT_FLAT_TOPOLOGY=1`) collapses everything
+//! back to the old behavior: no pinning, round-robin victim sweep,
+//! all-zero tier counters.
+
+pub mod affinity;
+pub mod topology;
+
+pub use topology::{CpuSlot, CpuTopology, StealTier};
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -77,6 +109,12 @@ const PARK_TIMEOUT: Duration = Duration::from_micros(500);
 /// parked, in case a previous ticket was consumed by a donation this
 /// worker never saw (donation raced with another idle worker's acquire).
 const REARM_SWEEPS: u32 = 16;
+
+/// Cap on how finely one donation may be split under starvation pressure
+/// (and on the pressure counter itself). Bounds the queue traffic a burst
+/// of re-arms can cause: one donation never submits more than this many
+/// tasks.
+pub const MAX_DONATION_PIECES: usize = 8;
 
 /// Load-balancing policy.
 ///
@@ -114,8 +152,25 @@ pub enum InitialPartition {
     DegreeWeighted,
 }
 
+/// Where the scheduler gets its view of the CPU hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum TopologyMode {
+    /// Detect from the live `/sys` (cached per process); falls back to
+    /// flat if detection fails. This is the default unless the
+    /// `LIGHT_FLAT_TOPOLOGY=1` kill-switch is set in the environment.
+    #[default]
+    Auto,
+    /// Topology-blind: no pinning, round-robin victim sweep, zero tier
+    /// counters — the pre-topology scheduler, byte for byte. The
+    /// `--flat-topology` CLI flag selects this.
+    Flat,
+    /// An injected topology (tests and harnesses fabricate multi-node
+    /// layouts on any host).
+    Custom(CpuTopology),
+}
+
 /// Parallel driver configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ParallelConfig {
     /// Number of worker threads (the paper scales 1..64).
     pub num_threads: usize,
@@ -126,10 +181,16 @@ pub struct ParallelConfig {
     pub policy: BalancePolicy,
     /// Initial range split (default: even widths; stealing fixes skew).
     pub initial_partition: InitialPartition,
+    /// CPU hierarchy source (default: auto-detect with env kill-switch).
+    pub topology: TopologyMode,
+    /// Pin workers to their assigned CPUs (best-effort; ignored under a
+    /// flat topology). Off only for runs that must not touch affinity.
+    pub pin_workers: bool,
 }
 
 impl ParallelConfig {
-    /// `num_threads` workers, donate-half stealing, even partition.
+    /// `num_threads` workers, donate-half stealing, even partition,
+    /// auto-detected topology.
     pub fn new(num_threads: usize) -> Self {
         assert!(num_threads >= 1);
         ParallelConfig {
@@ -137,6 +198,8 @@ impl ParallelConfig {
             initial_tasks_per_thread: 1,
             policy: BalancePolicy::DonateHalf,
             initial_partition: InitialPartition::Even,
+            topology: TopologyMode::Auto,
+            pin_workers: true,
         }
     }
 
@@ -151,6 +214,51 @@ impl ParallelConfig {
         self.initial_partition = p;
         self
     }
+
+    /// Builder-style topology override.
+    pub fn topology(mut self, t: TopologyMode) -> Self {
+        self.topology = t;
+        self
+    }
+
+    /// Kill-switch: `true` forces the flat (topology-blind) scheduler.
+    pub fn flat_topology(mut self, flat: bool) -> Self {
+        if flat {
+            self.topology = TopologyMode::Flat;
+        }
+        self
+    }
+
+    /// Resolve the effective topology for this run. `Auto` honors the
+    /// `LIGHT_FLAT_TOPOLOGY=1` environment kill-switch, then a cached
+    /// one-time `/sys` detection.
+    fn resolve_topology(&self) -> CpuTopology {
+        match &self.topology {
+            TopologyMode::Flat => CpuTopology::flat(topology::available_cpus()),
+            TopologyMode::Custom(t) => t.clone(),
+            TopologyMode::Auto => {
+                if env_flat_topology() {
+                    CpuTopology::flat(topology::available_cpus())
+                } else {
+                    detected_topology().clone()
+                }
+            }
+        }
+    }
+}
+
+/// Whether `LIGHT_FLAT_TOPOLOGY=1` is set (read once per process; the
+/// serve daemon resolves topology per query, and hammering the env lock
+/// on that path would be silly).
+fn env_flat_topology() -> bool {
+    static FLAT: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAT.get_or_init(|| matches!(std::env::var("LIGHT_FLAT_TOPOLOGY").as_deref(), Ok("1")))
+}
+
+/// The machine topology, detected once per process.
+fn detected_topology() -> &'static CpuTopology {
+    static TOPO: std::sync::OnceLock<CpuTopology> = std::sync::OnceLock::new();
+    TOPO.get_or_init(CpuTopology::detect)
 }
 
 /// Per-worker accounting, reported for scheduler diagnostics (the Fig. 7
@@ -167,6 +275,18 @@ pub struct WorkerStats {
     pub donations: u64,
     /// Tasks this worker obtained by stealing from another worker's deque.
     pub steals: u64,
+    /// Steals broken down by the topology tier of the victim, indexed by
+    /// [`StealTier`] (`smt`, `llc`, `node`, `remote`). Sums to `steals`
+    /// under tiered stealing; all-zero under the flat kill-switch.
+    pub steal_tiers: [u64; 4],
+    /// Extra sub-tasks this worker carved out of its donations under
+    /// starvation pressure (adaptive granularity). A plain donate-half
+    /// donation contributes zero.
+    pub splits: u64,
+    /// Logical CPU this worker was pinned to, if affinity was requested
+    /// and the kernel accepted it. The per-run affinity map is just this
+    /// column across [`ParallelReport::workers`].
+    pub cpu: Option<usize>,
     /// Demand tickets this worker registered while starving. The scheduler
     /// invariant `Σ donations <= Σ tickets` is what bounds donation count
     /// (see the module docs); a regression test pins it.
@@ -225,6 +345,27 @@ impl ParallelReport {
     pub fn is_complete(&self) -> bool {
         self.failures.is_empty() && self.report.outcome == Outcome::Complete
     }
+
+    /// Total steals per topology tier across all workers (index:
+    /// [`StealTier`]).
+    pub fn steal_tier_totals(&self) -> [u64; 4] {
+        let mut totals = [0u64; 4];
+        for w in &self.workers {
+            for (t, v) in totals.iter_mut().zip(w.steal_tiers) {
+                *t += v;
+            }
+        }
+        totals
+    }
+
+    /// Fraction of steals resolved at same-LLC-or-closer tiers (the
+    /// locality figure of merit the load benchmark tracks). `None` when
+    /// no tiered steals happened (flat topology or no stealing).
+    pub fn near_steal_fraction(&self) -> Option<f64> {
+        let t = self.steal_tier_totals();
+        let total: u64 = t.iter().sum();
+        (total > 0).then(|| (t[0] + t[1]) as f64 / total as f64)
+    }
 }
 
 struct Shared {
@@ -238,6 +379,11 @@ struct Shared {
     pending: AtomicUsize,
     /// Outstanding demand tickets (see module docs).
     hungry: AtomicUsize,
+    /// Starvation pressure: raised on every ticket re-arm (a worker that
+    /// parked [`REARM_SWEEPS`] times without being fed), spent by the
+    /// next donor splitting its donation that much finer. Capped at
+    /// [`MAX_DONATION_PIECES`].
+    pressure: AtomicUsize,
     /// Total demand tickets ever issued (diagnostics; the donation bound).
     tickets_issued: AtomicU64,
     /// Early-stop flag (timeout / visitor break).
@@ -277,17 +423,39 @@ impl Shared {
             .is_ok()
     }
 
+    /// Note one starvation episode (a ticket re-arm): the granularity is
+    /// too coarse for the current skew, so ask the next donor to split
+    /// finer. Saturating at the piece cap.
+    fn note_starvation(&self) {
+        let _ = self
+            .pressure
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |p| {
+                (p < MAX_DONATION_PIECES - 1).then_some(p + 1)
+            });
+    }
+
+    /// Drain the accumulated starvation pressure (a donor spends it all
+    /// on one finely-split donation).
+    fn take_pressure(&self) -> usize {
+        self.pressure.swap(0, Ordering::AcqRel)
+    }
+
     /// One full sweep of every queue: own deque, injector, then the other
-    /// workers' deques. Returns the task and whether it was stolen from
-    /// another worker.
-    fn find_task(&self, id: usize, local: &Worker<Task>) -> Option<(Task, bool)> {
+    /// workers' deques in `victims` order (precomputed nearest-tier-first;
+    /// see [`CpuTopology::victim_order`]). Returns the task and, for a
+    /// steal, the topology tier it was resolved at.
+    fn find_task(
+        &self,
+        local: &Worker<Task>,
+        victims: &[(usize, StealTier)],
+    ) -> Option<(Task, Option<StealTier>)> {
         if let Some(t) = local.pop() {
-            return Some((t, false));
+            return Some((t, None));
         }
         let mut backoff = Backoff::new();
         loop {
             match self.injector.steal() {
-                Steal::Success(t) => return Some((t, false)),
+                Steal::Success(t) => return Some((t, None)),
                 Steal::Retry => backoff.spin(),
                 Steal::Empty => break,
             }
@@ -295,13 +463,11 @@ impl Shared {
         // Chaos site: before the victim sweep, so an injected panic can
         // never lose a task that was already stolen.
         light_failpoint::fail_point!("scheduler::steal");
-        let k = self.stealers.len();
-        for step in 1..k {
-            let victim = (id + step) % k;
+        for &(victim, tier) in victims {
             let mut backoff = Backoff::new();
             loop {
                 match self.stealers[victim].steal() {
-                    Steal::Success(t) => return Some((t, true)),
+                    Steal::Success(t) => return Some((t, Some(tier))),
                     Steal::Retry => backoff.spin(),
                     Steal::Empty => break,
                 }
@@ -322,8 +488,10 @@ impl Shared {
 
 /// What one per-root step under `catch_unwind` did.
 enum RootStep {
-    /// Donated `[mid, hi)`; the donor keeps `[lo, mid)`.
-    Donated(VertexId),
+    /// Donated `[mid, hi)` (possibly as several sub-tasks); the donor
+    /// keeps `[lo, mid)`. `extra` counts the sub-tasks beyond the first
+    /// (adaptive-granularity splits).
+    Donated { mid: VertexId, extra: u64 },
     /// Enumerated root `lo`.
     Ran,
 }
@@ -391,6 +559,15 @@ pub fn run_plan_parallel(
             }
         }
     }
+    // Resolve the CPU hierarchy once per run: worker → CPU assignment and
+    // each worker's nearest-first victim sweep. On a flat topology the
+    // sweep is the old `(id + step) % k` rotation and no one is pinned.
+    let topo = pcfg.resolve_topology();
+    let tiered = !topo.is_flat();
+    let victim_orders: Vec<Vec<(usize, StealTier)>> = (0..pcfg.num_threads)
+        .map(|w| topo.victim_order(w, pcfg.num_threads))
+        .collect();
+
     // Per-worker deques are created here so their stealers can live in
     // `Shared`; each `Worker` handle moves into its own thread below.
     let mut locals: Vec<Worker<Task>> = (0..pcfg.num_threads).map(|_| Worker::new_lifo()).collect();
@@ -399,6 +576,7 @@ pub fn run_plan_parallel(
         stealers: locals.iter().map(Worker::stealer).collect(),
         pending: AtomicUsize::new(queue.len()),
         hungry: AtomicUsize::new(0),
+        pressure: AtomicUsize::new(0),
         tickets_issued: AtomicU64::new(0),
         stop: AtomicBool::new(false),
         parker: Mutex::new(()),
@@ -416,11 +594,17 @@ pub fn run_plan_parallel(
         for (worker_id, local) in locals.drain(..).enumerate() {
             let shared = &shared;
             let results = &results;
+            let victims = &victim_orders[worker_id];
+            let slot = topo.slot_for_worker(worker_id);
             scope.spawn(move || {
+                // Best-effort pinning: a refused mask (cpuset, seccomp,
+                // non-Linux) leaves the worker floating and unrecorded.
+                let pinned = tiered && pcfg.pin_workers && affinity::pin_current_thread(slot.cpu);
                 let mut visitor = CountVisitor::default();
                 let mut enumerator = Enumerator::new(plan, g, config, &mut visitor);
                 let mut ws = WorkerStats {
                     worker: worker_id,
+                    cpu: pinned.then_some(slot.cpu),
                     ..Default::default()
                 };
                 let mut failures: Vec<EnumError> = Vec::new();
@@ -434,7 +618,7 @@ pub fn run_plan_parallel(
                     // treated as an empty sweep: the termination check
                     // below still runs, so the run cannot hang.
                     let found =
-                        catch_unwind(AssertUnwindSafe(|| shared.find_task(worker_id, &local)))
+                        catch_unwind(AssertUnwindSafe(|| shared.find_task(&local, victims)))
                             .unwrap_or(None);
                     let Some((task, stolen)) = found else {
                         if shared.pending.load(Ordering::SeqCst) == 0
@@ -452,6 +636,13 @@ pub fn run_plan_parallel(
                         // enough that the ticket was plausibly consumed by a
                         // donation another worker grabbed first.
                         if !ticket_out || empty_sweeps >= REARM_SWEEPS {
+                            if ticket_out {
+                                // Re-arming means we starved through a whole
+                                // ticket lifetime: current task granularity
+                                // is too coarse for the skew. Ask the next
+                                // donor to split finer.
+                                shared.note_starvation();
+                            }
                             shared.hungry.fetch_add(1, Ordering::SeqCst);
                             shared.tickets_issued.fetch_add(1, Ordering::Relaxed);
                             ws.tickets += 1;
@@ -477,8 +668,11 @@ pub fn run_plan_parallel(
                     empty_sweeps = 0;
                     let (mut lo, mut hi) = task;
                     ws.tasks += 1;
-                    if stolen {
+                    if let Some(tier) = stolen {
                         ws.steals += 1;
+                        if tiered {
+                            ws.steal_tiers[tier as usize] += 1;
+                        }
                     }
                     // Process the range one root at a time so donation can
                     // happen mid-task. Each step runs under catch_unwind:
@@ -507,15 +701,36 @@ pub fn run_plan_parallel(
                                     BalancePolicy::DonateOne => hi - 1,
                                     BalancePolicy::Static => unreachable!(),
                                 };
-                                shared.submit(&local, (mid, hi));
-                                return RootStep::Donated(mid);
+                                // Adaptive granularity: spend accumulated
+                                // starvation pressure by cutting the donated
+                                // half into that many extra pieces, so more
+                                // thieves get fed per donation. Zero
+                                // pressure = one piece = the paper's plain
+                                // donate-half. One ticket funds the whole
+                                // batch, keeping donations ≤ tickets.
+                                let len = (hi - mid) as usize;
+                                let pieces = (1 + shared.take_pressure())
+                                    .min(len)
+                                    .min(MAX_DONATION_PIECES);
+                                let chunk = len.div_ceil(pieces) as VertexId;
+                                let mut plo = mid;
+                                while plo < hi {
+                                    let phi = (plo + chunk).min(hi);
+                                    shared.submit(&local, (plo, phi));
+                                    plo = phi;
+                                }
+                                return RootStep::Donated {
+                                    mid,
+                                    extra: pieces as u64 - 1,
+                                };
                             }
                             enumerator.run_range(lo, lo + 1);
                             RootStep::Ran
                         }));
                         match step {
-                            Ok(RootStep::Donated(mid)) => {
+                            Ok(RootStep::Donated { mid, extra }) => {
                                 ws.donations += 1;
+                                ws.splits += extra;
                                 hi = mid;
                             }
                             Ok(RootStep::Ran) => {
@@ -560,6 +775,8 @@ pub fn run_plan_parallel(
                 shared.metrics.record_worker(&light_metrics::WorkerSample {
                     worker: ws.worker,
                     steals: ws.steals,
+                    steal_tiers: ws.steal_tiers,
+                    splits: ws.splits,
                     parks: ws.parks,
                     tickets: ws.tickets,
                     donations: ws.donations,
@@ -916,6 +1133,114 @@ mod tests {
         let cfg = EngineConfig::light().max_memory(64);
         let pr = run_query_parallel(&Query::P7.pattern(), &g, &cfg, &ParallelConfig::new(2));
         assert_eq!(pr.report.outcome, Outcome::MemoryExceeded);
+    }
+
+    /// A fabricated two-node, four-LLC, eight-CPU hierarchy for exercising
+    /// tiered stealing on any host. CPU ids are real-looking (0..8) so
+    /// pinning may or may not succeed — correctness must not care.
+    fn fake_two_node_topology() -> CpuTopology {
+        CpuTopology::from_slots(
+            (0..8)
+                .map(|cpu| CpuSlot {
+                    cpu,
+                    core: cpu / 2, // SMT pairs: (0,1) (2,3) ...
+                    llc: cpu / 4,  // two LLC domains
+                    node: cpu / 4, // one per socket
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn tiered_topology_agrees_with_serial_and_records_tiers() {
+        let g = {
+            let raw = generators::rmat(11, 12_000, (0.55, 0.2, 0.2, 0.05), 21);
+            light_graph::ordered::into_degree_ordered(&raw).0
+        };
+        let cfg = EngineConfig::light();
+        let q = Query::P2.pattern();
+        let expect = serial_count(&q, &g, &cfg);
+        let pr = run_query_parallel(
+            &q,
+            &g,
+            &cfg,
+            &ParallelConfig::new(4).topology(TopologyMode::Custom(fake_two_node_topology())),
+        );
+        assert_eq!(pr.report.matches, expect);
+        // Under a tiered topology every steal lands in exactly one tier.
+        let steals: u64 = pr.workers.iter().map(|w| w.steals).sum();
+        let tiered: u64 = pr.steal_tier_totals().iter().sum();
+        assert_eq!(steals, tiered, "tier counters must partition steals");
+        if steals > 0 {
+            let f = pr.near_steal_fraction().unwrap();
+            assert!((0.0..=1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn flat_kill_switch_restores_topology_blind_behavior() {
+        let g = generators::barabasi_albert(400, 5, 33);
+        let cfg = EngineConfig::light();
+        let q = Query::Triangle.pattern();
+        let expect = serial_count(&q, &g, &cfg);
+        let pr = run_query_parallel(&q, &g, &cfg, &ParallelConfig::new(4).flat_topology(true));
+        assert_eq!(pr.report.matches, expect);
+        // Flat mode: no pinning, no tier accounting (total steals still
+        // counted), exactly the pre-topology scheduler.
+        assert_eq!(pr.steal_tier_totals(), [0, 0, 0, 0]);
+        assert!(pr.workers.iter().all(|w| w.cpu.is_none()));
+        assert!(pr.near_steal_fraction().is_none());
+    }
+
+    #[test]
+    fn pin_failure_is_harmless() {
+        // CPU ids far beyond any real machine: sched_setaffinity refuses
+        // every mask, workers run unpinned, counts are unaffected.
+        let g = generators::barabasi_albert(300, 4, 17);
+        let cfg = EngineConfig::light();
+        let q = Query::P1.pattern();
+        let expect = serial_count(&q, &g, &cfg);
+        let topo = CpuTopology::from_slots(
+            (0..4)
+                .map(|i| CpuSlot {
+                    cpu: 100_000 + i,
+                    core: i,
+                    llc: i / 2,
+                    node: 0,
+                })
+                .collect(),
+        );
+        let pr = run_query_parallel(
+            &q,
+            &g,
+            &cfg,
+            &ParallelConfig::new(4).topology(TopologyMode::Custom(topo)),
+        );
+        assert_eq!(pr.report.matches, expect);
+        assert!(pr.workers.iter().all(|w| w.cpu.is_none()));
+    }
+
+    #[test]
+    fn tasks_cover_seeds_donations_and_splits() {
+        // Task conservation: every executed task is a seed, a donation,
+        // or an adaptive-granularity split of a donation.
+        let g = {
+            let raw = generators::rmat(12, 40_000, (0.55, 0.2, 0.2, 0.05), 29);
+            light_graph::ordered::into_degree_ordered(&raw).0
+        };
+        let pcfg = ParallelConfig::new(4).topology(TopologyMode::Custom(fake_two_node_topology()));
+        let pr = run_query_parallel(&Query::P2.pattern(), &g, &EngineConfig::light(), &pcfg);
+        let n = g.num_vertices() as u64;
+        let initial = (pcfg.num_threads * pcfg.initial_tasks_per_thread) as u64;
+        let chunk = n.div_ceil(initial).max(1);
+        let seeds = n.div_ceil(chunk);
+        let tasks: u64 = pr.workers.iter().map(|w| w.tasks).sum();
+        let donations: u64 = pr.workers.iter().map(|w| w.donations).sum();
+        let splits: u64 = pr.workers.iter().map(|w| w.splits).sum();
+        assert_eq!(tasks, seeds + donations + splits);
+        // Splitting must never break the demand-ticket bound.
+        let tickets: u64 = pr.workers.iter().map(|w| w.tickets).sum();
+        assert!(donations <= tickets);
     }
 
     #[test]

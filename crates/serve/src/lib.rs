@@ -42,12 +42,16 @@ pub mod catalog;
 pub mod json;
 pub mod plan_cache;
 pub mod protocol;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod server;
 pub mod service;
 
 pub use catalog::{CatalogEntry, GraphCatalog};
 pub use plan_cache::{PlanCache, PlanKey, PLAN_CACHE_CAP};
 pub use protocol::{ErrorCode, Request, WireOutcome, MAX_REQUEST_BYTES};
+#[cfg(target_os = "linux")]
+pub use reactor::ReactorServer;
 pub use server::{drain, serve_connection, serve_stdio, DrainReport, SocketServer};
 pub use service::{QueryService, ServeConfig, ServiceMetrics};
 

@@ -29,7 +29,8 @@ use light_pattern::PatternGraph;
 
 /// Bound on resident plans. Plans are small (a few hundred bytes), but an
 /// adversarial client cycling unique patterns must not grow the daemon
-/// without bound; past the cap the oldest entry is evicted (FIFO).
+/// without bound; past the cap the least-recently-used entry is evicted,
+/// so the hot P1–P7 catalog survives a cold scan of one-off patterns.
 pub const PLAN_CACHE_CAP: usize = 4096;
 
 /// Everything that distinguishes one plan from another.
@@ -66,15 +67,35 @@ impl PlanKey {
     }
 }
 
-struct CacheState {
-    map: HashMap<PlanKey, Arc<QueryPlan>>,
-    /// Insertion order for FIFO eviction at [`PLAN_CACHE_CAP`].
-    order: Vec<PlanKey>,
+/// A resident plan plus the logical clock tick of its last use.
+struct CacheEntry {
+    plan: Arc<QueryPlan>,
+    last_used: u64,
 }
 
-/// Thread-safe plan cache with hit/miss counters.
+struct CacheState {
+    map: HashMap<PlanKey, CacheEntry>,
+    /// Logical clock for LRU: bumped on every touch (hit or insert). An
+    /// O(1) stamp per access; the O(n) min-scan happens only on eviction,
+    /// which fires at most once per insert past the cap.
+    clock: u64,
+}
+
+impl CacheState {
+    fn touch(&mut self, key: &PlanKey) -> Option<Arc<QueryPlan>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(key).map(|e| {
+            e.last_used = clock;
+            Arc::clone(&e.plan)
+        })
+    }
+}
+
+/// Thread-safe LRU plan cache with hit/miss counters.
 pub struct PlanCache {
     state: Mutex<CacheState>,
+    cap: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -87,13 +108,20 @@ impl Default for PlanCache {
 }
 
 impl PlanCache {
-    /// An empty cache.
+    /// An empty cache at the default capacity.
     pub fn new() -> PlanCache {
+        Self::with_capacity(PLAN_CACHE_CAP)
+    }
+
+    /// An empty cache bounded at `cap` entries (tests shrink it to make
+    /// eviction behavior observable with a handful of keys).
+    pub fn with_capacity(cap: usize) -> PlanCache {
         PlanCache {
             state: Mutex::new(CacheState {
                 map: HashMap::new(),
-                order: Vec::new(),
+                clock: 0,
             }),
+            cap: cap.max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -109,24 +137,35 @@ impl PlanCache {
         key: PlanKey,
         build: impl FnOnce() -> QueryPlan,
     ) -> (Arc<QueryPlan>, bool) {
-        if let Some(hit) = self.state.lock().unwrap().map.get(&key) {
+        if let Some(hit) = self.state.lock().unwrap().touch(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return (Arc::clone(hit), true);
+            return (hit, true);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let plan = Arc::new(build());
         let mut st = self.state.lock().unwrap();
-        if let Some(raced) = st.map.get(&key) {
+        if let Some(raced) = st.touch(&key) {
             // Another thread built it first; keep theirs (already shared).
-            return (Arc::clone(raced), false);
+            return (raced, false);
         }
-        if st.map.len() >= PLAN_CACHE_CAP {
-            let victim = st.order.remove(0);
-            st.map.remove(&victim);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+        if st.map.len() >= self.cap {
+            // Evict the least-recently-used entry: the smallest stamp.
+            if let Some(victim) = st
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                st.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
         }
-        st.order.push(key.clone());
-        st.map.insert(key, Arc::clone(&plan));
+        st.clock += 1;
+        let entry = CacheEntry {
+            plan: Arc::clone(&plan),
+            last_used: st.clock,
+        };
+        st.map.insert(key, entry);
         (plan, false)
     }
 
@@ -233,9 +272,65 @@ mod tests {
         }
         assert_eq!(cache.len(), PLAN_CACHE_CAP);
         assert_eq!(cache.evictions(), 5);
-        // The very first key was evicted: re-querying it is a miss.
+        // With no intervening re-use, LRU degrades to FIFO: the very
+        // first key was evicted and re-querying it is a miss.
         let key0 = PlanKey::new(&Query::Triangle.pattern(), "g0", &cfg);
         let (_, hit) = cache.get_or_build(key0, || cfg.plan(&Query::Triangle.pattern(), &g));
         assert!(!hit);
+    }
+
+    #[test]
+    fn lru_keeps_hot_plans_under_cold_scan() {
+        // The mixed-load regression FIFO failed: a hot working set (the
+        // P1–P7 catalog) interleaved with a cold stream of one-off
+        // patterns. FIFO evicts by insertion age, so the hot plans —
+        // inserted first — die as soon as enough cold keys pass through;
+        // LRU keeps them resident because every round re-touches them.
+        let g = generators::complete(6);
+        let cfg = EngineConfig::light();
+        let hot: Vec<Query> = vec![Query::Triangle, Query::P1, Query::P2, Query::P3, Query::P4];
+        let cache = PlanCache::with_capacity(hot.len() + 2);
+        let mut cold = 0usize;
+        for round in 0..20 {
+            for &q in &hot {
+                let key = PlanKey::new(&q.pattern(), "g", &cfg);
+                let (_, hit) = cache.get_or_build(key, || cfg.plan(&q.pattern(), &g));
+                // After the warm-up round every hot lookup must hit, no
+                // matter how much cold traffic went by in between.
+                if round > 0 {
+                    assert!(hit, "hot {q:?} evicted in round {round}");
+                }
+            }
+            // Two one-off patterns per round: enough cold traffic to turn
+            // over a FIFO of this size several times across the run.
+            for _ in 0..2 {
+                cold += 1;
+                let key = PlanKey::new(&Query::Triangle.pattern(), &format!("cold{cold}"), &cfg);
+                cache.get_or_build(key, || cfg.plan(&Query::Triangle.pattern(), &g));
+            }
+        }
+        // 19 re-hit rounds × 5 hot plans, and the only misses are the
+        // first round plus the cold stream.
+        assert_eq!(cache.hits(), 19 * hot.len() as u64);
+        assert_eq!(cache.misses(), hot.len() as u64 + cold as u64);
+        assert!(cache.hit_rate() > 0.6, "rate {}", cache.hit_rate());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_not_oldest() {
+        let g = generators::complete(6);
+        let cfg = EngineConfig::light();
+        let cache = PlanCache::with_capacity(2);
+        let build = || cfg.plan(&Query::Triangle.pattern(), &g);
+        let key = |name: &str| PlanKey::new(&Query::Triangle.pattern(), name, &cfg);
+
+        cache.get_or_build(key("a"), build); // a
+        cache.get_or_build(key("b"), build); // a b
+        cache.get_or_build(key("a"), build); // touch a: b is now LRU
+        cache.get_or_build(key("c"), build); // evicts b (FIFO would evict a)
+        let (_, hit_a) = cache.get_or_build(key("a"), build);
+        assert!(hit_a, "the re-used oldest entry must survive");
+        let (_, hit_b) = cache.get_or_build(key("b"), build);
+        assert!(!hit_b, "the least-recently-used entry must be gone");
     }
 }

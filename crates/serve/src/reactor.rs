@@ -1,0 +1,805 @@
+//! Event-driven serve transport: an epoll readiness loop (DESIGN.md §13).
+//!
+//! The thread-per-connection transport in [`crate::server`] costs one OS
+//! thread plus a 100 ms poll-timeout read loop *per connection* — fine
+//! for a handful of shell pipelines, hopeless for thousands of mostly
+//! idle clients, and the handler threads fight the engine workers for
+//! cores. This module multiplexes every connection onto **one I/O
+//! thread** with `epoll(7)`:
+//!
+//! * the reactor thread owns the listener, all connection sockets (all
+//!   non-blocking), and an `eventfd(2)` wakeup;
+//! * readable connections are drained into a per-connection buffer and
+//!   split into NDJSON request lines;
+//! * complete lines are handed to a small **executor pool** that runs
+//!   [`QueryService::handle_line`] — the same admission/timeout path as
+//!   every other transport, so engine workers stay distinct from the I/O
+//!   thread and admission control still bounds concurrency;
+//! * finished responses come back through a completion queue; the
+//!   executor pokes the eventfd so the reactor wakes instantly, writes
+//!   the response, and dispatches the connection's next pending line.
+//!
+//! Per-connection responses stay in request order: at most one line per
+//! connection is at the executors at a time (`in_flight`), the rest wait
+//! in the connection's `pending` queue. An idle connection costs one fd
+//! and a few hundred bytes — no thread, no timer, no polling.
+//!
+//! Drain integrates with the same eventfd: the CLI's SIGINT handler (or
+//! anyone holding [`ReactorServer::wake_fd`]) writes 8 bytes, the
+//! reactor wakes, sees `service.is_draining()`, closes the listener and
+//! every idle connection, lets in-flight requests finish, and exits when
+//! the last connection drains — no sleep-polling anywhere on the path.
+//!
+//! Everything here is a thin vendored shim over raw `epoll`/`eventfd`
+//! symbols (the repo's no-new-dependencies idiom, like the CLI's SIGINT
+//! handler); see [`sys`]. Linux-only, like epoll — the CLI falls back to
+//! the thread transport elsewhere.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::protocol::{self, ErrorCode, MAX_REQUEST_BYTES};
+use crate::server::{accept_error_is_transient, bind_uds};
+use crate::service::QueryService;
+
+/// Raw epoll / eventfd bindings. Direct `extern "C"` libc symbols — the
+/// same dependency-free idiom as the SIGINT handler and
+/// `sched_setaffinity` shim.
+mod sys {
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+
+    pub const EPOLL_CLOEXEC: i32 = 0o2000000;
+    pub const EFD_CLOEXEC: i32 = 0o2000000;
+    pub const EFD_NONBLOCK: i32 = 0o4000;
+
+    /// `struct epoll_event`. Packed on x86_64 (the kernel ABI packs it
+    /// there so 32-bit and 64-bit layouts match); natural alignment
+    /// elsewhere.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: i32) -> i32;
+        pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        pub fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        pub fn eventfd(initval: u32, flags: i32) -> i32;
+        pub fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        pub fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        pub fn close(fd: i32) -> i32;
+    }
+}
+
+/// Wakeup eventfd, shared between the reactor (reads) and wakers
+/// (executors, the SIGINT handler — writes). The single `write` is
+/// async-signal-safe, so a signal handler may call [`WakeFd::wake`]
+/// directly.
+pub struct WakeFd {
+    fd: RawFd,
+}
+
+impl WakeFd {
+    fn new() -> io::Result<WakeFd> {
+        let fd = unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(WakeFd { fd })
+    }
+
+    /// Wake the reactor. Async-signal-safe; failures are ignored (a full
+    /// eventfd counter already means a wake is pending).
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        unsafe {
+            sys::write(self.fd, (&one as *const u64).cast(), 8);
+        }
+    }
+
+    /// Reset the counter so the level-triggered readiness clears.
+    fn drain(&self) {
+        let mut buf = [0u8; 8];
+        unsafe {
+            sys::read(self.fd, buf.as_mut_ptr(), 8);
+        }
+    }
+}
+
+impl Drop for WakeFd {
+    fn drop(&mut self) {
+        unsafe {
+            sys::close(self.fd);
+        }
+    }
+}
+
+/// RAII epoll instance with typed interest management.
+struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    fn new() -> io::Result<Epoll> {
+        let fd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = sys::EpollEvent {
+            events,
+            data: token,
+        };
+        let rc = unsafe { sys::epoll_ctl(self.fd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    fn del(&self, fd: RawFd) {
+        let _ = self.ctl(sys::EPOLL_CTL_DEL, fd, 0, 0);
+    }
+
+    /// Wait for readiness; returns the ready events. `timeout` bounds the
+    /// wait (safety-net heartbeat; every real transition arrives via fd).
+    fn wait(&self, events: &mut Vec<sys::EpollEvent>, timeout: Duration) -> io::Result<()> {
+        events.clear();
+        let cap = events.capacity().max(64) as i32;
+        let n = unsafe {
+            sys::epoll_wait(
+                self.fd,
+                events.as_mut_ptr(),
+                cap,
+                timeout.as_millis().min(i32::MAX as u128) as i32,
+            )
+        };
+        if n < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                return Ok(());
+            }
+            return Err(e);
+        }
+        // SAFETY: the kernel initialized the first n entries.
+        unsafe { events.set_len(n as usize) };
+        Ok(())
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        unsafe {
+            sys::close(self.fd);
+        }
+    }
+}
+
+/// Reserved epoll tokens; connections get ids from 2 upward.
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKE: u64 = 1;
+const FIRST_CONN: u64 = 2;
+
+/// Per-connection cap on parsed-but-undispatched request lines. A client
+/// that pipelines past this stops being read (its socket buffer fills —
+/// natural backpressure) until responses drain the queue.
+const PENDING_CAP: usize = 64;
+
+/// Stop reading a connection whose unwritten response bytes exceed this
+/// (the peer is not consuming responses; don't buffer unboundedly).
+const OUTBUF_HIGH_WATER: usize = 256 * 1024;
+
+/// Safety-net heartbeat for `epoll_wait`: the reactor re-checks the drain
+/// flag at least this often even if every wake signal is lost.
+const HEARTBEAT: Duration = Duration::from_millis(1000);
+
+/// One multiplexed connection.
+struct Conn {
+    stream: UnixStream,
+    /// Partial-line accumulation (bytes read, no `\n` yet).
+    inbuf: Vec<u8>,
+    /// Complete request lines awaiting dispatch (already trimmed).
+    pending: VecDeque<String>,
+    /// Response bytes awaiting a writable socket.
+    outbuf: Vec<u8>,
+    /// One line is at the executors; responses stay in request order.
+    in_flight: bool,
+    /// Close once pending + in-flight + outbuf all drain (EOF received,
+    /// oversized line, or write error).
+    closing: bool,
+    /// Interest currently registered with epoll.
+    interest: u32,
+}
+
+impl Conn {
+    fn new(stream: UnixStream) -> Conn {
+        Conn {
+            stream,
+            inbuf: Vec::new(),
+            pending: VecDeque::new(),
+            outbuf: Vec::new(),
+            in_flight: false,
+            closing: false,
+            interest: 0,
+        }
+    }
+
+    /// Events this connection currently cares about.
+    fn wanted(&self) -> u32 {
+        let mut ev = 0;
+        let throttled = self.pending.len() >= PENDING_CAP || self.outbuf.len() >= OUTBUF_HIGH_WATER;
+        if !self.closing && !throttled {
+            ev |= sys::EPOLLIN;
+        }
+        if !self.outbuf.is_empty() {
+            ev |= sys::EPOLLOUT;
+        }
+        ev
+    }
+
+    /// Whether the connection has nothing left to do.
+    fn is_idle(&self) -> bool {
+        self.inbuf.is_empty()
+            && self.pending.is_empty()
+            && !self.in_flight
+            && self.outbuf.is_empty()
+    }
+
+    /// Whether a closing connection has fully drained.
+    fn drained(&self) -> bool {
+        self.closing && self.pending.is_empty() && !self.in_flight && self.outbuf.is_empty()
+    }
+}
+
+/// A request line travelling to the executor pool.
+struct Job {
+    conn: u64,
+    line: String,
+}
+
+/// A running epoll-reactor transport.
+pub struct ReactorServer {
+    reactor: JoinHandle<io::Result<()>>,
+    executors: Vec<JoinHandle<()>>,
+    wake: Arc<WakeFd>,
+    path: std::path::PathBuf,
+}
+
+impl ReactorServer {
+    /// Bind `path` (same stale-socket/live-daemon handling as the thread
+    /// transport) and start the reactor plus its executor pool.
+    pub fn bind(
+        service: Arc<QueryService>,
+        path: impl Into<std::path::PathBuf>,
+    ) -> io::Result<ReactorServer> {
+        let path = path.into();
+        let listener = bind_uds(&path)?;
+        let wake = Arc::new(WakeFd::new()?);
+        let completions: Arc<Mutex<Vec<(u64, String)>>> = Arc::new(Mutex::new(Vec::new()));
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+
+        // Executor pool: bounded by what admission control can have
+        // running or queued at once, plus one slot for control ops
+        // (ping/stats/shutdown never block on admission).
+        let cfg = service.config();
+        let pool = (cfg.max_concurrent + cfg.queue_depth + 1).max(2);
+        let mut executors = Vec::with_capacity(pool);
+        for i in 0..pool {
+            let rx = Arc::clone(&rx);
+            let svc = Arc::clone(&service);
+            let completions = Arc::clone(&completions);
+            let wake = Arc::clone(&wake);
+            executors.push(
+                std::thread::Builder::new()
+                    .name(format!("light-serve-exec{i}"))
+                    .spawn(move || executor_loop(&rx, &svc, &completions, &wake))?,
+            );
+        }
+
+        let rpath = path.clone();
+        let rwake = Arc::clone(&wake);
+        let reactor = std::thread::Builder::new()
+            .name("light-serve-reactor".into())
+            .spawn(move || {
+                let r = reactor_loop(&service, listener, &rpath, &rwake, &completions, &tx);
+                // The jobs sender drops here; executors exit on recv error.
+                std::fs::remove_file(&rpath).ok();
+                r
+            })?;
+        Ok(ReactorServer {
+            reactor,
+            executors,
+            wake,
+            path,
+        })
+    }
+
+    /// The socket path being served.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+
+    /// The raw wakeup fd, for wiring into a signal handler (a single
+    /// 8-byte `write` is async-signal-safe).
+    pub fn wake_fd(&self) -> RawFd {
+        self.wake.fd
+    }
+
+    /// Wake the reactor so it re-checks the drain flag now.
+    pub fn wake(&self) {
+        self.wake.wake();
+    }
+
+    /// Wait for the reactor and executor pool to finish. Returns after a
+    /// drain has been signalled on the service and every connection has
+    /// been flushed and closed.
+    pub fn join(self) -> io::Result<()> {
+        let r = match self.reactor.join() {
+            Ok(r) => r,
+            Err(_) => Err(io::Error::other("reactor thread panicked")),
+        };
+        for h in self.executors {
+            h.join().ok();
+        }
+        r
+    }
+}
+
+fn executor_loop(
+    rx: &Mutex<mpsc::Receiver<Job>>,
+    service: &QueryService,
+    completions: &Mutex<Vec<(u64, String)>>,
+    wake: &WakeFd,
+) {
+    loop {
+        // Hold the lock only across the blocking recv; idle executors
+        // queue on the mutex instead.
+        let job = match rx.lock().unwrap().recv() {
+            Ok(j) => j,
+            Err(_) => return, // reactor exited
+        };
+        // handle_line has its own containment, but a panic here must not
+        // wedge the connection (in_flight would never clear).
+        let resp = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            service.handle_line(&job.line)
+        }))
+        .unwrap_or_else(|_| {
+            protocol::render_error("null", ErrorCode::Internal, "request handler panicked")
+        });
+        completions.lock().unwrap().push((job.conn, resp));
+        wake.wake();
+    }
+}
+
+fn reactor_loop(
+    service: &QueryService,
+    listener: UnixListener,
+    path: &std::path::Path,
+    wake: &WakeFd,
+    completions: &Mutex<Vec<(u64, String)>>,
+    jobs: &mpsc::Sender<Job>,
+) -> io::Result<()> {
+    let epoll = Epoll::new()?;
+    epoll.add(listener.as_raw_fd(), sys::EPOLLIN, TOKEN_LISTENER)?;
+    epoll.add(wake.fd, sys::EPOLLIN, TOKEN_WAKE)?;
+
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_id: u64 = FIRST_CONN;
+    let mut listener: Option<UnixListener> = Some(listener);
+    let mut events: Vec<sys::EpollEvent> = Vec::with_capacity(256);
+    let mut accept_backoff = Duration::from_millis(10);
+    let mut fatal: io::Result<()> = Ok(());
+
+    loop {
+        // Drain transition: stop accepting, shed idle connections. Busy
+        // connections finish their in-flight/pending work (the service
+        // answers new queries with a typed `draining` error) and close
+        // once idle.
+        if service.is_draining() {
+            if let Some(l) = listener.take() {
+                epoll.del(l.as_raw_fd());
+                std::fs::remove_file(path).ok();
+            }
+            let idle: Vec<u64> = conns
+                .iter()
+                .filter(|(_, c)| c.is_idle())
+                .map(|(&id, _)| id)
+                .collect();
+            for id in idle {
+                close_conn(&epoll, &mut conns, id);
+            }
+            if conns.is_empty() {
+                return fatal;
+            }
+        } else if listener.is_none() {
+            // Listener died (fatal accept error) with no drain requested:
+            // nothing will ever connect again, so request one.
+            service.shutdown_token().cancel();
+            continue;
+        }
+
+        epoll.wait(&mut events, HEARTBEAT)?;
+
+        let mut touched: Vec<u64> = Vec::new();
+        let ready: Vec<sys::EpollEvent> = events.clone();
+        for ev in ready {
+            let (token, bits) = (ev.data, ev.events);
+            match token {
+                TOKEN_WAKE => wake.drain(),
+                TOKEN_LISTENER => {
+                    if let Some(l) = &listener {
+                        match accept_ready(l, &epoll, &mut conns, &mut next_id, &mut accept_backoff)
+                        {
+                            Ok(newly) => touched.extend(newly),
+                            Err(e) => {
+                                // Fatal listener failure: report it, stop
+                                // accepting, and drain what remains.
+                                eprintln!("serve: fatal accept error: {e}");
+                                fatal = Err(e);
+                                if let Some(l) = listener.take() {
+                                    epoll.del(l.as_raw_fd());
+                                }
+                            }
+                        }
+                    }
+                }
+                id => {
+                    let Some(conn) = conns.get_mut(&id) else {
+                        continue;
+                    };
+                    let mut dead =
+                        bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0 && bits & sys::EPOLLIN == 0;
+                    if bits & sys::EPOLLIN != 0 {
+                        dead |= !conn_read(conn, service);
+                    }
+                    if bits & sys::EPOLLOUT != 0 {
+                        dead |= !conn_write(conn);
+                    }
+                    if dead {
+                        close_conn(&epoll, &mut conns, id);
+                    } else {
+                        touched.push(id);
+                    }
+                }
+            }
+        }
+
+        // Apply finished responses, then dispatch each touched
+        // connection's next pending line and refresh epoll interest.
+        for (id, resp) in completions.lock().unwrap().drain(..) {
+            if let Some(conn) = conns.get_mut(&id) {
+                conn.in_flight = false;
+                conn.outbuf.extend_from_slice(resp.as_bytes());
+                conn.outbuf.push(b'\n');
+                if !conn_write(conn) {
+                    close_conn(&epoll, &mut conns, id);
+                    continue;
+                }
+                touched.push(id);
+            }
+            // else: the connection died while its request was executing;
+            // the response has nowhere to go.
+        }
+        for id in touched {
+            let Some(conn) = conns.get_mut(&id) else {
+                continue;
+            };
+            dispatch(id, conn, jobs);
+            if conn.drained() {
+                close_conn(&epoll, &mut conns, id);
+                continue;
+            }
+            let want = conn.wanted();
+            if want != conn.interest {
+                conn.interest = want;
+                // A failed re-registration dooms only this connection.
+                if epoll.modify(conn.stream.as_raw_fd(), want, id).is_err() {
+                    close_conn(&epoll, &mut conns, id);
+                }
+            }
+        }
+    }
+}
+
+/// Accept every queued connection. Returns the new connection ids, or the
+/// fatal listener error. Transient failures back off (capped) without
+/// blocking the reactor for long.
+fn accept_ready(
+    listener: &UnixListener,
+    epoll: &Epoll,
+    conns: &mut HashMap<u64, Conn>,
+    next_id: &mut u64,
+    backoff: &mut Duration,
+) -> io::Result<Vec<u64>> {
+    let mut newly = Vec::new();
+    loop {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                *backoff = Duration::from_millis(10);
+                // Per-connection setup failures drop that connection only.
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let id = *next_id;
+                *next_id += 1;
+                if epoll.add(stream.as_raw_fd(), sys::EPOLLIN, id).is_err() {
+                    continue;
+                }
+                let mut conn = Conn::new(stream);
+                conn.interest = sys::EPOLLIN;
+                conns.insert(id, conn);
+                newly.push(id);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if accept_error_is_transient(&e) => {
+                eprintln!("serve: transient accept error: {e}");
+                // Level-triggered listener readiness would spin on EMFILE;
+                // a short capped sleep throttles the retry. Connections
+                // already accepted keep being served after it.
+                std::thread::sleep(*backoff);
+                *backoff = (*backoff * 2).min(Duration::from_millis(640));
+                break;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(newly)
+}
+
+/// Drain readable bytes and split complete lines into `pending`. Returns
+/// false if the connection must be closed immediately (hard error).
+fn conn_read(conn: &mut Conn, service: &QueryService) -> bool {
+    let mut chunk = [0u8; 8192];
+    loop {
+        if conn.pending.len() >= PENDING_CAP || conn.closing {
+            return true; // backpressure: leave the rest in the socket
+        }
+        match (&conn.stream).read(&mut chunk) {
+            Ok(0) => {
+                // EOF: a final unterminated line still gets served (same
+                // semantics as the BufRead transport).
+                if !conn.inbuf.is_empty() {
+                    let line = std::mem::take(&mut conn.inbuf);
+                    queue_line(conn, &line);
+                }
+                conn.closing = true;
+                return true;
+            }
+            Ok(n) => {
+                conn.inbuf.extend_from_slice(&chunk[..n]);
+                while let Some(pos) = conn.inbuf.iter().position(|&b| b == b'\n') {
+                    let rest = conn.inbuf.split_off(pos + 1);
+                    let line = std::mem::replace(&mut conn.inbuf, rest);
+                    queue_line(conn, &line);
+                    if conn.closing {
+                        return true;
+                    }
+                }
+                if conn.inbuf.len() > MAX_REQUEST_BYTES {
+                    // Oversized mid-line: answer the typed error for what
+                    // we have, then hang up (stream position is
+                    // unrecoverable), exactly like the thread transport.
+                    let line = std::mem::take(&mut conn.inbuf);
+                    let resp = service.handle_line(&String::from_utf8_lossy(&line));
+                    conn.outbuf.extend_from_slice(resp.as_bytes());
+                    conn.outbuf.push(b'\n');
+                    conn.closing = true;
+                    return true;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+}
+
+/// Queue one raw request line (terminator included) for dispatch. Blank
+/// lines are skipped; a line beyond [`MAX_REQUEST_BYTES`] marks the
+/// connection oversized-closing (answered by the dispatcher as the last
+/// line).
+fn queue_line(conn: &mut Conn, raw: &[u8]) {
+    let line = String::from_utf8_lossy(raw);
+    if raw.len() > MAX_REQUEST_BYTES {
+        conn.pending.push_back(line.into_owned());
+        conn.closing = true;
+        return;
+    }
+    let trimmed = line.trim();
+    if !trimmed.is_empty() {
+        conn.pending.push_back(trimmed.to_string());
+    }
+}
+
+/// Hand the connection's next pending line to the executors, unless one
+/// is already in flight (per-connection FIFO ordering).
+fn dispatch(id: u64, conn: &mut Conn, jobs: &mpsc::Sender<Job>) {
+    if conn.in_flight {
+        return;
+    }
+    if let Some(line) = conn.pending.pop_front() {
+        conn.in_flight = true;
+        // A send error means the executors are gone (shutdown race);
+        // the connection will be shed by the drain path.
+        let _ = jobs.send(Job { conn: id, line });
+    }
+}
+
+/// Flush as much of `outbuf` as the socket accepts. Returns false on a
+/// hard write error (peer gone).
+fn conn_write(conn: &mut Conn) -> bool {
+    while !conn.outbuf.is_empty() {
+        match (&conn.stream).write(&conn.outbuf) {
+            Ok(0) => return false,
+            Ok(n) => {
+                conn.outbuf.drain(..n);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+fn close_conn(epoll: &Epoll, conns: &mut HashMap<u64, Conn>, id: u64) {
+    if let Some(conn) = conns.remove(&id) {
+        epoll.del(conn.stream.as_raw_fd());
+        // Socket closes on drop.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::GraphCatalog;
+    use crate::json::Json;
+    use crate::service::ServeConfig;
+    use light_graph::generators;
+    use std::io::{BufRead, BufReader};
+
+    fn test_service() -> Arc<QueryService> {
+        let mut catalog = GraphCatalog::new();
+        catalog
+            .insert("demo", generators::barabasi_albert(200, 3, 7))
+            .unwrap();
+        Arc::new(QueryService::new(catalog, ServeConfig::default()))
+    }
+
+    fn sock_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("light_reactor_{tag}_{}.sock", std::process::id()))
+    }
+
+    fn query_line(stream: &UnixStream, line: &str) -> String {
+        let mut w = stream.try_clone().unwrap();
+        w.write_all(line.as_bytes()).unwrap();
+        w.write_all(b"\n").unwrap();
+        w.flush().unwrap();
+        let mut resp = String::new();
+        BufReader::new(stream.try_clone().unwrap())
+            .read_line(&mut resp)
+            .unwrap();
+        resp.trim().to_string()
+    }
+
+    #[test]
+    fn serves_queries_and_drains_on_shutdown_request() {
+        let service = test_service();
+        let path = sock_path("basic");
+        let _ = std::fs::remove_file(&path);
+        let srv = ReactorServer::bind(Arc::clone(&service), &path).unwrap();
+
+        // A batch of idle connections plus one active client.
+        let idle: Vec<UnixStream> = (0..32)
+            .map(|_| UnixStream::connect(&path).unwrap())
+            .collect();
+        let active = UnixStream::connect(&path).unwrap();
+        for i in 0..5 {
+            let resp = query_line(
+                &active,
+                &format!(r#"{{"op":"query","pattern":"triangle","id":{i}}}"#),
+            );
+            let doc = Json::parse(&resp).unwrap();
+            assert_eq!(
+                doc.get("status").and_then(Json::as_str),
+                Some("ok"),
+                "{resp}"
+            );
+            assert_eq!(doc.get("id").and_then(Json::as_u64), Some(i));
+        }
+        // Pipelined requests come back in order.
+        {
+            let mut w = active.try_clone().unwrap();
+            for i in 100..110u64 {
+                writeln!(w, r#"{{"op":"ping","id":{i}}}"#).unwrap();
+            }
+            w.flush().unwrap();
+            let mut r = BufReader::new(active.try_clone().unwrap());
+            for i in 100..110u64 {
+                let mut line = String::new();
+                r.read_line(&mut line).unwrap();
+                let doc = Json::parse(line.trim()).unwrap();
+                assert_eq!(doc.get("id").and_then(Json::as_u64), Some(i), "{line}");
+            }
+        }
+
+        // `shutdown` drains: idle connections close, the server joins.
+        let resp = query_line(&active, r#"{"op":"shutdown","id":"bye"}"#);
+        assert!(resp.contains("\"status\":\"ok\""), "{resp}");
+        srv.wake();
+        srv.join().unwrap();
+        assert!(!path.exists(), "socket file must be removed on drain");
+        drop(idle);
+    }
+
+    #[test]
+    fn oversized_line_gets_typed_error_then_close() {
+        let service = test_service();
+        let path = sock_path("oversized");
+        let _ = std::fs::remove_file(&path);
+        let srv = ReactorServer::bind(Arc::clone(&service), &path).unwrap();
+
+        let stream = UnixStream::connect(&path).unwrap();
+        let mut w = stream.try_clone().unwrap();
+        let huge = vec![b'x'; MAX_REQUEST_BYTES + 100];
+        w.write_all(&huge).unwrap();
+        w.write_all(b"\n").unwrap();
+        w.flush().unwrap();
+        let mut resp = String::new();
+        BufReader::new(stream.try_clone().unwrap())
+            .read_line(&mut resp)
+            .unwrap();
+        assert!(resp.contains("\"error\""), "{resp}");
+        // The daemon hangs up after answering.
+        let mut rest = String::new();
+        let n = BufReader::new(stream).read_line(&mut rest).unwrap();
+        assert_eq!(n, 0, "connection must close after an oversized line");
+
+        service.shutdown_token().cancel();
+        srv.wake();
+        srv.join().unwrap();
+    }
+
+    #[test]
+    fn refuses_live_daemon_socket() {
+        let service = test_service();
+        let path = sock_path("live");
+        let _ = std::fs::remove_file(&path);
+        let srv = ReactorServer::bind(Arc::clone(&service), &path).unwrap();
+        let err = ReactorServer::bind(Arc::clone(&service), &path)
+            .err()
+            .expect("binding over a live daemon must fail");
+        assert_eq!(err.kind(), io::ErrorKind::AddrInUse);
+        service.shutdown_token().cancel();
+        srv.wake();
+        srv.join().unwrap();
+    }
+}

@@ -149,22 +149,8 @@ impl SocketServer {
         service: Arc<QueryService>,
         path: impl Into<std::path::PathBuf>,
     ) -> io::Result<SocketServer> {
-        use std::os::unix::net::UnixListener;
         let path = path.into();
-        if path.exists() {
-            match std::os::unix::net::UnixStream::connect(&path) {
-                Ok(_) => {
-                    return Err(io::Error::new(
-                        io::ErrorKind::AddrInUse,
-                        format!("another daemon is live on {}", path.display()),
-                    ))
-                }
-                // Stale socket file from a dead daemon; safe to replace.
-                Err(_) => std::fs::remove_file(&path)?,
-            }
-        }
-        let listener = UnixListener::bind(&path)?;
-        listener.set_nonblocking(true)?;
+        let listener = bind_uds(&path)?;
         let spath = path.clone();
         let accept = std::thread::Builder::new()
             .name("light-serve-accept".into())
@@ -187,15 +173,69 @@ impl SocketServer {
     }
 }
 
+/// Bind a Unix socket listener at `path`, replacing a stale socket file
+/// but refusing to displace a *live* daemon (detected by connecting).
+/// Both transports (thread-per-connection and the epoll reactor) start
+/// here. The listener is returned in non-blocking mode.
+pub(crate) fn bind_uds(path: &std::path::Path) -> io::Result<std::os::unix::net::UnixListener> {
+    if path.exists() {
+        match std::os::unix::net::UnixStream::connect(path) {
+            Ok(_) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::AddrInUse,
+                    format!("another daemon is live on {}", path.display()),
+                ))
+            }
+            // Stale socket file from a dead daemon; safe to replace.
+            Err(_) => std::fs::remove_file(path)?,
+        }
+    }
+    let listener = std::os::unix::net::UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    Ok(listener)
+}
+
+/// Smallest / largest throttle after a transient `accept(2)` failure.
+/// Doubles from MIN to MAX while failures persist, resets on success —
+/// an EMFILE burst backs off instead of spinning a log line every
+/// [`POLL_PERIOD`] forever.
+const ACCEPT_BACKOFF_MIN: Duration = Duration::from_millis(10);
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(640);
+
+/// Whether an `accept(2)` failure is transient (resource pressure, or a
+/// connection that died in the backlog) or fatal (the listener itself is
+/// broken — closed fd, bad address). Transient failures are retried with
+/// capped backoff; fatal ones end the accept loop *with the error*, so a
+/// daemon whose listener dies exits loudly instead of looping on a dead
+/// socket while clients hang.
+pub(crate) fn accept_error_is_transient(e: &io::Error) -> bool {
+    if matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::Interrupted
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::ConnectionReset
+    ) {
+        return true;
+    }
+    // Resource exhaustion has no stable ErrorKind; match the errno:
+    // ENOMEM, ENFILE, EMFILE, ENOBUFS.
+    matches!(e.raw_os_error(), Some(12 | 23 | 24 | 105))
+}
+
 fn accept_loop(
     service: Arc<QueryService>,
     listener: std::os::unix::net::UnixListener,
     path: std::path::PathBuf,
 ) -> io::Result<()> {
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    let mut backoff = ACCEPT_BACKOFF_MIN;
+    let mut fatal: io::Result<()> = Ok(());
     while !service.is_draining() {
         match listener.accept() {
             Ok((stream, _addr)) => {
+                backoff = ACCEPT_BACKOFF_MIN;
                 let svc = Arc::clone(&service);
                 // Blocking reads with a poll timeout: handlers notice a
                 // drain within POLL_PERIOD even on idle connections.
@@ -213,22 +253,28 @@ fn accept_loop(
                     io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
                 ) =>
             {
+                // Idle: poll the drain flag at the usual period.
                 std::thread::sleep(POLL_PERIOD);
             }
+            Err(e) if accept_error_is_transient(&e) => {
+                eprintln!("serve: transient accept error: {e}");
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
+            }
             Err(e) => {
-                // Accept errors are transient (e.g. EMFILE under burst);
-                // throttle and keep serving existing connections.
-                eprintln!("serve: accept error: {e}");
-                std::thread::sleep(POLL_PERIOD);
+                eprintln!("serve: fatal accept error: {e}");
+                fatal = Err(e);
+                break;
             }
         }
     }
     drop(listener);
     std::fs::remove_file(&path).ok();
+    // Existing connections finish their work even when the listener died.
     for h in handlers {
         h.join().ok();
     }
-    Ok(())
+    fatal
 }
 
 fn handle_socket_conn(service: &QueryService, stream: std::os::unix::net::UnixStream) {

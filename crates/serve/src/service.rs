@@ -55,6 +55,11 @@ pub struct ServeConfig {
     /// Base engine configuration (variant, kernel, δ, aux-cache knobs).
     /// Per-query fields (budget, cancel, metrics) are overwritten.
     pub engine: EngineConfig,
+    /// Kill-switch: run every query with the flat (topology-blind)
+    /// scheduler — no pinning, round-robin steal victims. The CLI's
+    /// `--flat-topology` flag sets this; `LIGHT_FLAT_TOPOLOGY=1` forces
+    /// it process-wide regardless.
+    pub flat_topology: bool,
 }
 
 impl Default for ServeConfig {
@@ -66,6 +71,7 @@ impl Default for ServeConfig {
             default_timeout: Some(Duration::from_secs(60)),
             drain_grace: Duration::from_secs(10),
             engine: EngineConfig::light(),
+            flat_topology: false,
         }
     }
 }
@@ -399,7 +405,8 @@ impl QueryService {
             .plans
             .get_or_build(key, || cfg.plan(&pattern, &entry.graph));
 
-        let pr = run_plan_parallel(&plan, &entry.graph, &cfg, &ParallelConfig::new(threads));
+        let pcfg = ParallelConfig::new(threads).flat_topology(self.cfg.flat_topology);
+        let pr = run_plan_parallel(&plan, &entry.graph, &cfg, &pcfg);
 
         self.admission.release();
         {

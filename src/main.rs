@@ -107,6 +107,9 @@ mod sigint {
 
     static TOKEN: OnceLock<CancelToken> = OnceLock::new();
     static SEEN: AtomicBool = AtomicBool::new(false);
+    /// Eventfd to poke from the handler so an epoll loop blocked in
+    /// `epoll_wait` notices the drain immediately (-1 = none registered).
+    static WAKE_FD: std::sync::atomic::AtomicI32 = std::sync::atomic::AtomicI32::new(-1);
 
     const SIGINT: i32 = 2;
     /// POSIX `SIG_DFL` — the default disposition, numerically 0.
@@ -118,6 +121,8 @@ mod sigint {
         fn signal(signum: i32, handler: usize) -> usize;
         // POSIX _exit(2): async-signal-safe immediate termination.
         fn _exit(code: i32) -> !;
+        // POSIX write(2): async-signal-safe; used to poke the wake fd.
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
     }
 
     extern "C" fn on_sigint(_sig: i32) {
@@ -134,6 +139,22 @@ mod sigint {
         if let Some(t) = TOKEN.get() {
             t.cancel();
         }
+        let fd = WAKE_FD.load(Ordering::Acquire);
+        if fd >= 0 {
+            // Wake a reactor blocked in epoll_wait. write(2) on an eventfd
+            // is async-signal-safe; the payload is the mandatory 8-byte
+            // counter increment.
+            let one: u64 = 1;
+            unsafe { write(fd, &one as *const u64 as *const u8, 8) };
+        }
+    }
+
+    /// Register an eventfd the handler pokes after cancelling the token,
+    /// so event loops blocked in `epoll_wait` react to Ctrl-C without
+    /// waiting for their heartbeat timeout.
+    #[allow(dead_code)] // unused on non-Linux builds (no epoll transport)
+    pub fn set_wake_fd(fd: i32) {
+        WAKE_FD.store(fd, Ordering::Release);
     }
 
     /// Install the handler (idempotent) and return the shared token.
@@ -161,7 +182,7 @@ USAGE:
                  [--kernel merge|merge-avx2|merge-avx512|hybrid|hybrid-avx2|hybrid-avx512]
                  [--budget <secs>] [--timeout <secs>] [--max-memory <bytes[K|M|G]>]
                  [--delta <k>] [--no-aux-cache] [--aux-threshold <f>]
-                 [--profile]
+                 [--flat-topology] [--profile]
 
   count exits 0 on a complete run, 124 on --timeout, 130 on Ctrl-C, and
   3 on a partial result (contained worker panic or --max-memory hit);
@@ -178,6 +199,8 @@ USAGE:
   --delta sets the Hybrid kernel's galloping threshold (paper: 50).
   --no-aux-cache disables the auxiliary candidate cache (DESIGN.md §11);
   --aux-threshold tunes its planner benefit threshold (default 1.5).
+  --flat-topology disables topology-aware worker placement and tiered
+  steal ordering (DESIGN.md §13); LIGHT_FLAT_TOPOLOGY=1 does the same.
   light plan     --pattern <..> (--dataset <name>|--graph <file>) [--scale <f>]
   light generate --kind ba|er|rmat|complete|grid --n <n> [--k <k>] [--m <m>]
                  [--seed <s>] --out <file>
@@ -192,9 +215,11 @@ USAGE:
   so `light count --graph g.bin` and the serve catalog skip the relabel.
 
   light serve    --graphs <name=path,name=dataset:<ds>[@scale],..>
-                 [--socket <path>] [--max-concurrent <k>] [--queue-depth <k>]
+                 [--socket <path>] [--transport epoll|threads]
+                 [--max-concurrent <k>] [--queue-depth <k>]
                  [--threads <per-query>] [--timeout <secs>|none]
-                 [--drain-grace <secs>] [engine options as for count]
+                 [--drain-grace <secs>] [--flat-topology]
+                 [engine options as for count]
 
   Resident daemon: loads the catalog once, answers newline-delimited JSON
   requests on stdin/stdout and (with --socket) a Unix domain socket. A
@@ -202,21 +227,27 @@ USAGE:
   catalog. Ctrl-C or an {{\"op\":\"shutdown\"}} request drains gracefully
   (running queries finish, stragglers are cancelled after --drain-grace);
   a second Ctrl-C hard-exits 130. See docs/serve.md for the protocol.
+  --transport picks the socket I/O model: `epoll` (default on Linux) runs
+  one reactor thread multiplexing every connection; `threads` spawns one
+  handler thread per connection.
 
   light query    --socket <path> [--pattern <..>] [--graph <name>]
                  [--timeout-ms <ms>] [--threads <k>] [--variant ..]
                  [--op query|stats|catalog|ping|shutdown] [--id <s>] [--profile]
+                 [--concurrency <n>] [--repeat <k>]
 
   One-shot client for a serve daemon. Prints the JSON response line and
   maps it to count's exit codes (0 ok, 3/124/130 partial, 2 overloaded,
-  1 error)."
+  1 error). With --concurrency/--repeat it becomes a closed-loop load
+  driver: n threads each send k copies of the request over private
+  connections, then a latency/QPS summary replaces the response lines."
     );
 }
 
 type Opts = HashMap<String, String>;
 
 /// Options that are boolean flags: present or absent, no value operand.
-const FLAG_OPTS: &[&str] = &["profile", "no-aux-cache"];
+const FLAG_OPTS: &[&str] = &["profile", "no-aux-cache", "flat-topology"];
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut out = HashMap::new();
@@ -397,7 +428,8 @@ fn cmd_count(opts: &Opts) -> Result<ExitCode, String> {
     // thread) so the scheduler/worker section of the profile is populated.
     let (report, failures) = if threads > 1 || profile {
         light::core::validate_query(&pattern, g.num_vertices()).map_err(|e| e.to_string())?;
-        let pr = run_query_parallel(&pattern, &g, &cfg, &ParallelConfig::new(threads));
+        let pcfg = ParallelConfig::new(threads).flat_topology(opts.contains_key("flat-topology"));
+        let pr = run_query_parallel(&pattern, &g, &cfg, &pcfg);
         (pr.report, pr.failures)
     } else {
         let report = run_query_checked(&pattern, &g, &cfg).map_err(|e| e.to_string())?;
@@ -677,6 +709,7 @@ fn cmd_serve(opts: &Opts) -> Result<ExitCode, String> {
         threads_per_query: parse_usize("threads", 1)?.max(1),
         default_timeout,
         drain_grace,
+        flat_topology: opts.contains_key("flat-topology"),
         engine: engine_config(opts)?,
     };
 
@@ -692,15 +725,66 @@ fn cmd_serve(opts: &Opts) -> Result<ExitCode, String> {
     #[cfg(unix)]
     sigint::install_token(service.shutdown_token());
 
-    let socket = opts
-        .get("socket")
-        .map(|p| SocketServer::bind(Arc::clone(&service), p.as_str()))
-        .transpose()
-        .map_err(|e| format!("cannot bind socket: {e}"))?;
+    // Socket transport: the epoll reactor (one I/O thread multiplexing
+    // every connection; Linux default) or thread-per-connection
+    // (`--transport threads`, the only choice off Linux).
+    enum Server {
+        Threads(SocketServer),
+        #[cfg(target_os = "linux")]
+        Epoll(light::serve::ReactorServer),
+    }
+    impl Server {
+        fn path(&self) -> &std::path::Path {
+            match self {
+                Server::Threads(s) => s.path(),
+                #[cfg(target_os = "linux")]
+                Server::Epoll(s) => s.path(),
+            }
+        }
+        fn join(self) -> std::io::Result<()> {
+            match self {
+                Server::Threads(s) => s.join(),
+                #[cfg(target_os = "linux")]
+                Server::Epoll(s) => s.join(),
+            }
+        }
+    }
+    let default_transport = if cfg!(target_os = "linux") {
+        "epoll"
+    } else {
+        "threads"
+    };
+    let transport = opts
+        .get("transport")
+        .map(|s| s.as_str())
+        .unwrap_or(default_transport);
+
+    let socket = match opts.get("socket") {
+        None => None,
+        Some(p) => Some(match transport {
+            "threads" => SocketServer::bind(Arc::clone(&service), p.as_str())
+                .map(Server::Threads)
+                .map_err(|e| format!("cannot bind socket: {e}"))?,
+            "epoll" => {
+                #[cfg(target_os = "linux")]
+                {
+                    let srv = light::serve::ReactorServer::bind(Arc::clone(&service), p.as_str())
+                        .map_err(|e| format!("cannot bind socket: {e}"))?;
+                    // Ctrl-C pokes the reactor's eventfd so the drain is
+                    // noticed mid-epoll_wait, not at the next heartbeat.
+                    sigint::set_wake_fd(srv.wake_fd());
+                    Server::Epoll(srv)
+                }
+                #[cfg(not(target_os = "linux"))]
+                return Err("--transport epoll needs Linux; use --transport threads".into());
+            }
+            other => return Err(format!("unknown --transport {other:?} (epoll|threads)")),
+        }),
+    };
 
     if let Some(srv) = socket {
         eprintln!(
-            "serving on {} (and stdio); Ctrl-C to drain",
+            "serving on {} via {transport} (and stdio); Ctrl-C to drain",
             srv.path().display()
         );
         // stdio serves concurrently; its EOF does NOT drain a socket
@@ -715,6 +799,13 @@ fn cmd_serve(opts: &Opts) -> Result<ExitCode, String> {
         let token = service.shutdown_token();
         while !token.is_cancelled() {
             std::thread::sleep(Duration::from_millis(100));
+        }
+        // A shutdown op arriving over the socket cancels the token from
+        // an executor thread; make sure the reactor itself is awake to
+        // observe the drain flag.
+        #[cfg(target_os = "linux")]
+        if let Server::Epoll(s) = &srv {
+            s.wake();
         }
         let report = drain(&service);
         srv.join().map_err(|e| format!("socket listener: {e}"))?;
@@ -786,6 +877,30 @@ fn cmd_query(opts: &Opts) -> Result<ExitCode, String> {
     }
     let request = w.finish();
 
+    // Load mode: N client threads x K requests each over private
+    // connections, with a latency/QPS summary instead of response lines.
+    let concurrency: usize = opts
+        .get("concurrency")
+        .map(|s| s.parse().map_err(|e| format!("bad --concurrency: {e}")))
+        .transpose()?
+        .unwrap_or(1);
+    let repeat: usize = opts
+        .get("repeat")
+        .map(|s| s.parse().map_err(|e| format!("bad --repeat: {e}")))
+        .transpose()?
+        .unwrap_or(1);
+    if concurrency == 0 || repeat == 0 {
+        return Err("--concurrency and --repeat must be at least 1".into());
+    }
+    if concurrency > 1 || repeat > 1 {
+        if !matches!(op, "query" | "ping" | "stats") {
+            return Err(format!(
+                "--concurrency/--repeat need an idempotent op (query|ping|stats), not {op:?}"
+            ));
+        }
+        return query_load(socket, &request, concurrency, repeat);
+    }
+
     let stream = std::os::unix::net::UnixStream::connect(socket)
         .map_err(|e| format!("cannot connect to {socket}: {e}"))?;
     let mut writer = stream
@@ -819,6 +934,103 @@ fn cmd_query(opts: &Opts) -> Result<ExitCode, String> {
         _ => ExitCode::FAILURE,
     };
     Ok(code)
+}
+
+/// Closed-loop client load: `concurrency` threads each issue `repeat`
+/// copies of `request` back-to-back over a private connection. Prints a
+/// latency/QPS summary; exit 0 only if every response had status "ok".
+fn query_load(
+    socket: &str,
+    request: &str,
+    concurrency: usize,
+    repeat: usize,
+) -> Result<ExitCode, String> {
+    use light::serve::json::Json;
+    use std::io::{BufRead, BufReader, Write};
+    use std::time::Instant;
+
+    let started = Instant::now();
+    let mut workers = Vec::with_capacity(concurrency);
+    for c in 0..concurrency {
+        let socket = socket.to_string();
+        let request = request.to_string();
+        let h = std::thread::Builder::new()
+            .name(format!("light-query-load{c}"))
+            .spawn(move || -> Result<(Vec<Duration>, usize), String> {
+                let stream = std::os::unix::net::UnixStream::connect(&socket)
+                    .map_err(|e| format!("cannot connect to {socket}: {e}"))?;
+                let mut writer = stream
+                    .try_clone()
+                    .map_err(|e| format!("cannot clone socket stream: {e}"))?;
+                let mut reader = BufReader::new(stream);
+                let mut latencies = Vec::with_capacity(repeat);
+                let mut errors = 0usize;
+                let mut line = String::new();
+                for _ in 0..repeat {
+                    let t0 = Instant::now();
+                    writer
+                        .write_all(request.as_bytes())
+                        .and_then(|()| writer.write_all(b"\n"))
+                        .and_then(|()| writer.flush())
+                        .map_err(|e| format!("cannot send request: {e}"))?;
+                    line.clear();
+                    reader
+                        .read_line(&mut line)
+                        .map_err(|e| format!("cannot read response: {e}"))?;
+                    if line.trim().is_empty() {
+                        return Err("daemon closed the connection mid-run".into());
+                    }
+                    latencies.push(t0.elapsed());
+                    let ok = Json::parse(line.trim())
+                        .ok()
+                        .and_then(|d| d.get("status").and_then(Json::as_str).map(String::from))
+                        .is_some_and(|s| s == "ok");
+                    if !ok {
+                        errors += 1;
+                    }
+                }
+                Ok((latencies, errors))
+            })
+            .map_err(|e| format!("cannot spawn client thread: {e}"))?;
+        workers.push(h);
+    }
+
+    let mut latencies: Vec<Duration> = Vec::with_capacity(concurrency * repeat);
+    let mut errors = 0usize;
+    for h in workers {
+        let (lat, err) = h
+            .join()
+            .map_err(|_| "client thread panicked".to_string())??;
+        latencies.extend(lat);
+        errors += err;
+    }
+    let elapsed = started.elapsed();
+
+    latencies.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        let idx = ((latencies.len() as f64 * p).ceil() as usize).saturating_sub(1);
+        latencies[idx.min(latencies.len() - 1)].as_secs_f64() * 1e3
+    };
+    let total = latencies.len();
+    println!("requests:      {total} ({concurrency} conns x {repeat})");
+    println!("ok:            {}, errors: {errors}", total - errors);
+    println!(
+        "elapsed:       {:.3} s ({:.1} req/s)",
+        elapsed.as_secs_f64(),
+        total as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
+    println!(
+        "latency (ms):  p50 {:.2}  p95 {:.2}  p99 {:.2}  max {:.2}",
+        pct(0.50),
+        pct(0.95),
+        pct(0.99),
+        latencies.last().unwrap().as_secs_f64() * 1e3
+    );
+    Ok(if errors == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }
 
 fn cmd_datasets() -> Result<(), String> {

@@ -40,6 +40,7 @@ fn service() -> Arc<QueryService> {
             threads_per_query: 2,
             default_timeout: Some(Duration::from_secs(60)),
             drain_grace: Duration::from_secs(10),
+            flat_topology: false,
             engine: EngineConfig::light(),
         },
     ))

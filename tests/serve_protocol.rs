@@ -108,6 +108,7 @@ fn overload_rejections_are_typed_and_bounded() {
             threads_per_query: 1,
             default_timeout: Some(Duration::from_secs(30)),
             drain_grace: Duration::from_secs(5),
+            flat_topology: false,
             engine: EngineConfig::light(),
         },
         3000,
