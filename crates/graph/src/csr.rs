@@ -4,8 +4,86 @@
 //! array with neighbor lists **sorted by ID**, so that (a) retrieving `N(v)`
 //! is O(1), and (b) neighbor lists can feed the Merge/Galloping set
 //! intersections directly.
+//!
+//! ## Storage backends
+//!
+//! The two CSR arrays live behind one storage enum (DESIGN.md §14):
+//!
+//! * **Owned** — heap `Vec`s, produced by [`crate::GraphBuilder`], the
+//!   relabeling pass, and v1 snapshot loads.
+//! * **Mapped** — borrowed zero-copy from an mmap'd `LIGHTCSR` v2 snapshot
+//!   ([`crate::io::map_snapshot`]): the kernel pages the arrays in on
+//!   demand, so a graph larger than RAM still opens in O(1) and resident
+//!   set tracks what queries actually touch.
+//!
+//! The engines, the setops ladder, and the auxiliary cache see identical
+//! `&[u64]` / `&[VertexId]` slices either way. To keep the hot accessors
+//! (`degree`, `neighbors`) free of a per-call enum branch, the struct
+//! caches borrow-erased raw-slice views of whichever backend it holds —
+//! both backends are immutable heap/mmap allocations with stable
+//! addresses, so the views stay valid for the life of the value.
 
+use std::sync::Arc;
+
+use crate::mmap::Mmap;
 use crate::types::VertexId;
+
+/// Which physical backend a [`CsrGraph`]'s arrays live in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageBackend {
+    /// Heap-owned `Vec`s (builder output, v1 snapshots, relabeled graphs).
+    Heap,
+    /// Zero-copy borrow of an mmap'd v2 snapshot.
+    Mapped,
+}
+
+impl StorageBackend {
+    /// Human-readable backend name (`"heap"` / `"mmap"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            StorageBackend::Heap => "heap",
+            StorageBackend::Mapped => "mmap",
+        }
+    }
+}
+
+/// A borrow-erased `&[T]`: raw parts of a slice whose backing allocation
+/// is owned by the sibling `storage` field and never moves or mutates.
+struct RawSlice<T> {
+    ptr: *const T,
+    len: usize,
+}
+
+// Manual Copy/Clone: derive would bound them on `T: Copy`/`T: Clone`.
+impl<T> Clone for RawSlice<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for RawSlice<T> {}
+
+impl<T> RawSlice<T> {
+    fn of(s: &[T]) -> Self {
+        RawSlice {
+            ptr: s.as_ptr(),
+            len: s.len(),
+        }
+    }
+}
+
+/// The physical home of the CSR arrays. Private: all consumers go through
+/// the slice accessors, which is what makes the backends interchangeable.
+enum Storage {
+    Owned {
+        offsets: Vec<u64>,
+        neighbors: Vec<VertexId>,
+    },
+    Mapped {
+        /// Keeps the mapping alive; the `RawSlice` views point into it.
+        #[allow(dead_code)] // held for ownership, only read via RawSlice
+        map: Arc<Mmap>,
+    },
+}
 
 /// An immutable undirected graph in CSR format.
 ///
@@ -17,11 +95,17 @@ use crate::types::VertexId;
 /// * each neighbor list `neighbors[offsets[v]..offsets[v+1]]` is strictly
 ///   increasing (sorted, no duplicates) and contains no self-loop.
 /// * the graph is symmetric: `u ∈ N(v)` iff `v ∈ N(u)`.
-#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CsrGraph {
-    offsets: Vec<u64>,
-    neighbors: Vec<VertexId>,
+    offsets: RawSlice<u64>,
+    neighbors: RawSlice<VertexId>,
+    storage: Storage,
 }
+
+// SAFETY: the raw-slice views point into `storage`, which is immutable
+// for the life of the value (PROT_READ mapping or never-mutated Vecs), so
+// the auto-trait opt-out from the raw pointers is a false positive.
+unsafe impl Send for CsrGraph {}
+unsafe impl Sync for CsrGraph {}
 
 impl CsrGraph {
     /// Construct from raw parts. Prefer [`crate::GraphBuilder`]; this is for
@@ -31,13 +115,108 @@ impl CsrGraph {
         assert!(!offsets.is_empty(), "offsets must have at least one entry");
         assert_eq!(*offsets.first().unwrap(), 0);
         assert_eq!(*offsets.last().unwrap() as usize, neighbors.len());
-        CsrGraph { offsets, neighbors }
+        let storage = Storage::Owned { offsets, neighbors };
+        let (o, n) = match &storage {
+            Storage::Owned { offsets, neighbors } => {
+                (RawSlice::of(offsets), RawSlice::of(neighbors))
+            }
+            Storage::Mapped { .. } => unreachable!(),
+        };
+        CsrGraph {
+            offsets: o,
+            neighbors: n,
+            storage,
+        }
+    }
+
+    /// Construct zero-copy over an mmap'd v2 snapshot. The caller
+    /// (`io::map_snapshot`) has already bounds-checked both byte ranges
+    /// against the mapping, verified alignment, and verified the offset
+    /// array is monotone with `offsets[0] == 0` and
+    /// `offsets[n] == directed` — the preconditions this constructor
+    /// re-asserts in debug builds.
+    pub(crate) fn from_mapped(
+        map: Arc<Mmap>,
+        offsets_pos: usize,
+        num_offsets: usize,
+        neighbors_pos: usize,
+        num_neighbors: usize,
+    ) -> Self {
+        let data = map.as_slice();
+        assert!(num_offsets >= 1, "offsets must have at least one entry");
+        let off_end = offsets_pos
+            .checked_add(num_offsets.checked_mul(8).unwrap())
+            .unwrap();
+        let nbr_end = neighbors_pos
+            .checked_add(num_neighbors.checked_mul(4).unwrap())
+            .unwrap();
+        assert!(off_end <= data.len() && nbr_end <= data.len());
+        let off_ptr = data[offsets_pos..].as_ptr();
+        let nbr_ptr = data[neighbors_pos..].as_ptr();
+        assert_eq!(off_ptr as usize % std::mem::align_of::<u64>(), 0);
+        assert_eq!(nbr_ptr as usize % std::mem::align_of::<VertexId>(), 0);
+        let g = CsrGraph {
+            offsets: RawSlice {
+                ptr: off_ptr as *const u64,
+                len: num_offsets,
+            },
+            neighbors: RawSlice {
+                ptr: nbr_ptr as *const VertexId,
+                len: num_neighbors,
+            },
+            storage: Storage::Mapped { map },
+        };
+        debug_assert_eq!(*g.offs().first().unwrap(), 0);
+        debug_assert_eq!(*g.offs().last().unwrap() as usize, num_neighbors);
+        g
+    }
+
+    /// The full offset array (`num_vertices + 1` entries).
+    #[inline]
+    pub(crate) fn offs(&self) -> &[u64] {
+        // SAFETY: points into `self.storage`, immutable and address-stable
+        // for the life of `self` (see struct docs).
+        unsafe { std::slice::from_raw_parts(self.offsets.ptr, self.offsets.len) }
+    }
+
+    /// The concatenated neighbor array (`offsets[n]` entries).
+    #[inline]
+    pub(crate) fn nbrs(&self) -> &[VertexId] {
+        // SAFETY: as for `offs`.
+        unsafe { std::slice::from_raw_parts(self.neighbors.ptr, self.neighbors.len) }
+    }
+
+    /// Which backend the arrays live in.
+    #[inline]
+    pub fn backend(&self) -> StorageBackend {
+        match self.storage {
+            Storage::Owned { .. } => StorageBackend::Heap,
+            Storage::Mapped { .. } => StorageBackend::Mapped,
+        }
+    }
+
+    /// Heap bytes this graph *owns*: the CSR arrays for the heap backend,
+    /// 0 for a mapped graph (its pages belong to the page cache, are
+    /// evictable, and must not count against `--max-memory`).
+    pub fn resident_bytes(&self) -> usize {
+        match self.storage {
+            Storage::Owned { .. } => self.memory_bytes(),
+            Storage::Mapped { .. } => 0,
+        }
+    }
+
+    /// Warm hint: ask the kernel to start paging a mapped graph in
+    /// (`madvise(WILLNEED)`). No-op for the heap backend; best-effort.
+    pub fn advise_willneed(&self) {
+        if let Storage::Mapped { map } = &self.storage {
+            map.advise(crate::mmap::Advice::WillNeed);
+        }
     }
 
     /// Number of vertices `N = |V(G)|`.
     #[inline]
     pub fn num_vertices(&self) -> usize {
-        self.offsets.len() - 1
+        self.offsets.len - 1
     }
 
     /// Number of undirected edges `M = |E(G)|`.
@@ -45,21 +224,23 @@ impl CsrGraph {
     /// Each undirected edge is stored twice (once per endpoint).
     #[inline]
     pub fn num_edges(&self) -> usize {
-        self.neighbors.len() / 2
+        self.neighbors.len / 2
     }
 
     /// Degree of `v`.
     #[inline]
     pub fn degree(&self, v: VertexId) -> usize {
         let v = v as usize;
-        (self.offsets[v + 1] - self.offsets[v]) as usize
+        let o = self.offs();
+        (o[v + 1] - o[v]) as usize
     }
 
     /// The sorted neighbor list of `v`.
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
         let v = v as usize;
-        &self.neighbors[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+        let o = self.offs();
+        &self.nbrs()[o[v] as usize..o[v + 1] as usize]
     }
 
     /// Edge test by binary search over the smaller endpoint's list:
@@ -90,15 +271,16 @@ impl CsrGraph {
         if self.num_vertices() == 0 {
             0.0
         } else {
-            self.neighbors.len() as f64 / self.num_vertices() as f64
+            self.neighbors.len as f64 / self.num_vertices() as f64
         }
     }
 
     /// Bytes consumed by the CSR arrays (the "Memory (GB)" column of
-    /// Table II counts exactly this).
+    /// Table II counts exactly this), regardless of backend. For the
+    /// *owned-heap* footprint see [`CsrGraph::resident_bytes`].
     pub fn memory_bytes(&self) -> usize {
-        self.offsets.len() * std::mem::size_of::<u64>()
-            + self.neighbors.len() * std::mem::size_of::<VertexId>()
+        self.offsets.len * std::mem::size_of::<u64>()
+            + self.neighbors.len * std::mem::size_of::<VertexId>()
     }
 
     /// Iterator over all vertices.
@@ -119,13 +301,14 @@ impl CsrGraph {
 
     /// Full invariant check; returns a human-readable violation if any.
     pub fn validate(&self) -> Result<(), String> {
-        if self.offsets.is_empty() || self.offsets[0] != 0 {
+        let offsets = self.offs();
+        if offsets.is_empty() || offsets[0] != 0 {
             return Err("offsets must start at 0".into());
         }
-        if *self.offsets.last().unwrap() as usize != self.neighbors.len() {
+        if *offsets.last().unwrap() as usize != self.nbrs().len() {
             return Err("last offset must equal neighbor array length".into());
         }
-        for w in self.offsets.windows(2) {
+        for w in offsets.windows(2) {
             if w[0] > w[1] {
                 return Err("offsets must be non-decreasing".into());
             }
@@ -151,6 +334,47 @@ impl CsrGraph {
             }
         }
         Ok(())
+    }
+}
+
+impl Clone for CsrGraph {
+    /// Owned graphs deep-copy their arrays; mapped graphs share the
+    /// mapping (an `Arc` bump — mappings are immutable, so this is exact).
+    fn clone(&self) -> Self {
+        match &self.storage {
+            Storage::Owned { offsets, neighbors } => {
+                CsrGraph::from_parts(offsets.clone(), neighbors.clone())
+            }
+            Storage::Mapped { map } => CsrGraph {
+                offsets: self.offsets,
+                neighbors: self.neighbors,
+                storage: Storage::Mapped {
+                    map: Arc::clone(map),
+                },
+            },
+        }
+    }
+}
+
+impl PartialEq for CsrGraph {
+    /// Structural equality over the CSR arrays — backends never matter:
+    /// a mapped graph equals the heap load of the same snapshot.
+    fn eq(&self, other: &Self) -> bool {
+        self.offs() == other.offs() && self.nbrs() == other.nbrs()
+    }
+}
+
+impl Eq for CsrGraph {}
+
+impl std::fmt::Debug for CsrGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CsrGraph")
+            .field("num_vertices", &self.num_vertices())
+            .field("num_edges", &self.num_edges())
+            .field("backend", &self.backend().name())
+            .field("offsets", &self.offs())
+            .field("neighbors", &self.nbrs())
+            .finish()
     }
 }
 
@@ -201,6 +425,10 @@ mod tests {
         let g = triangle();
         // 4 offsets * 8 bytes + 6 directed neighbors * 4 bytes
         assert_eq!(g.memory_bytes(), 4 * 8 + 6 * 4);
+        // A built graph owns its arrays on the heap.
+        assert_eq!(g.backend(), StorageBackend::Heap);
+        assert_eq!(g.resident_bytes(), g.memory_bytes());
+        g.advise_willneed(); // no-op on the heap backend
     }
 
     #[test]
@@ -217,5 +445,23 @@ mod tests {
         assert_eq!(g.num_edges(), 0);
         assert_eq!(g.max_degree(), 0);
         g.validate().unwrap();
+    }
+
+    #[test]
+    fn clone_is_deep_for_owned_and_moves_are_safe() {
+        let g = triangle();
+        let c = g.clone();
+        assert_eq!(g, c);
+        // Moving the value must not invalidate the cached views (the
+        // backing heap allocations do not move with the struct).
+        let moved = Box::new(c);
+        assert_eq!(moved.neighbors(0), &[1, 2]);
+        moved.validate().unwrap();
+    }
+
+    #[test]
+    fn backend_names() {
+        assert_eq!(StorageBackend::Heap.name(), "heap");
+        assert_eq!(StorageBackend::Mapped.name(), "mmap");
     }
 }

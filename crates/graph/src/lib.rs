@@ -49,10 +49,11 @@ pub mod csr;
 pub mod datasets;
 pub mod generators;
 pub mod io;
+pub mod mmap;
 pub mod ordered;
 pub mod stats;
 pub mod types;
 
 pub use builder::GraphBuilder;
-pub use csr::CsrGraph;
+pub use csr::{CsrGraph, StorageBackend};
 pub use types::{VertexId, INVALID_VERTEX};

@@ -1,0 +1,252 @@
+//! Thin vendored shim over `mmap(2)`/`munmap(2)`/`madvise(2)` — no libc
+//! crate, the same direct-symbol idiom `parallel::scheduler::affinity` and
+//! the CLI's SIGINT handler use.
+//!
+//! [`Mmap`] is a read-only, shared, immutable mapping of an entire file.
+//! It exists so `LIGHTCSR` v2 snapshots can back a
+//! [`CsrGraph`](crate::CsrGraph) without copying the CSR arrays through
+//! the heap: the kernel pages the arrays in on demand and may evict them
+//! under pressure, so resident set tracks what the engine actually touches
+//! instead of 2× the graph size at load.
+//!
+//! ## Contract
+//!
+//! * The mapping is `PROT_READ | MAP_PRIVATE`: the file is never written
+//!   through it, and writes by *other* processes are not observed
+//!   coherently (snapshots are immutable artifacts; `io::write_atomic`
+//!   replaces them by rename, never in place).
+//! * All length validation happens against the size observed at map time.
+//!   If another process truncates the file *while it is mapped*, reads of
+//!   the vanished pages raise `SIGBUS` — the standard, documented hazard
+//!   of every mmap consumer, outside the loader's corruption contract
+//!   (which covers files that are *already* truncated when opened).
+//! * On non-Linux hosts the "mapping" is a plain heap read of the file —
+//!   same API, no zero-copy benefit — so every caller compiles and behaves
+//!   correctly everywhere, matching the affinity shim's best-effort style.
+
+use std::fs::File;
+use std::io;
+
+/// A read-only mapping of an entire file (heap-backed fallback off Linux).
+#[derive(Debug)]
+pub struct Mmap {
+    #[cfg(target_os = "linux")]
+    ptr: *mut u8,
+    #[cfg(target_os = "linux")]
+    len: usize,
+    #[cfg(not(target_os = "linux"))]
+    buf: Vec<u8>,
+}
+
+// SAFETY: the mapping is immutable for its whole lifetime (PROT_READ, and
+// the fallback Vec is never mutated after construction), so shared access
+// from any thread is sound.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    pub const PROT_READ: i32 = 0x1;
+    pub const MAP_PRIVATE: i32 = 0x02;
+    pub const MADV_WILLNEED: i32 = 3;
+    pub const MADV_SEQUENTIAL: i32 = 2;
+
+    extern "C" {
+        // glibc/musl wrappers; offset is always 0 here so the off_t width
+        // difference on 32-bit hosts never matters.
+        pub fn mmap(
+            addr: *mut u8,
+            length: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut u8;
+        pub fn munmap(addr: *mut u8, length: usize) -> i32;
+        pub fn madvise(addr: *mut u8, length: usize, advice: i32) -> i32;
+    }
+
+    /// `MAP_FAILED` is `(void *)-1`.
+    pub fn map_failed() -> *mut u8 {
+        usize::MAX as *mut u8
+    }
+}
+
+/// Page-in advice for [`Mmap::advise`]. Best-effort on every platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Advice {
+    /// `MADV_WILLNEED`: start readahead now (catalog warm hint).
+    WillNeed,
+    /// `MADV_SEQUENTIAL`: aggressive readahead, early eviction behind.
+    Sequential,
+}
+
+impl Mmap {
+    /// Map the whole of `file` read-only. A zero-length file maps to an
+    /// empty slice without touching `mmap` (the kernel rejects length 0).
+    #[cfg(target_os = "linux")]
+    pub fn map_file(file: &File) -> io::Result<Mmap> {
+        use std::os::unix::io::AsRawFd;
+        let len64 = file.metadata()?.len();
+        let len = usize::try_from(len64).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidData, "file exceeds address space")
+        })?;
+        if len == 0 {
+            return Ok(Mmap {
+                ptr: std::ptr::NonNull::<u8>::dangling().as_ptr(),
+                len: 0,
+            });
+        }
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::map_failed() {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap { ptr, len })
+    }
+
+    /// Non-Linux fallback: read the file into a heap buffer. Same API,
+    /// no zero-copy benefit — documented, best-effort degradation.
+    #[cfg(not(target_os = "linux"))]
+    pub fn map_file(file: &File) -> io::Result<Mmap> {
+        use std::io::Read;
+        let mut buf = Vec::new();
+        let mut f = file.try_clone()?;
+        f.read_to_end(&mut buf)?;
+        Ok(Mmap { buf })
+    }
+
+    /// The mapped bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        #[cfg(target_os = "linux")]
+        {
+            if self.len == 0 {
+                return &[];
+            }
+            // SAFETY: ptr/len come from a successful mmap that lives until
+            // Drop; the mapping is PROT_READ and never remapped.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            &self.buf
+        }
+    }
+
+    /// Length of the mapping in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the mapping is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Advise the kernel about the expected access pattern. Strictly
+    /// best-effort: failures (or non-Linux hosts) are silently ignored —
+    /// advice never affects correctness.
+    pub fn advise(&self, advice: Advice) {
+        #[cfg(target_os = "linux")]
+        {
+            if self.len == 0 {
+                return;
+            }
+            let adv = match advice {
+                Advice::WillNeed => sys::MADV_WILLNEED,
+                Advice::Sequential => sys::MADV_SEQUENTIAL,
+            };
+            unsafe { sys::madvise(self.ptr, self.len, adv) };
+        }
+        #[cfg(not(target_os = "linux"))]
+        let _ = advice;
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        if self.len != 0 {
+            // SAFETY: ptr/len are the exact values a successful mmap
+            // returned, unmapped exactly once.
+            unsafe { sys::munmap(self.ptr, self.len) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!("light_mmap_{name}_{}", std::process::id()));
+        let mut f = File::create(&p).unwrap();
+        f.write_all(bytes).unwrap();
+        p
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let p = tmp("basic", b"hello mapped world");
+        let f = File::open(&p).unwrap();
+        let m = Mmap::map_file(&f).unwrap();
+        assert_eq!(m.as_slice(), b"hello mapped world");
+        assert_eq!(m.len(), 18);
+        assert!(!m.is_empty());
+        m.advise(Advice::WillNeed);
+        m.advise(Advice::Sequential);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_empty() {
+        let p = tmp("empty", b"");
+        let f = File::open(&p).unwrap();
+        let m = Mmap::map_file(&f).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.as_slice(), b"");
+        m.advise(Advice::WillNeed); // no-op, must not crash
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn mapping_outlives_file_handle_and_unlink() {
+        let p = tmp("unlink", &vec![7u8; 10_000]);
+        let f = File::open(&p).unwrap();
+        let m = Mmap::map_file(&f).unwrap();
+        drop(f);
+        std::fs::remove_file(&p).unwrap();
+        // POSIX: the pages stay valid until munmap even after unlink.
+        assert!(m.as_slice().iter().all(|&b| b == 7));
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let p = tmp(
+            "threads",
+            &(0u32..2048).flat_map(u32::to_le_bytes).collect::<Vec<_>>(),
+        );
+        let m = std::sync::Arc::new(Mmap::map_file(&File::open(&p).unwrap()).unwrap());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = std::sync::Arc::clone(&m);
+                std::thread::spawn(move || m.as_slice().iter().map(|&b| b as u64).sum::<u64>())
+            })
+            .collect();
+        let sums: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(sums.windows(2).all(|w| w[0] == w[1]));
+        std::fs::remove_file(&p).ok();
+    }
+}

@@ -16,7 +16,7 @@ use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
 
 use light_graph::builder::from_edges;
-use light_graph::io::{from_snapshot, read_edge_list, to_snapshot, GraphIoError};
+use light_graph::io::{from_snapshot, read_edge_list, to_snapshot, to_snapshot_v2, GraphIoError};
 
 /// One token of edge-list "soup": usually a digit run, sometimes a comment
 /// marker, a malformed number, or raw (possibly non-UTF-8) noise.
@@ -125,5 +125,61 @@ proptest! {
     #[test]
     fn snapshot_never_panics_on_raw_bytes(bytes in raw_bytes(256)) {
         let _ = from_snapshot(bytes::Bytes::from(bytes));
+    }
+
+    // ---- LIGHTCSR v2 mirrors of the cases above. The v2 layout has more
+    // hostile surface (section pointers, a recorded total length, padding)
+    // so the same properties run against `to_snapshot_v2` output.
+
+    #[test]
+    fn snapshot_v2_roundtrips(edges in small_edges()) {
+        let g = from_edges(edges);
+        let back = from_snapshot(bytes::Bytes::from(to_snapshot_v2(&g)))
+            .map_err(|e| TestCaseError::fail(format!("v2 roundtrip rejected: {e}")))?;
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn snapshot_v2_never_panics_on_truncation(edges in small_edges(), keep in 0usize..16384) {
+        let snap = to_snapshot_v2(&from_edges(edges));
+        let cut = keep.min(snap.len());
+        if from_snapshot(bytes::Bytes::from(snap[..cut].to_vec())).is_ok() {
+            // Only a full-length slice may load.
+            prop_assert!(cut >= snap.len());
+        }
+    }
+
+    #[test]
+    fn snapshot_v2_never_panics_on_mutation(
+        edges in small_edges(),
+        flips in proptest::collection::vec((0usize..16384, 0u8..=255u8), 1..8),
+    ) {
+        let mut bytes = to_snapshot_v2(&from_edges(edges));
+        for (pos, val) in flips {
+            let i = pos % bytes.len();
+            bytes[i] ^= val;
+        }
+        // Same contract as v1: structural rejection or a still-valid CSR,
+        // never a panic and never an allocation past the payload size.
+        if let Ok(g) = from_snapshot(bytes::Bytes::from(bytes)) {
+            prop_assert!(g.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn snapshot_v2_header_field_fuzzing_never_panics(
+        edges in small_edges(),
+        field in 0usize..7,
+        value in 0u64..u64::MAX,
+    ) {
+        // Overwrite one whole header field (version+flags, n, directed,
+        // offsets_pos, neighbors_pos, total_len, reserved) with an
+        // arbitrary value: the parser must bounds-check every field
+        // combination without panicking or over-allocating.
+        let mut bytes = to_snapshot_v2(&from_edges(edges));
+        bytes[8 + field * 8..16 + field * 8].copy_from_slice(&value.to_le_bytes());
+        if let Ok(g) = from_snapshot(bytes::Bytes::from(bytes)) {
+            prop_assert!(g.validate().is_ok());
+        }
     }
 }

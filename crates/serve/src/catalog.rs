@@ -40,20 +40,40 @@ pub struct CatalogEntry {
     pub source: String,
     /// Source format (`"snapshot"`, `"edge-list"`, `"dataset"`).
     pub format: &'static str,
+    /// Storage backend the graph ended up on (`"heap"` or `"mmap"`).
+    pub backend: &'static str,
     /// Wall-clock load + normalization + stats time, milliseconds.
     pub load_ms: f64,
 }
 
 /// The set of graphs a daemon serves, addressed by name.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct GraphCatalog {
     entries: Vec<CatalogEntry>,
+    prefer_mmap: bool,
+}
+
+impl Default for GraphCatalog {
+    fn default() -> Self {
+        GraphCatalog {
+            entries: Vec::new(),
+            // Zero-copy open is the daemon's whole value proposition for
+            // v2 snapshots; opt out per-daemon with `--no-mmap`.
+            prefer_mmap: true,
+        }
+    }
 }
 
 impl GraphCatalog {
     /// An empty catalog.
     pub fn new() -> Self {
         GraphCatalog::default()
+    }
+
+    /// Whether v2 snapshots open zero-copy through mmap (default) or are
+    /// decoded onto the heap. Affects entries loaded *after* the call.
+    pub fn set_prefer_mmap(&mut self, prefer: bool) {
+        self.prefer_mmap = prefer;
     }
 
     /// Load a comma-separated catalog spec: `name=path` entries where the
@@ -94,7 +114,7 @@ impl GraphCatalog {
                 .ok_or_else(|| format!("catalog entry {name:?}: unknown dataset {ds_name:?}"))?;
             (ds.build_scaled(scale), "dataset")
         } else {
-            let (g, f) = light_graph::io::load_any(source)
+            let (g, f) = light_graph::io::open_any(source, self.prefer_mmap)
                 .map_err(|e| format!("catalog entry {name:?}: cannot load {source}: {e}"))?;
             (g, f.name())
         };
@@ -112,13 +132,19 @@ impl GraphCatalog {
             }
             light_graph::ordered::into_degree_ordered(&raw).0
         };
+        // Warm hint for mapped graphs: start readahead on the CSR arrays
+        // now so the stats pass below (and the first query) fault fewer
+        // cold pages. Advice only — the pages stay evictable.
+        graph.advise_willneed();
         let stats = compute_stats(&graph);
+        let backend = graph.backend().name();
         self.entries.push(CatalogEntry {
             name: name.to_string(),
             graph: Arc::new(graph),
             stats,
             source: source.to_string(),
             format,
+            backend,
             load_ms: start.elapsed().as_secs_f64() * 1e3,
         });
         Ok(())
@@ -137,12 +163,14 @@ impl GraphCatalog {
             light_graph::ordered::into_degree_ordered(&g).0
         };
         let stats = compute_stats(&graph);
+        let backend = graph.backend().name();
         self.entries.push(CatalogEntry {
             name: name.to_string(),
             graph: Arc::new(graph),
             stats,
             source: "<memory>".to_string(),
             format: "memory",
+            backend,
             load_ms: start.elapsed().as_secs_f64() * 1e3,
         });
         Ok(())
@@ -207,9 +235,51 @@ mod tests {
         assert_eq!(t.stats.num_edges, b.stats.num_edges);
         assert_eq!(t.stats.triangles, b.stats.triangles);
         assert!(cat.sole_entry().is_none());
+        // v1 snapshots and text lists always decode onto the heap.
+        assert_eq!(t.backend, "heap");
+        assert_eq!(b.backend, "heap");
 
         std::fs::remove_file(&text).ok();
         std::fs::remove_file(&bin).ok();
+    }
+
+    #[test]
+    fn v2_snapshot_opens_zero_copy_and_matches_heap() {
+        let dir = std::env::temp_dir().join(format!("light_serve_cat_v2_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = generators::barabasi_albert(200, 3, 7);
+        // Write degree-ordered so the mapped graph is served as-is.
+        let (ordered, _) = light_graph::ordered::into_degree_ordered(&g);
+        let v2 = dir.join("g.v2");
+        light_graph::io::save_snapshot_v2(&ordered, &v2).unwrap();
+
+        let mut mapped = GraphCatalog::new();
+        mapped.load_entry("m", v2.to_str().unwrap()).unwrap();
+        let mut heap = GraphCatalog::new();
+        heap.set_prefer_mmap(false);
+        heap.load_entry("h", v2.to_str().unwrap()).unwrap();
+
+        let m = mapped.get("m").unwrap();
+        let h = heap.get("h").unwrap();
+        assert_eq!(h.backend, "heap");
+        #[cfg(all(target_os = "linux", target_endian = "little"))]
+        {
+            assert_eq!(m.backend, "mmap");
+            assert_eq!(m.graph.resident_bytes(), 0);
+        }
+        assert_eq!(*m.graph, *h.graph);
+        assert_eq!(m.stats.triangles, h.stats.triangles);
+
+        // A truncated v2 file must come back as a typed load error.
+        let bytes = std::fs::read(&v2).unwrap();
+        let cut = dir.join("cut.v2");
+        std::fs::write(&cut, &bytes[..bytes.len() / 2]).unwrap();
+        let err = GraphCatalog::new()
+            .load_entry("c", cut.to_str().unwrap())
+            .unwrap_err();
+        assert!(err.contains("cannot load"), "{err}");
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -351,6 +351,7 @@ pub fn render_catalog_entry(e: &crate::catalog::CatalogEntry) -> String {
     w.str("name", &e.name)
         .str("source", &e.source)
         .str("format", e.format)
+        .str("backend", e.backend)
         .u64("vertices", e.stats.num_vertices as u64)
         .u64("edges", e.stats.num_edges as u64)
         .u64("max_degree", e.stats.max_degree as u64)

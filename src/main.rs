@@ -182,13 +182,15 @@ USAGE:
                  [--kernel merge|merge-avx2|merge-avx512|hybrid|hybrid-avx2|hybrid-avx512]
                  [--budget <secs>] [--timeout <secs>] [--max-memory <bytes[K|M|G]>]
                  [--delta <k>] [--no-aux-cache] [--aux-threshold <f>]
-                 [--flat-topology] [--profile]
+                 [--flat-topology] [--no-mmap] [--profile]
 
   count exits 0 on a complete run, 124 on --timeout, 130 on Ctrl-C, and
   3 on a partial result (contained worker panic or --max-memory hit);
   partial counts go to stderr. --timeout is an alias of --budget with
-  the timeout(1)-style exit code. --max-memory bounds candidate-buffer
-  memory per run, split evenly across --threads workers.
+  the timeout(1)-style exit code. --max-memory bounds resident owned
+  bytes per run — the graph's heap CSR arrays (0 for an mmap-backed v2
+  snapshot) plus candidate buffers, the latter split evenly across
+  --threads workers. --no-mmap forces v2 snapshots onto the heap.
 
   --profile prints a JSON profile to stdout (per-slot COMP/MAT timings,
   candidate histograms, setops tier counters, auxiliary-cache hit rates,
@@ -207,18 +209,22 @@ USAGE:
   light stats    --graph <file>
   light datasets
 
-  light convert  <in> <out> [--to snapshot|edge-list]
+  light convert  <in> <out> [--to snapshot|snapshot-v2|edge-list]
 
   Converts between text edge lists and binary LIGHTCSR snapshots (input
   format auto-detected by magic bytes; output defaults to snapshot).
   Snapshots load ~10-100x faster than text and are written degree-ordered,
   so `light count --graph g.bin` and the serve catalog skip the relabel.
+  snapshot-v2 page-aligns the CSR arrays so count/serve open the file
+  zero-copy via mmap: no decode pass, resident memory tracks what the
+  query touches instead of 2x the graph size. Converting a file onto
+  itself is refused; overwriting another existing file warns.
 
   light serve    --graphs <name=path,name=dataset:<ds>[@scale],..>
                  [--socket <path>] [--transport epoll|threads]
                  [--max-concurrent <k>] [--queue-depth <k>]
                  [--threads <per-query>] [--timeout <secs>|none]
-                 [--drain-grace <secs>] [--flat-topology]
+                 [--drain-grace <secs>] [--flat-topology] [--no-mmap]
                  [engine options as for count]
 
   Resident daemon: loads the catalog once, answers newline-delimited JSON
@@ -247,7 +253,7 @@ USAGE:
 type Opts = HashMap<String, String>;
 
 /// Options that are boolean flags: present or absent, no value operand.
-const FLAG_OPTS: &[&str] = &["profile", "no-aux-cache", "flat-topology"];
+const FLAG_OPTS: &[&str] = &["profile", "no-aux-cache", "flat-topology", "no-mmap"];
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut out = HashMap::new();
@@ -300,11 +306,12 @@ fn load_graph(opts: &Opts) -> Result<CsrGraph, String> {
         );
         Ok(g)
     } else if let Some(path) = opts.get("graph") {
-        // Format auto-detection by magic bytes: binary LIGHTCSR snapshots
-        // (`light convert` output) load mmap-fast; anything else parses as
-        // a SNAP-style text edge list.
-        let (raw, format) =
-            light::graph::io::load_any(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+        // Format auto-detection by a small magic-byte sniff: LIGHTCSR v2
+        // snapshots open zero-copy through mmap (unless --no-mmap), v1
+        // snapshots decode onto the heap, and anything else parses as a
+        // SNAP-style text edge list.
+        let (raw, format) = light::graph::io::open_any(path, !opts.contains_key("no-mmap"))
+            .map_err(|e| format!("cannot load {path}: {e}"))?;
         // Relabel for symmetry breaking (documented CLI behavior).
         // Snapshots written by `light convert` are already ordered, so the
         // relabel is a verify-only pass for them.
@@ -404,10 +411,26 @@ fn cmd_count(opts: &Opts) -> Result<ExitCode, String> {
         .transpose()?
         .unwrap_or(1);
     if let Some(m) = opts.get("max-memory") {
-        // The watermark is enforced per worker pool; split the global
-        // budget evenly across workers.
+        // The budget covers resident owned bytes: the graph's heap CSR
+        // arrays plus candidate buffers. An mmap-backed graph contributes
+        // 0 — its pages live in the (evictable) page cache, which is the
+        // whole point of `--to snapshot-v2`.
         let bytes = parse_mem(m)?;
-        cfg = cfg.max_memory((bytes / threads.max(1)).max(1));
+        let graph_bytes = g.resident_bytes();
+        let remaining = bytes
+            .checked_sub(graph_bytes)
+            .filter(|&r| r > 0)
+            .ok_or_else(|| {
+                format!(
+                    "--max-memory {m}: graph alone holds {graph_bytes} resident bytes \
+                 ({} backend); convert it to a v2 snapshot (`light convert --to \
+                 snapshot-v2`) to map it out of the budget",
+                    g.backend().name()
+                )
+            })?;
+        // The watermark is enforced per worker pool; split what is left
+        // evenly across workers.
+        cfg = cfg.max_memory((remaining / threads.max(1)).max(1));
     }
     // Ctrl-C flips a shared token; the engines poll it at their deadline
     // cadence and drain with a partial count instead of dying mid-run.
@@ -582,6 +605,8 @@ fn cmd_stats(opts: &Opts) -> Result<(), String> {
     println!("triangles:       {}", s.triangles);
     println!("clustering:      {:.5}", s.clustering);
     println!("CSR memory:      {} bytes", g.memory_bytes());
+    println!("backend:         {}", g.backend().name());
+    println!("resident:        {} bytes", g.resident_bytes());
     Ok(())
 }
 
@@ -592,6 +617,25 @@ fn cmd_stats(opts: &Opts) -> Result<(), String> {
 /// load straight into `light count` / `light serve` with no relabel pass.
 fn cmd_convert(args: &[String]) -> Result<(), String> {
     use light::graph::io::GraphFormat;
+
+    /// Output encodings `--to` accepts (one more than [`GraphFormat`]
+    /// distinguishes on input, where both snapshot versions auto-detect).
+    #[derive(PartialEq, Clone, Copy)]
+    enum OutFormat {
+        SnapshotV1,
+        SnapshotV2,
+        EdgeList,
+    }
+    impl OutFormat {
+        fn name(self) -> &'static str {
+            match self {
+                OutFormat::SnapshotV1 => "snapshot",
+                OutFormat::SnapshotV2 => "snapshot-v2",
+                OutFormat::EdgeList => "edge-list",
+            }
+        }
+    }
+
     let mut positional: Vec<&String> = Vec::new();
     let mut to: Option<&str> = None;
     let mut it = args.iter();
@@ -606,13 +650,36 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
         }
     }
     let [input, output] = positional[..] else {
-        return Err("usage: light convert <in> <out> [--to snapshot|edge-list]".into());
+        return Err("usage: light convert <in> <out> [--to snapshot|snapshot-v2|edge-list]".into());
     };
     let out_format = match to {
-        None | Some("snapshot") => GraphFormat::Snapshot,
-        Some("edge-list") => GraphFormat::EdgeList,
+        None | Some("snapshot") => OutFormat::SnapshotV1,
+        Some("snapshot-v2") => OutFormat::SnapshotV2,
+        Some("edge-list") => OutFormat::EdgeList,
         Some(other) => return Err(format!("unknown --to format {other:?}")),
     };
+
+    // Refuse to convert a file onto itself: `load_any` has already been
+    // replaced by a streaming reader, but the *write* would still truncate
+    // the source before the graph is fully decoded. Resolve both paths
+    // (output via its parent, since it may not exist yet) and compare.
+    let in_canon = std::fs::canonicalize(input).map_err(|e| format!("cannot open {input}: {e}"))?;
+    let out_path = std::path::Path::new(output);
+    let out_parent = match out_path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => std::path::Path::new("."),
+    };
+    if let (Ok(parent), Some(name)) = (std::fs::canonicalize(out_parent), out_path.file_name()) {
+        if parent.join(name) == in_canon {
+            return Err(format!(
+                "output {output} is the input file; converting a graph onto \
+                 itself would clobber the source (write to a new path)"
+            ));
+        }
+    }
+    if out_path.exists() {
+        eprintln!("warning: overwriting existing file {output}");
+    }
 
     let t0 = std::time::Instant::now();
     let (raw, in_format) =
@@ -626,9 +693,11 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
 
     let t1 = std::time::Instant::now();
     match out_format {
-        GraphFormat::Snapshot => light::graph::io::save_snapshot(&g, output)
+        OutFormat::SnapshotV1 => light::graph::io::save_snapshot(&g, output)
             .map_err(|e| format!("cannot write {output}: {e}"))?,
-        GraphFormat::EdgeList => {
+        OutFormat::SnapshotV2 => light::graph::io::save_snapshot_v2(&g, output)
+            .map_err(|e| format!("cannot write {output}: {e}"))?,
+        OutFormat::EdgeList => {
             let f = std::fs::File::create(output)
                 .map_err(|e| format!("cannot create {output}: {e}"))?;
             light::graph::io::write_edge_list(&g, f)
@@ -644,7 +713,7 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
         g.num_edges()
     );
     println!("load: {load_ms:.1} ms, write: {write_ms:.1} ms");
-    if in_format == GraphFormat::EdgeList && out_format == GraphFormat::Snapshot {
+    if in_format == GraphFormat::EdgeList && out_format != OutFormat::EdgeList {
         let t2 = std::time::Instant::now();
         let _ = light::graph::io::load_any(output)
             .map_err(|e| format!("verify reload of {output} failed: {e}"))?;
@@ -665,6 +734,7 @@ fn cmd_serve(opts: &Opts) -> Result<ExitCode, String> {
     // Catalog: --graphs spec, or a single --graph/--dataset entry named
     // after its source (same convenience flags count uses).
     let mut catalog = GraphCatalog::new();
+    catalog.set_prefer_mmap(!opts.contains_key("no-mmap"));
     if let Some(spec) = opts.get("graphs") {
         catalog.load_spec(spec)?;
     } else if let Some(path) = opts.get("graph") {
@@ -716,8 +786,14 @@ fn cmd_serve(opts: &Opts) -> Result<ExitCode, String> {
     let service = Arc::new(QueryService::new(catalog, cfg));
     for e in service.catalog().entries() {
         eprintln!(
-            "loaded {:?} from {} ({}): {} vertices, {} edges, {:.1} ms",
-            e.name, e.source, e.format, e.stats.num_vertices, e.stats.num_edges, e.load_ms
+            "loaded {:?} from {} ({}, {} backend): {} vertices, {} edges, {:.1} ms",
+            e.name,
+            e.source,
+            e.format,
+            e.backend,
+            e.stats.num_vertices,
+            e.stats.num_edges,
+            e.load_ms
         );
     }
 

@@ -168,3 +168,105 @@ fn load_any_surfaces_typed_errors() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn convert_to_v2_roundtrips_counts_on_both_backends() {
+    let dir = tmpdir("v2cli");
+    let g = sample_graph();
+    let text = dir.join("g.txt");
+    write_edge_list(&g, std::fs::File::create(&text).unwrap()).unwrap();
+
+    let v2 = dir.join("g.v2");
+    let out = bin()
+        .args([
+            "convert",
+            text.to_str().unwrap(),
+            v2.to_str().unwrap(),
+            "--to",
+            "snapshot-v2",
+        ])
+        .output()
+        .expect("run convert");
+    assert!(
+        out.status.success(),
+        "convert --to snapshot-v2 failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        detect_format(&std::fs::read(&v2).unwrap()),
+        GraphFormat::Snapshot
+    );
+
+    let count = |extra: &[&str]| -> String {
+        let mut args = vec!["count", "--pattern", "triangle", "--graph"];
+        args.push(v2.to_str().unwrap());
+        args.extend_from_slice(extra);
+        let out = bin().args(&args).output().expect("run count");
+        assert!(
+            out.status.success(),
+            "count {extra:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .find(|l| l.starts_with("matches:"))
+            .expect("matches line")
+            .to_string()
+    };
+    // mmap-backed (default) and heap-backed (--no-mmap) loads agree.
+    assert_eq!(count(&[]), count(&["--no-mmap"]));
+
+    // stats reports the storage backend it ended up on.
+    let out = bin()
+        .args(["stats", "--graph", v2.to_str().unwrap()])
+        .output()
+        .expect("run stats");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stdout.contains("backend:"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn convert_refuses_to_clobber_its_input() {
+    let dir = tmpdir("clobber");
+    let g = sample_graph();
+    let snap = dir.join("g.bin");
+    save_snapshot(&g, &snap).unwrap();
+    let before = std::fs::read(&snap).unwrap();
+
+    // Same path twice: typed error, input untouched.
+    let out = bin()
+        .args(["convert", snap.to_str().unwrap(), snap.to_str().unwrap()])
+        .output()
+        .expect("run convert");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("input file"));
+    assert_eq!(std::fs::read(&snap).unwrap(), before, "input was modified");
+
+    // A relative-path alias of the same file is caught too.
+    let aliased = format!(
+        "{}/./{}",
+        dir.display(),
+        snap.file_name().unwrap().to_str().unwrap()
+    );
+    let out = bin()
+        .args(["convert", snap.to_str().unwrap(), &aliased])
+        .output()
+        .expect("run convert");
+    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(std::fs::read(&snap).unwrap(), before, "input was modified");
+
+    // Overwriting a different existing file succeeds but warns.
+    let other = dir.join("other.bin");
+    std::fs::write(&other, b"old contents").unwrap();
+    let out = bin()
+        .args(["convert", snap.to_str().unwrap(), other.to_str().unwrap()])
+        .output()
+        .expect("run convert");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("overwriting"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
