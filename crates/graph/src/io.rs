@@ -618,6 +618,58 @@ pub fn map_snapshot(path: impl AsRef<Path>) -> Result<CsrGraph, GraphIoError> {
     }
 }
 
+/// Identity + size fingerprint of a snapshot's backing file.
+///
+/// Long-lived mmap consumers (the serve catalog) record this at map time
+/// and re-stat before trusting the mapping: a *shrunk* file (same inode,
+/// smaller length) means reads of the vanished pages would raise SIGBUS —
+/// the documented hazard in [`mmap`](crate::mmap) — and a *replaced* file
+/// (different inode, the `write_atomic` rename path) means the mapping is
+/// still safe to read but permanently stale. Either way the consumer
+/// should stop serving from it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileStamp {
+    /// File length in bytes.
+    pub len: u64,
+    /// Modification time as (seconds, nanos) since the Unix epoch;
+    /// `(0, 0)` when the filesystem does not report one.
+    pub mtime: (u64, u32),
+    /// Inode number (0 on non-Unix hosts) — detects replace-by-rename.
+    pub ino: u64,
+}
+
+impl FileStamp {
+    /// Stat `path` and record its fingerprint.
+    pub fn of(path: impl AsRef<Path>) -> io::Result<FileStamp> {
+        let md = std::fs::metadata(path)?;
+        let mtime = md
+            .modified()
+            .ok()
+            .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+            .map(|d| (d.as_secs(), d.subsec_nanos()))
+            .unwrap_or((0, 0));
+        #[cfg(unix)]
+        let ino = {
+            use std::os::unix::fs::MetadataExt;
+            md.ino()
+        };
+        #[cfg(not(unix))]
+        let ino = 0;
+        Ok(FileStamp {
+            len: md.len(),
+            mtime,
+            ino,
+        })
+    }
+
+    /// Whether a mapping recorded at `self` is still safe *and* current
+    /// given a fresh stamp of the same path. Shrunk (SIGBUS on read),
+    /// replaced (stale data), or touched (contents unknown) all fail.
+    pub fn still_valid(&self, fresh: &FileStamp) -> bool {
+        fresh.ino == self.ino && fresh.len >= self.len && fresh.mtime == self.mtime
+    }
+}
+
 /// Write `data` to `path` atomically: a temp file in the same directory,
 /// fsync'd, then renamed into place. A crash mid-write leaves either the
 /// old file or nothing — never a truncated snapshot for the catalog to

@@ -20,6 +20,10 @@
 //!   the vanished pages raise `SIGBUS` — the standard, documented hazard
 //!   of every mmap consumer, outside the loader's corruption contract
 //!   (which covers files that are *already* truncated when opened).
+//!   Long-lived consumers guard against it by recording an
+//!   [`io::FileStamp`](crate::io::FileStamp) at map time and re-statting
+//!   before trusting the mapping — the serve catalog flips a graph to
+//!   `unhealthy` instead of faulting.
 //! * On non-Linux hosts the "mapping" is a plain heap read of the file —
 //!   same API, no zero-copy benefit — so every caller compiles and behaves
 //!   correctly everywhere, matching the affinity shim's best-effort style.

@@ -19,11 +19,12 @@
 //! lists are always relabeled; snapshots are trusted but verified, and
 //! relabeled with a warning if they fail the check.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use light_graph::datasets::Dataset;
-use light_graph::io::GraphFormat;
+use light_graph::io::{FileStamp, GraphFormat};
 use light_graph::stats::{compute_stats, GraphStats};
 use light_graph::CsrGraph;
 
@@ -44,6 +45,40 @@ pub struct CatalogEntry {
     pub backend: &'static str,
     /// Wall-clock load + normalization + stats time, milliseconds.
     pub load_ms: f64,
+    /// SIGBUS guard for mmap-backed entries: the backing file's
+    /// fingerprint at map time. Heap-backed entries (which own their
+    /// bytes and cannot fault) carry `None` and are always healthy.
+    pub stamp: Option<FileStamp>,
+    /// Sticky health flag, shared across clones. Flips to `false` the
+    /// first time [`CatalogEntry::check_health`] sees the backing file
+    /// shrunk, replaced, or modified — and never flips back, because the
+    /// mapping stays unsafe/stale even if the file is later restored.
+    pub healthy: Arc<AtomicBool>,
+}
+
+impl CatalogEntry {
+    /// Re-stat the backing file of an mmap-backed entry and return whether
+    /// it is still safe to serve from. Cheap (one `stat`), called on the
+    /// `health`/`catalog` ops and before every query. Unhealthy is sticky.
+    pub fn check_health(&self) -> bool {
+        if !self.healthy.load(Ordering::Relaxed) {
+            return false;
+        }
+        let Some(recorded) = &self.stamp else {
+            return true;
+        };
+        // A stat failure means the file is gone (unlinked without a
+        // replacement): the mapping is still readable per POSIX, but the
+        // graph can never be reloaded — treat it like a replacement.
+        let ok = match FileStamp::of(&self.source) {
+            Ok(fresh) => recorded.still_valid(&fresh),
+            Err(_) => false,
+        };
+        if !ok {
+            self.healthy.store(false, Ordering::Relaxed);
+        }
+        ok
+    }
 }
 
 /// The set of graphs a daemon serves, addressed by name.
@@ -138,6 +173,13 @@ impl GraphCatalog {
         graph.advise_willneed();
         let stats = compute_stats(&graph);
         let backend = graph.backend().name();
+        // Only mmap-backed graphs can SIGBUS on file truncation; stamp
+        // them at map time so health checks can catch it first.
+        let stamp = if backend == "mmap" {
+            FileStamp::of(source).ok()
+        } else {
+            None
+        };
         self.entries.push(CatalogEntry {
             name: name.to_string(),
             graph: Arc::new(graph),
@@ -146,6 +188,8 @@ impl GraphCatalog {
             format,
             backend,
             load_ms: start.elapsed().as_secs_f64() * 1e3,
+            stamp,
+            healthy: Arc::new(AtomicBool::new(true)),
         });
         Ok(())
     }
@@ -172,6 +216,8 @@ impl GraphCatalog {
             format: "memory",
             backend,
             load_ms: start.elapsed().as_secs_f64() * 1e3,
+            stamp: None,
+            healthy: Arc::new(AtomicBool::new(true)),
         });
         Ok(())
     }
@@ -203,6 +249,13 @@ impl GraphCatalog {
     /// Whether the catalog is empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Re-check every entry's backing file (the mmap SIGBUS guard) and
+    /// return `(healthy, total)`. Entries that fail stay unhealthy.
+    pub fn check_health(&self) -> (usize, usize) {
+        let healthy = self.entries.iter().filter(|e| e.check_health()).count();
+        (healthy, self.entries.len())
     }
 }
 
@@ -304,6 +357,72 @@ mod tests {
             .load_spec("w=dataset:yt@x")
             .unwrap_err()
             .contains("bad scale"));
+    }
+
+    #[test]
+    fn health_flips_sticky_on_shrunk_or_replaced_snapshot() {
+        let dir = std::env::temp_dir().join(format!("light_serve_cat_hp_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = generators::barabasi_albert(150, 3, 11);
+        let (ordered, _) = light_graph::ordered::into_degree_ordered(&g);
+        let v2 = dir.join("h.v2");
+        light_graph::io::save_snapshot_v2(&ordered, &v2).unwrap();
+
+        let mut cat = GraphCatalog::new();
+        cat.load_entry("h", v2.to_str().unwrap()).unwrap();
+        let entry = cat.get("h").unwrap().clone();
+
+        if entry.backend == "mmap" {
+            assert!(entry.stamp.is_some(), "mmap entries must be stamped");
+            assert!(entry.check_health());
+            assert_eq!(cat.check_health(), (1, 1));
+
+            // Shrink the backing file in place: the classic SIGBUS setup.
+            let len = std::fs::metadata(&v2).unwrap().len();
+            let f = std::fs::OpenOptions::new().write(true).open(&v2).unwrap();
+            f.set_len(len / 2).unwrap();
+            drop(f);
+            assert!(!entry.check_health(), "shrunk file must flip unhealthy");
+            assert_eq!(cat.check_health(), (0, 1));
+
+            // Restoring the file does not help: the mapping is still the
+            // truncated inode. Unhealthy is sticky.
+            light_graph::io::save_snapshot_v2(&ordered, &v2).unwrap();
+            assert!(!entry.check_health());
+            // The clone inside the catalog shares the flag.
+            assert!(!cat.get("h").unwrap().check_health());
+        } else {
+            // Heap fallback hosts: no stamp, always healthy, even after
+            // the file disappears — the graph owns its bytes.
+            assert!(entry.stamp.is_none());
+            std::fs::remove_file(&v2).ok();
+            assert!(entry.check_health());
+            assert_eq!(cat.check_health(), (1, 1));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replaced_snapshot_goes_unhealthy() {
+        let dir = std::env::temp_dir().join(format!("light_serve_cat_rp_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = generators::barabasi_albert(150, 3, 13);
+        let (ordered, _) = light_graph::ordered::into_degree_ordered(&g);
+        let v2 = dir.join("r.v2");
+        light_graph::io::save_snapshot_v2(&ordered, &v2).unwrap();
+
+        let mut cat = GraphCatalog::new();
+        cat.load_entry("r", v2.to_str().unwrap()).unwrap();
+        if cat.get("r").unwrap().backend == "mmap" {
+            // Replace by rename (the write_atomic idiom): new inode at the
+            // same path. Reading the old mapping is safe but stale.
+            let tmp = dir.join("r.v2.tmp");
+            light_graph::io::save_snapshot_v2(&ordered, &tmp).unwrap();
+            std::fs::rename(&tmp, &v2).unwrap();
+            assert!(!cat.get("r").unwrap().check_health());
+            assert_eq!(cat.check_health(), (0, 1));
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -23,6 +23,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use crate::service::lock_recover;
 use light_core::{EngineConfig, EngineVariant};
 use light_order::QueryPlan;
 use light_pattern::PatternGraph;
@@ -137,13 +138,13 @@ impl PlanCache {
         key: PlanKey,
         build: impl FnOnce() -> QueryPlan,
     ) -> (Arc<QueryPlan>, bool) {
-        if let Some(hit) = self.state.lock().unwrap().touch(&key) {
+        if let Some(hit) = lock_recover(&self.state).touch(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return (hit, true);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let plan = Arc::new(build());
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_recover(&self.state);
         if let Some(raced) = st.touch(&key) {
             // Another thread built it first; keep theirs (already shared).
             return (raced, false);
@@ -186,7 +187,7 @@ impl PlanCache {
 
     /// Resident entry count.
     pub fn len(&self) -> usize {
-        self.state.lock().unwrap().map.len()
+        lock_recover(&self.state).map.len()
     }
 
     /// Whether the cache is empty.

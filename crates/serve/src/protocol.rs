@@ -11,16 +11,20 @@
 //! Requests:
 //!
 //! ```text
-//! {"op":"query","pattern":"P2","graph":"yt","id":1,
+//! {"op":"query","pattern":"P2","graph":"yt","id":1,"priority":5,
 //!  "timeout_ms":5000,"threads":4,"variant":"light","profile":false}
 //! {"op":"stats","engine":false}
 //! {"op":"catalog"}
+//! {"op":"health"}
 //! {"op":"ping"}
 //! {"op":"shutdown"}
 //! ```
 //!
 //! `id` is echoed verbatim on the response (any JSON scalar); requests
-//! without one get `"id":null`.
+//! without one get `"id":null`. `overloaded` responses carry a computed
+//! `retry_after_ms` backoff hint; `internal_error` responses (a supervised
+//! panic) echo the id plus the graph/pattern context of the query that
+//! tripped it.
 
 use crate::json::{Json, ObjWriter};
 
@@ -44,7 +48,10 @@ pub enum ErrorCode {
     BadQuery,
     /// The daemon is draining and accepts no new queries.
     Draining,
-    /// Internal failure (should not happen; always a bug).
+    /// The graph's backing snapshot shrank or was replaced on disk; the
+    /// mapping can no longer be read safely (SIGBUS guard).
+    GraphUnhealthy,
+    /// Internal failure (a supervised panic; always a bug, never fatal).
     Internal,
 }
 
@@ -58,7 +65,8 @@ impl ErrorCode {
             ErrorCode::BadPattern => "bad_pattern",
             ErrorCode::BadQuery => "bad_query",
             ErrorCode::Draining => "draining",
-            ErrorCode::Internal => "internal",
+            ErrorCode::GraphUnhealthy => "graph_unhealthy",
+            ErrorCode::Internal => "internal_error",
         }
     }
 }
@@ -77,6 +85,12 @@ pub enum Request {
     },
     /// List resident graphs with their precomputed stats.
     Catalog {
+        /// Echoed request id (rendered form).
+        id: String,
+    },
+    /// Readiness + liveness report (catalog health, executor heartbeat,
+    /// queue depth, memory watermark).
+    Health {
         /// Echoed request id (rendered form).
         id: String,
     },
@@ -109,6 +123,9 @@ pub struct QueryRequest {
     pub variant: Option<String>,
     /// Attach a per-query metrics recorder and return its JSON document.
     pub profile: bool,
+    /// Admission priority, `0..=9` (default 5). Under overload, queued
+    /// low-priority work is shed first to admit higher-priority arrivals.
+    pub priority: u8,
 }
 
 /// Render a request `id` field for echoing: any scalar is kept verbatim,
@@ -203,6 +220,16 @@ pub fn parse_request(line: &str) -> Result<Request, (String, ErrorCode, String)>
             let threads = u64_field("threads")?.map(|t| t as usize);
             let variant = str_field("variant")?;
             let profile = bool_field("profile")?;
+            let priority = match u64_field("priority")? {
+                None => 5,
+                Some(p @ 0..=9) => p as u8,
+                Some(p) => {
+                    return Err(fail(
+                        ErrorCode::BadRequest,
+                        format!("field \"priority\" must be 0..=9, got {p}"),
+                    ))
+                }
+            };
             Ok(Request::Query(QueryRequest {
                 id,
                 pattern,
@@ -211,6 +238,7 @@ pub fn parse_request(line: &str) -> Result<Request, (String, ErrorCode, String)>
                 threads,
                 variant,
                 profile,
+                priority,
             }))
         }
         "stats" => {
@@ -218,6 +246,7 @@ pub fn parse_request(line: &str) -> Result<Request, (String, ErrorCode, String)>
             Ok(Request::Stats { id, engine })
         }
         "catalog" => Ok(Request::Catalog { id }),
+        "health" => Ok(Request::Health { id }),
         "ping" => Ok(Request::Ping { id }),
         "shutdown" => Ok(Request::Shutdown { id }),
         other => Err(fail(ErrorCode::UnknownOp, format!("unknown op {other:?}"))),
@@ -315,20 +344,66 @@ pub fn render_error(id: &str, code: ErrorCode, message: &str) -> String {
 }
 
 /// Render an admission-control rejection. `queue_depth`/`max_concurrent`
-/// tell the client what bound it hit; there is no retry-after — clients
-/// should back off.
-pub fn render_overloaded(id: &str, in_flight: usize, queued: usize, limit: usize) -> String {
+/// tell the client what bound it hit; `retry_after_ms` is the daemon's
+/// estimate of when a slot frees up (clients should back off at least
+/// that long, with jitter). `shed` marks a request that was queued and
+/// then displaced by higher-priority work.
+pub fn render_overloaded(
+    id: &str,
+    in_flight: usize,
+    queued: usize,
+    limit: usize,
+    retry_after_ms: u64,
+    shed: bool,
+) -> String {
     let mut w = ObjWriter::new();
     w.raw("id", id)
         .str("status", "overloaded")
         .str(
             "error",
-            "admission queue full; retry later or lower request rate",
+            if shed {
+                "queued work shed for higher-priority arrivals; retry after backoff"
+            } else {
+                "admission queue full; retry later or lower request rate"
+            },
         )
         .u64("in_flight", in_flight as u64)
         .u64("queued", queued as u64)
-        .u64("max_concurrent", limit as u64);
+        .u64("max_concurrent", limit as u64)
+        .u64("retry_after_ms", retry_after_ms);
+    if shed {
+        w.bool("shed", true);
+    }
     w.finish()
+}
+
+/// Render a supervised-panic response: a typed `internal_error` carrying
+/// the echoed id, the panic message, and the query context (graph,
+/// pattern, transport stage) so the bug is attributable from the client
+/// side alone.
+pub fn render_internal(id: &str, panic_msg: &str, context: &[(&str, &str)]) -> String {
+    let mut w = ObjWriter::new();
+    w.raw("id", id)
+        .str("status", "error")
+        .str("code", ErrorCode::Internal.as_str())
+        .str(
+            "error",
+            &format!("query execution panicked (contained): {panic_msg}"),
+        );
+    for (k, v) in context {
+        w.str(k, v);
+    }
+    w.finish()
+}
+
+/// Best-effort id recovery from a raw request line, for responses built
+/// after the parsed request is gone (a panic unwound past it). Falls back
+/// to `null` — never fails, never panics.
+pub fn echo_id(line: &str) -> String {
+    Json::parse(line.trim())
+        .ok()
+        .and_then(|doc| render_id(doc.get("id")).ok())
+        .unwrap_or_else(|| "null".to_string())
 }
 
 /// Render a `ping` response.
@@ -346,12 +421,18 @@ pub fn render_shutdown_ack(id: &str) -> String {
 }
 
 /// Render one catalog entry as an object (used by the `catalog` response).
+/// `healthy:false` marks an mmap-backed graph whose snapshot shrank or was
+/// replaced on disk (see the SIGBUS guard in `catalog.rs`).
 pub fn render_catalog_entry(e: &crate::catalog::CatalogEntry) -> String {
     let mut w = ObjWriter::new();
     w.str("name", &e.name)
         .str("source", &e.source)
         .str("format", e.format)
         .str("backend", e.backend)
+        .bool(
+            "healthy",
+            e.healthy.load(std::sync::atomic::Ordering::Relaxed),
+        )
         .u64("vertices", e.stats.num_vertices as u64)
         .u64("edges", e.stats.num_edges as u64)
         .u64("max_degree", e.stats.max_degree as u64)
@@ -447,6 +528,43 @@ mod tests {
     }
 
     #[test]
+    fn priority_parses_and_validates() {
+        match parse_request(r#"{"op":"query","pattern":"P1"}"#).unwrap() {
+            Request::Query(q) => assert_eq!(q.priority, 5),
+            other => panic!("{other:?}"),
+        }
+        match parse_request(r#"{"op":"query","pattern":"P1","priority":9}"#).unwrap() {
+            Request::Query(q) => assert_eq!(q.priority, 9),
+            other => panic!("{other:?}"),
+        }
+        for bad in [
+            r#"{"op":"query","pattern":"P1","priority":10}"#,
+            r#"{"op":"query","pattern":"P1","priority":-1}"#,
+            r#"{"op":"query","pattern":"P1","priority":"high"}"#,
+        ] {
+            let (_, code, _) = parse_request(bad).unwrap_err();
+            assert_eq!(code, ErrorCode::BadRequest, "line {bad:?}");
+        }
+    }
+
+    #[test]
+    fn health_op_parses() {
+        match parse_request(r#"{"op":"health","id":2}"#).unwrap() {
+            Request::Health { id } => assert_eq!(id, "2"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn echo_id_recovers_scalar_ids() {
+        assert_eq!(echo_id(r#"{"op":"query","id":7}"#), "7");
+        assert_eq!(echo_id(r#"{"op":"query","id":"q-1"}"#), "\"q-1\"");
+        assert_eq!(echo_id(r#"{"op":"query"}"#), "null");
+        assert_eq!(echo_id("not json at all"), "null");
+        assert_eq!(echo_id(r#"{"op":"query","id":[1]}"#), "null");
+    }
+
+    #[test]
     fn oversized_line_rejected() {
         let big = format!(
             "{{\"op\":\"ping\",\"pad\":\"{}\"}}",
@@ -507,7 +625,7 @@ mod tests {
             Some("unknown_graph")
         );
 
-        let ov = render_overloaded("3", 4, 8, 4);
+        let ov = render_overloaded("3", 4, 8, 4, 125, false);
         assert_eq!(
             response_field(&ov, "status").unwrap().as_str(),
             Some("overloaded")
@@ -516,6 +634,32 @@ mod tests {
             response_field(&ov, "max_concurrent").unwrap().as_u64(),
             Some(4)
         );
+        assert_eq!(
+            response_field(&ov, "retry_after_ms").unwrap().as_u64(),
+            Some(125)
+        );
+        assert!(response_field(&ov, "shed").is_none());
+        let shed = render_overloaded("3", 4, 8, 4, 125, true);
+        assert_eq!(response_field(&shed, "shed").unwrap().as_bool(), Some(true));
+
+        let internal = render_internal("9", "boom", &[("graph", "g"), ("pattern", "P2")]);
+        assert_eq!(
+            response_field(&internal, "code").unwrap().as_str(),
+            Some("internal_error")
+        );
+        assert_eq!(
+            response_field(&internal, "status").unwrap().as_str(),
+            Some("error")
+        );
+        assert_eq!(
+            response_field(&internal, "graph").unwrap().as_str(),
+            Some("g")
+        );
+        assert!(response_field(&internal, "error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("boom"));
 
         assert_eq!(
             response_field(&render_pong("null"), "pong")

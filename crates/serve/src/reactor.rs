@@ -42,11 +42,11 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crate::protocol::{self, ErrorCode, MAX_REQUEST_BYTES};
+use crate::protocol::{self, MAX_REQUEST_BYTES};
 use crate::server::{accept_error_is_transient, bind_uds};
-use crate::service::QueryService;
+use crate::service::{lock_recover, QueryService};
 
 /// Raw epoll / eventfd bindings. Direct `extern "C"` libc symbols — the
 /// same dependency-free idiom as the SIGINT handler and
@@ -236,6 +236,11 @@ struct Conn {
     closing: bool,
     /// Interest currently registered with epoll.
     interest: u32,
+    /// When the connection started holding a *partial* request line
+    /// (bytes in `inbuf`, no terminator yet). The slowloris guard closes
+    /// connections that sit in this state past the idle timeout; `None`
+    /// whenever `inbuf` is empty, so fully idle connections stay free.
+    partial_since: Option<Instant>,
 }
 
 impl Conn {
@@ -248,6 +253,7 @@ impl Conn {
             in_flight: false,
             closing: false,
             interest: 0,
+            partial_since: None,
         }
     }
 
@@ -264,12 +270,15 @@ impl Conn {
         ev
     }
 
-    /// Whether the connection has nothing left to do.
-    fn is_idle(&self) -> bool {
-        self.inbuf.is_empty()
-            && self.pending.is_empty()
-            && !self.in_flight
-            && self.outbuf.is_empty()
+    /// Whether a drain may close this connection now. A half-received
+    /// request line (`inbuf`) is deliberately *not* protected: no complete
+    /// request was submitted, so abandoning it keeps the one-response-per-
+    /// request conservation law — and protecting it would let a slowloris
+    /// client holding a partial line block shutdown forever. In-flight
+    /// work, queued lines, and unflushed responses all keep the
+    /// connection alive until they complete and flush.
+    fn drain_sheddable(&self) -> bool {
+        self.pending.is_empty() && !self.in_flight && self.outbuf.is_empty()
     }
 
     /// Whether a closing connection has fully drained.
@@ -382,19 +391,32 @@ fn executor_loop(
     loop {
         // Hold the lock only across the blocking recv; idle executors
         // queue on the mutex instead.
-        let job = match rx.lock().unwrap().recv() {
+        let job = match lock_recover(rx).recv() {
             Ok(j) => j,
             Err(_) => return, // reactor exited
         };
-        // handle_line has its own containment, but a panic here must not
-        // wedge the connection (in_flight would never clear).
+        // handle_line has its own containment, but a panic escaping it
+        // (dispatch failpoint, protocol bug) must not wedge the
+        // connection — in_flight would never clear. Recover the id from
+        // the raw line so the response still correlates client-side.
         let resp = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            light_failpoint::fail_point!("serve::dispatch");
             service.handle_line(&job.line)
         }))
-        .unwrap_or_else(|_| {
-            protocol::render_error("null", ErrorCode::Internal, "request handler panicked")
+        .unwrap_or_else(|payload| {
+            service.metrics.note_panic();
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            protocol::render_internal(
+                &protocol::echo_id(&job.line),
+                &msg,
+                &[("stage", "executor")],
+            )
         });
-        completions.lock().unwrap().push((job.conn, resp));
+        lock_recover(completions).push((job.conn, resp));
         wake.wake();
     }
 }
@@ -417,23 +439,26 @@ fn reactor_loop(
     let mut events: Vec<sys::EpollEvent> = Vec::with_capacity(256);
     let mut accept_backoff = Duration::from_millis(10);
     let mut fatal: io::Result<()> = Ok(());
+    let mut last_sweep = Instant::now();
 
     loop {
-        // Drain transition: stop accepting, shed idle connections. Busy
-        // connections finish their in-flight/pending work (the service
-        // answers new queries with a typed `draining` error) and close
-        // once idle.
+        // Drain transition: stop accepting, shed every connection with no
+        // submitted work left (half-received lines are abandoned — see
+        // Conn::drain_sheddable). Connections with in-flight or pending
+        // requests, or an unflushed response, stay until that work
+        // completes and the bytes reach the socket — a query finishing
+        // *after* this sweep still gets its response before FIN.
         if service.is_draining() {
             if let Some(l) = listener.take() {
                 epoll.del(l.as_raw_fd());
                 std::fs::remove_file(path).ok();
             }
-            let idle: Vec<u64> = conns
+            let shed: Vec<u64> = conns
                 .iter()
-                .filter(|(_, c)| c.is_idle())
+                .filter(|(_, c)| c.drain_sheddable())
                 .map(|(&id, _)| id)
                 .collect();
-            for id in idle {
+            for id in shed {
                 close_conn(&epoll, &mut conns, id);
             }
             if conns.is_empty() {
@@ -447,6 +472,24 @@ fn reactor_loop(
         }
 
         epoll.wait(&mut events, HEARTBEAT)?;
+
+        // Slowloris guard, at heartbeat cadence: a connection that has
+        // held a partial request line past the idle timeout is hung up
+        // on. Fully idle connections (empty inbuf) are never touched —
+        // parked clients stay cheap and welcome.
+        if let Some(limit) = service.config().idle_timeout {
+            if last_sweep.elapsed() >= HEARTBEAT.min(limit) {
+                last_sweep = Instant::now();
+                let stalled: Vec<u64> = conns
+                    .iter()
+                    .filter(|(_, c)| c.partial_since.is_some_and(|t| t.elapsed() >= limit))
+                    .map(|(&id, _)| id)
+                    .collect();
+                for id in stalled {
+                    close_conn(&epoll, &mut conns, id);
+                }
+            }
+        }
 
         let mut touched: Vec<u64> = Vec::new();
         let ready: Vec<sys::EpollEvent> = events.clone();
@@ -478,10 +521,15 @@ fn reactor_loop(
                     let mut dead =
                         bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0 && bits & sys::EPOLLIN == 0;
                     if bits & sys::EPOLLIN != 0 {
-                        dead |= !conn_read(conn, service);
+                        dead |= !guarded_read(conn, service);
+                        conn.partial_since = if conn.inbuf.is_empty() {
+                            None
+                        } else {
+                            conn.partial_since.or_else(|| Some(Instant::now()))
+                        };
                     }
                     if bits & sys::EPOLLOUT != 0 {
-                        dead |= !conn_write(conn);
+                        dead |= !guarded_write(conn, service);
                     }
                     if dead {
                         close_conn(&epoll, &mut conns, id);
@@ -494,12 +542,12 @@ fn reactor_loop(
 
         // Apply finished responses, then dispatch each touched
         // connection's next pending line and refresh epoll interest.
-        for (id, resp) in completions.lock().unwrap().drain(..) {
+        for (id, resp) in lock_recover(completions).drain(..) {
             if let Some(conn) = conns.get_mut(&id) {
                 conn.in_flight = false;
                 conn.outbuf.extend_from_slice(resp.as_bytes());
                 conn.outbuf.push(b'\n');
-                if !conn_write(conn) {
+                if !guarded_write(conn, service) {
                     close_conn(&epoll, &mut conns, id);
                     continue;
                 }
@@ -574,9 +622,31 @@ fn accept_ready(
     Ok(newly)
 }
 
+/// [`conn_read`] with panic containment: an unwind from connection I/O
+/// (the `serve::reactor_read` failpoint models one) kills that connection
+/// only — never the reactor thread, which every other connection shares.
+fn guarded_read(conn: &mut Conn, service: &QueryService) -> bool {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| conn_read(conn, service)))
+        .unwrap_or_else(|_| {
+            service.metrics.note_panic();
+            false
+        })
+}
+
+/// [`conn_write`] with the same containment as [`guarded_read`].
+fn guarded_write(conn: &mut Conn, service: &QueryService) -> bool {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| conn_write(conn))).unwrap_or_else(
+        |_| {
+            service.metrics.note_panic();
+            false
+        },
+    )
+}
+
 /// Drain readable bytes and split complete lines into `pending`. Returns
 /// false if the connection must be closed immediately (hard error).
 fn conn_read(conn: &mut Conn, service: &QueryService) -> bool {
+    light_failpoint::fail_point!("serve::reactor_read");
     let mut chunk = [0u8; 8192];
     loop {
         if conn.pending.len() >= PENDING_CAP || conn.closing {
@@ -656,6 +726,7 @@ fn dispatch(id: u64, conn: &mut Conn, jobs: &mpsc::Sender<Job>) {
 /// Flush as much of `outbuf` as the socket accepts. Returns false on a
 /// hard write error (peer gone).
 fn conn_write(conn: &mut Conn) -> bool {
+    light_failpoint::fail_point!("serve::reactor_write");
     while !conn.outbuf.is_empty() {
         match (&conn.stream).write(&conn.outbuf) {
             Ok(0) => return false,

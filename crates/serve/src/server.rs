@@ -44,12 +44,19 @@ enum LineRead {
 /// Read one `\n`-terminated line into `buf` (which is cleared first).
 ///
 /// Tolerates `WouldBlock`/`TimedOut` ticks from sockets with a read
-/// timeout — those poll `service` for a drain, which only terminates the
-/// connection *between* requests: a partially received line is still
-/// completed and answered. `service = None` (stdio/tests) treats timeouts
-/// as stream errors.
+/// timeout — those poll `service` for a drain (which abandons the
+/// connection even mid-line: an incomplete line is not a submitted
+/// request, so dropping it keeps one-response-per-request) and enforce
+/// the partial-line idle timeout: a slowloris client that starts a line
+/// and stalls is hung up on after `idle_timeout`, while *fully* idle
+/// connections (no bytes buffered) wait as long as they like.
+/// `service = None` (stdio/tests) treats timeouts as stream errors.
 fn read_line(r: &mut impl BufRead, buf: &mut Vec<u8>, service: Option<&QueryService>) -> LineRead {
     buf.clear();
+    // Deadline anchor for the partial-line timeout. Deliberately not
+    // reset on progress: trickling one byte per tick must not extend the
+    // deadline forever.
+    let mut partial_since: Option<Instant> = None;
     loop {
         match r.read_until(b'\n', buf) {
             Ok(0) => {
@@ -68,6 +75,7 @@ fn read_line(r: &mut impl BufRead, buf: &mut Vec<u8>, service: Option<&QueryServ
                     return LineRead::Line;
                 }
                 // Short read mid-line; keep accumulating.
+                partial_since.get_or_insert_with(Instant::now);
             }
             Err(e)
                 if matches!(
@@ -76,8 +84,17 @@ fn read_line(r: &mut impl BufRead, buf: &mut Vec<u8>, service: Option<&QueryServ
                 ) =>
             {
                 match service {
-                    Some(s) if s.is_draining() && buf.is_empty() => return LineRead::Drained,
-                    Some(_) => {} // idle tick; keep waiting
+                    Some(s) if s.is_draining() => return LineRead::Drained,
+                    Some(s) => {
+                        if !buf.is_empty() {
+                            let since = *partial_since.get_or_insert_with(Instant::now);
+                            if let Some(limit) = s.config().idle_timeout {
+                                if since.elapsed() >= limit {
+                                    return LineRead::Closed;
+                                }
+                            }
+                        }
+                    }
                     None => return LineRead::Closed,
                 }
             }

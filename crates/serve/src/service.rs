@@ -1,18 +1,33 @@
-//! The query service: admission control, plan-cached execution, and
-//! service metrics.
+//! The query service: admission control, plan-cached execution, service
+//! metrics, and the supervision layer that keeps one poisoned query from
+//! taking the daemon down.
 //!
 //! One [`QueryService`] is shared (behind `Arc`) by every connection
 //! handler; [`QueryService::handle_line`] is the single entry point that
 //! turns a request line into a response line, so stdio, socket handlers,
 //! and tests all exercise the identical path.
 //!
+//! ## Supervision (DESIGN.md §15)
+//!
+//! The whole query path — catalog resolve, admission, plan build, engine
+//! run — executes under `catch_unwind`. A panic anywhere inside becomes a
+//! typed `internal_error` response with the query id echoed and the
+//! graph/pattern context attached, bumps the monotone `panics_total`
+//! counter, and leaves the admission semaphore, live-token registry, and
+//! plan cache provably intact: the permit and token registration are RAII
+//! guards that release during unwind, and every service lock recovers
+//! from poisoning instead of propagating it.
+//!
 //! ## Admission control
 //!
 //! At most `max_concurrent` queries execute at once; up to `queue_depth`
-//! more wait (FIFO via condvar) and anything beyond that is rejected with
-//! a typed `overloaded` response instead of oversubscribing the worker
-//! pool — burst traffic degrades into fast rejections, not a thrashing
-//! machine. Queue wait is measured per query and aggregated.
+//! more wait (priority-ordered, FIFO within a priority) and anything
+//! beyond that is rejected with a typed `overloaded` response carrying a
+//! computed `retry_after_ms` hint. When the queue is full — or the
+//! process memory watermark has tripped, which freezes queue growth — a
+//! newcomer that outranks the lowest-priority waiter *displaces* it (the
+//! victim gets the `overloaded` rejection) instead of being rejected
+//! blindly, so load shedding drops the cheapest work first.
 //!
 //! ## Deadlines, cancellation, drain
 //!
@@ -25,7 +40,7 @@
 //! within the engine's ≤ 100 ms cancel latency.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use light_core::{validate_query, CancelToken, EngineConfig, EngineVariant, Outcome};
@@ -36,6 +51,21 @@ use crate::catalog::GraphCatalog;
 use crate::json::ObjWriter;
 use crate::plan_cache::{PlanCache, PlanKey};
 use crate::protocol::{self, ErrorCode, QueryRequest, QueryResult, Request, WireOutcome};
+
+/// Lock a mutex, recovering the data if a previous holder panicked.
+///
+/// Every service lock is held only across short, non-panicking critical
+/// sections, so the guarded data is always consistent when a poison flag
+/// is observed — the flag itself is the only damage, and clearing it is
+/// what keeps one supervised panic from wedging every later query.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Condvar wait with the same poison recovery as [`lock_recover`].
+fn wait_recover<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(g).unwrap_or_else(|e| e.into_inner())
+}
 
 /// Daemon-side service configuration.
 #[derive(Debug, Clone)]
@@ -52,6 +82,13 @@ pub struct ServeConfig {
     pub default_timeout: Option<Duration>,
     /// How long a drain waits before cancelling in-flight queries.
     pub drain_grace: Duration,
+    /// How long a connection may sit on a partially received request line
+    /// before the transport hangs up (slowloris guard). `None` disables.
+    pub idle_timeout: Option<Duration>,
+    /// Process resident-memory watermark, bytes. While resident memory is
+    /// above it, the admission queue stops growing: new work is admitted
+    /// only by displacing lower-priority queued work. `None` disables.
+    pub mem_watermark: Option<u64>,
     /// Base engine configuration (variant, kernel, δ, aux-cache knobs).
     /// Per-query fields (budget, cancel, metrics) are overwritten.
     pub engine: EngineConfig,
@@ -70,6 +107,8 @@ impl Default for ServeConfig {
             threads_per_query: 1,
             default_timeout: Some(Duration::from_secs(60)),
             drain_grace: Duration::from_secs(10),
+            idle_timeout: Some(Duration::from_secs(30)),
+            mem_watermark: None,
             engine: EngineConfig::light(),
             flat_topology: false,
         }
@@ -83,14 +122,31 @@ pub struct Overloaded {
     pub in_flight: usize,
     /// Queries waiting when the request was rejected.
     pub queued: usize,
+    /// True when this request was queued and then displaced by a
+    /// higher-priority arrival (load shedding), rather than rejected on
+    /// arrival.
+    pub shed: bool,
+}
+
+/// One queued admission request.
+struct Waiter {
+    seq: u64,
+    priority: u8,
+    shed: bool,
 }
 
 struct AdmissionState {
     running: usize,
-    waiting: usize,
+    next_seq: u64,
+    waiters: Vec<Waiter>,
 }
 
-/// Counting semaphore with a bounded FIFO wait queue.
+/// Counting semaphore with a bounded, priority-aware wait queue.
+///
+/// Waiters are granted permits highest-priority-first (FIFO within a
+/// priority). When the queue is at capacity — or capacity is frozen by
+/// the memory watermark — a newcomer with strictly higher priority
+/// displaces the lowest-priority (youngest among ties) waiter.
 struct Admission {
     state: Mutex<AdmissionState>,
     cv: Condvar,
@@ -103,7 +159,8 @@ impl Admission {
         Admission {
             state: Mutex::new(AdmissionState {
                 running: 0,
-                waiting: 0,
+                next_seq: 0,
+                waiters: Vec::new(),
             }),
             cv: Condvar::new(),
             max_concurrent: max_concurrent.max(1),
@@ -111,43 +168,127 @@ impl Admission {
         }
     }
 
+    /// The waiter next in line for a permit: highest priority, oldest seq.
+    fn pick(st: &AdmissionState) -> Option<u64> {
+        st.waiters
+            .iter()
+            .filter(|w| !w.shed)
+            .max_by(|a, b| a.priority.cmp(&b.priority).then(b.seq.cmp(&a.seq)))
+            .map(|w| w.seq)
+    }
+
     /// Acquire an execution permit, blocking in the bounded queue if the
     /// service is saturated. Returns the queue wait on success.
-    fn acquire(&self) -> Result<Duration, Overloaded> {
-        let mut st = self.state.lock().unwrap();
-        if st.running < self.max_concurrent {
+    ///
+    /// `freeze_queue` (the memory watermark tripped) caps the queue at
+    /// its *current* occupancy: new work gets in only by displacement.
+    fn acquire(&self, priority: u8, freeze_queue: bool) -> Result<Duration, Overloaded> {
+        let mut st = lock_recover(&self.state);
+        if st.running < self.max_concurrent && st.waiters.iter().all(|w| w.shed) {
             st.running += 1;
             return Ok(Duration::ZERO);
         }
-        if st.waiting >= self.queue_depth {
-            return Err(Overloaded {
-                in_flight: st.running,
-                queued: st.waiting,
-            });
+        let occupancy = st.waiters.iter().filter(|w| !w.shed).count();
+        let cap = if freeze_queue {
+            occupancy.min(self.queue_depth)
+        } else {
+            self.queue_depth
+        };
+        if occupancy >= cap {
+            // Queue full (or frozen): shed the lowest-priority waiter if
+            // the newcomer strictly outranks it, else reject the newcomer.
+            let victim = st
+                .waiters
+                .iter_mut()
+                .filter(|w| !w.shed)
+                .min_by(|a, b| a.priority.cmp(&b.priority).then(b.seq.cmp(&a.seq)));
+            match victim {
+                Some(v) if v.priority < priority => {
+                    v.shed = true;
+                    self.cv.notify_all();
+                }
+                _ => {
+                    return Err(Overloaded {
+                        in_flight: st.running,
+                        queued: occupancy,
+                        shed: false,
+                    })
+                }
+            }
         }
-        st.waiting += 1;
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.waiters.push(Waiter {
+            seq,
+            priority,
+            shed: false,
+        });
         let start = Instant::now();
-        while st.running >= self.max_concurrent {
-            st = self.cv.wait(st).unwrap();
+        loop {
+            let me = st
+                .waiters
+                .iter()
+                .position(|w| w.seq == seq)
+                .expect("waiter entry must outlive its thread");
+            if st.waiters[me].shed {
+                st.waiters.remove(me);
+                let (running, queued) = (st.running, st.waiters.iter().filter(|w| !w.shed).count());
+                return Err(Overloaded {
+                    in_flight: running,
+                    queued,
+                    shed: true,
+                });
+            }
+            if st.running < self.max_concurrent && Self::pick(&st) == Some(seq) {
+                st.waiters.remove(me);
+                st.running += 1;
+                return Ok(start.elapsed());
+            }
+            st = wait_recover(&self.cv, st);
         }
-        st.waiting -= 1;
-        st.running += 1;
-        Ok(start.elapsed())
     }
 
     fn release(&self) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_recover(&self.state);
         st.running -= 1;
         drop(st);
-        self.cv.notify_one();
+        // notify_all, not notify_one: the permit goes to whichever waiter
+        // `pick` chooses, which is not necessarily the longest sleeper.
+        self.cv.notify_all();
     }
 
     fn in_flight(&self) -> usize {
-        self.state.lock().unwrap().running
+        lock_recover(&self.state).running
     }
 
     fn queued(&self) -> usize {
-        self.state.lock().unwrap().waiting
+        lock_recover(&self.state)
+            .waiters
+            .iter()
+            .filter(|w| !w.shed)
+            .count()
+    }
+}
+
+/// Releases the admission permit even if the query panics mid-flight.
+struct PermitGuard<'a>(&'a Admission);
+
+impl Drop for PermitGuard<'_> {
+    fn drop(&mut self) {
+        self.0.release();
+    }
+}
+
+/// Deregisters the query's cancel token even if the query panics.
+struct LiveGuard<'a> {
+    svc: &'a QueryService,
+    token: CancelToken,
+}
+
+impl Drop for LiveGuard<'_> {
+    fn drop(&mut self) {
+        let mut live = lock_recover(&self.svc.live);
+        live.retain(|t| !same_token(t, &self.token));
     }
 }
 
@@ -165,6 +306,12 @@ pub struct ServiceMetrics {
     pub errors: AtomicU64,
     /// Admission-control rejections.
     pub overloaded: AtomicU64,
+    /// Queued queries displaced by higher-priority arrivals (a subset of
+    /// `overloaded`).
+    pub shed: AtomicU64,
+    /// Supervised panics converted into `internal_error` responses
+    /// (service-layer queries plus reactor-contained connection faults).
+    pub panics: AtomicU64,
     /// Partial results that were specifically deadline expiries.
     pub timeouts: AtomicU64,
     /// Partial results that were cancellations (drain grace).
@@ -177,8 +324,15 @@ pub struct ServiceMetrics {
     pub queue_wait_max_ns: AtomicU64,
     /// Total matches returned (completeness-weighted traffic volume).
     pub matches_returned: AtomicU64,
-    /// Non-query ops served (ping/stats/catalog/shutdown).
+    /// Non-query ops served (ping/stats/catalog/health/shutdown).
     pub control_ops: AtomicU64,
+    /// Total engine execution time, nanoseconds (feeds `retry_after_ms`).
+    pub exec_ns: AtomicU64,
+    /// Queries whose engine run finished (denominator for `exec_ns`).
+    pub exec_done: AtomicU64,
+    /// Milliseconds-since-service-start stamp of the most recent
+    /// handler activity (heartbeat for the `health` liveness signal).
+    pub last_activity_ms: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -190,6 +344,37 @@ impl ServiceMetrics {
         self.queued_queries.fetch_add(1, Ordering::Relaxed);
         self.queue_wait_ns.fetch_add(ns, Ordering::Relaxed);
         self.queue_wait_max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Record a supervised panic (used by the transports too, so every
+    /// containment shows up in one monotone counter).
+    pub fn note_panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Process resident set size in bytes (Linux `/proc/self/statm`; `None`
+/// elsewhere — the watermark degrades to disabled off-Linux).
+pub fn resident_memory_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+        let pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+        Some(pages * 4096)
+    }
+    #[cfg(not(target_os = "linux"))]
+    None
+}
+
+/// Render a panic payload for the `internal_error` response.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -264,16 +449,51 @@ impl QueryService {
     /// Cancel every in-flight query (drain-grace expiry). Returns how many
     /// tokens were cancelled.
     pub fn cancel_in_flight(&self) -> usize {
-        let live = self.live.lock().unwrap();
+        let live = lock_recover(&self.live);
         for t in live.iter() {
             t.cancel();
         }
         live.len()
     }
 
+    /// Whether the memory watermark has tripped (freezes queue growth).
+    pub fn memory_tripped(&self) -> bool {
+        match (self.cfg.mem_watermark, resident_memory_bytes()) {
+            (Some(limit), Some(resident)) => resident > limit,
+            _ => false,
+        }
+    }
+
+    /// The backoff hint attached to `overloaded` rejections: roughly how
+    /// long until a queue slot frees up, from the average engine run time
+    /// and the current backlog per execution lane.
+    pub fn retry_after_ms(&self) -> u64 {
+        let done = self.metrics.exec_done.load(Ordering::Relaxed);
+        let avg_ms = (self.metrics.exec_ns.load(Ordering::Relaxed) / 1_000_000)
+            .checked_div(done)
+            .map_or(50, |ms| ms.max(1));
+        let backlog = self.admission.queued() as u64 + 1;
+        (backlog * avg_ms / self.cfg.max_concurrent.max(1) as u64).clamp(25, 30_000)
+    }
+
     /// Handle one request line, producing exactly one response line
-    /// (without trailing newline). Never panics on untrusted input.
+    /// (without trailing newline). Never panics on untrusted input: the
+    /// query path runs supervised, so even an engine bug yields a typed
+    /// `internal_error` response instead of unwinding the transport.
     pub fn handle_line(&self, line: &str) -> String {
+        self.stamp_activity();
+        let resp = self.handle_line_inner(line);
+        self.stamp_activity();
+        resp
+    }
+
+    fn stamp_activity(&self) {
+        self.metrics
+            .last_activity_ms
+            .store(self.started.elapsed().as_millis() as u64, Ordering::Relaxed);
+    }
+
+    fn handle_line_inner(&self, line: &str) -> String {
         let req = match protocol::parse_request(line.trim()) {
             Ok(r) => r,
             Err((id, code, msg)) => {
@@ -293,6 +513,9 @@ impl QueryService {
             }
             Request::Catalog { id } => {
                 self.metrics.control_ops.fetch_add(1, Ordering::Relaxed);
+                // The catalog op re-checks backing files, same as health:
+                // a truncated snapshot flips its entry before it is listed.
+                self.catalog.check_health();
                 let entries: Vec<String> = self
                     .catalog
                     .entries()
@@ -305,7 +528,32 @@ impl QueryService {
                 self.metrics.control_ops.fetch_add(1, Ordering::Relaxed);
                 self.render_stats(&id, engine)
             }
-            Request::Query(q) => self.execute(&q),
+            Request::Health { id } => {
+                self.metrics.control_ops.fetch_add(1, Ordering::Relaxed);
+                self.render_health(&id)
+            }
+            Request::Query(q) => {
+                // Supervision boundary: a panic anywhere in the query path
+                // (admission, resolve, plan build, engine) is converted to
+                // a typed response. RAII guards inside `execute` release
+                // the permit and deregister the cancel token on unwind,
+                // and every service lock recovers from poison, so the
+                // daemon state is intact for the next query.
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.execute(&q))) {
+                    Ok(resp) => resp,
+                    Err(payload) => {
+                        self.metrics.note_panic();
+                        protocol::render_internal(
+                            &q.id,
+                            &panic_message(payload),
+                            &[
+                                ("graph", q.graph.as_deref().unwrap_or("<default>")),
+                                ("pattern", &q.pattern),
+                            ],
+                        )
+                    }
+                }
+            }
         }
     }
 
@@ -323,6 +571,7 @@ impl QueryService {
         }
         // Resolve inputs *before* consuming an admission slot: malformed
         // queries must not queue behind real work.
+        light_failpoint::fail_point!("serve::catalog_resolve");
         let entry = match &q.graph {
             Some(name) => match self.catalog.get(name) {
                 Some(e) => e,
@@ -346,6 +595,16 @@ impl QueryService {
                 }
             },
         };
+        if !entry.check_health() {
+            return err(
+                ErrorCode::GraphUnhealthy,
+                format!(
+                    "graph {:?}: backing snapshot {} shrank or was replaced on disk; \
+                     restart the daemon or regenerate it with `light convert --to snapshot-v2`",
+                    entry.name, entry.source
+                ),
+            );
+        }
         let pattern = match parse_pattern(&q.pattern) {
             Ok(p) => p,
             Err(e) => return err(ErrorCode::BadPattern, e),
@@ -376,24 +635,35 @@ impl QueryService {
             .clamp(1, self.cfg.threads_per_query.max(1));
 
         self.metrics.queries.fetch_add(1, Ordering::Relaxed);
-        let queue_wait = match self.admission.acquire() {
+        light_failpoint::fail_point!("serve::admission");
+        let queue_wait = match self.admission.acquire(q.priority, self.memory_tripped()) {
             Ok(w) => w,
             Err(ov) => {
                 self.metrics.overloaded.fetch_add(1, Ordering::Relaxed);
+                if ov.shed {
+                    self.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                }
                 return protocol::render_overloaded(
                     &q.id,
                     ov.in_flight,
                     ov.queued,
                     self.cfg.max_concurrent,
+                    self.retry_after_ms(),
+                    ov.shed,
                 );
             }
         };
+        // RAII from here: the permit and the live-token registration are
+        // released on *every* exit, including a panic unwinding through
+        // the supervised region.
+        let _permit = PermitGuard(&self.admission);
         self.metrics.note_queue_wait(queue_wait);
 
         // Per-query cancellation token, registered for drain-grace kills.
         let token = CancelToken::new();
         cfg.cancel = Some(token.clone());
-        self.live.lock().unwrap().push(token.clone());
+        lock_recover(&self.live).push(token.clone());
+        let _live = LiveGuard { svc: self, token };
 
         // Per-query recorder when profiling; the service recorder
         // otherwise, so engine metrics aggregate across queries.
@@ -401,18 +671,17 @@ impl QueryService {
         cfg.metrics = profile_rec.clone().unwrap_or_else(|| self.recorder.clone());
 
         let key = PlanKey::new(&pattern, &entry.name, &cfg);
-        let (plan, cache_hit) = self
-            .plans
-            .get_or_build(key, || cfg.plan(&pattern, &entry.graph));
+        let (plan, cache_hit) = self.plans.get_or_build(key, || {
+            light_failpoint::fail_point!("serve::plan_build");
+            cfg.plan(&pattern, &entry.graph)
+        });
 
+        let t_exec = Instant::now();
         let pcfg = ParallelConfig::new(threads).flat_topology(self.cfg.flat_topology);
         let pr = run_plan_parallel(&plan, &entry.graph, &cfg, &pcfg);
-
-        self.admission.release();
-        {
-            let mut live = self.live.lock().unwrap();
-            live.retain(|t| !same_token(t, &token));
-        }
+        let exec_ns = t_exec.elapsed().as_nanos() as u64;
+        self.metrics.exec_ns.fetch_add(exec_ns, Ordering::Relaxed);
+        self.metrics.exec_done.fetch_add(1, Ordering::Relaxed);
 
         let outcome = match pr.report.outcome {
             Outcome::OutOfTime => WireOutcome::Timeout,
@@ -462,6 +731,8 @@ impl QueryService {
             .u64("partial", ld(&m.partial))
             .u64("error", ld(&m.errors))
             .u64("overloaded", ld(&m.overloaded))
+            .u64("shed", ld(&m.shed))
+            .u64("panics_total", ld(&m.panics))
             .u64("timeout", ld(&m.timeouts))
             .u64("cancelled", ld(&m.cancelled))
             .u64("matches_returned", ld(&m.matches_returned))
@@ -500,6 +771,52 @@ impl QueryService {
             // the same recorder as `light count --profile`.
             w.raw("engine", &self.recorder.to_json());
         }
+        w.finish()
+    }
+
+    /// Render the `health` response: readiness plus the signals an
+    /// operator (or load balancer) needs to decide whether to route here.
+    fn render_health(&self, id: &str) -> String {
+        let (healthy, total) = self.catalog.check_health();
+        let draining = self.is_draining();
+        let ready = !draining && total > 0 && healthy == total;
+
+        let mut catalog = ObjWriter::new();
+        catalog
+            .u64("graphs", total as u64)
+            .u64("healthy", healthy as u64);
+
+        let now_ms = self.started.elapsed().as_millis() as u64;
+        let last = self.metrics.last_activity_ms.load(Ordering::Relaxed);
+        let mut executor = ObjWriter::new();
+        executor
+            .u64("in_flight", self.in_flight() as u64)
+            .u64("queued", self.admission.queued() as u64)
+            .u64("queue_limit", self.cfg.queue_depth as u64)
+            .u64("max_concurrent", self.cfg.max_concurrent as u64)
+            .u64("last_activity_ms_ago", now_ms.saturating_sub(last))
+            .u64("panics_total", self.metrics.panics.load(Ordering::Relaxed));
+
+        let mut memory = ObjWriter::new();
+        match resident_memory_bytes() {
+            Some(b) => memory.u64("resident_bytes", b),
+            None => memory.raw("resident_bytes", "null"),
+        };
+        match self.cfg.mem_watermark {
+            Some(w) => memory.u64("watermark_bytes", w),
+            None => memory.raw("watermark_bytes", "null"),
+        };
+        memory.bool("tripped", self.memory_tripped());
+
+        let mut w = ObjWriter::new();
+        w.raw("id", id)
+            .str("status", "ok")
+            .bool("ready", ready)
+            .bool("draining", draining)
+            .u64("retry_after_ms", self.retry_after_ms())
+            .raw("catalog", &catalog.finish())
+            .raw("executor", &executor.finish())
+            .raw("memory", &memory.finish());
         w.finish()
     }
 }

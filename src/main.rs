@@ -224,7 +224,8 @@ USAGE:
                  [--socket <path>] [--transport epoll|threads]
                  [--max-concurrent <k>] [--queue-depth <k>]
                  [--threads <per-query>] [--timeout <secs>|none]
-                 [--drain-grace <secs>] [--flat-topology] [--no-mmap]
+                 [--drain-grace <secs>] [--idle-timeout <secs>|none]
+                 [--mem-watermark <MiB>] [--flat-topology] [--no-mmap]
                  [engine options as for count]
 
   Resident daemon: loads the catalog once, answers newline-delimited JSON
@@ -235,18 +236,27 @@ USAGE:
   a second Ctrl-C hard-exits 130. See docs/serve.md for the protocol.
   --transport picks the socket I/O model: `epoll` (default on Linux) runs
   one reactor thread multiplexing every connection; `threads` spawns one
-  handler thread per connection.
+  handler thread per connection. --idle-timeout (default 30) hangs up on
+  connections stalled mid-request-line; --mem-watermark freezes admission
+  queue growth while resident memory exceeds it (queued low-priority work
+  is shed to admit higher-priority arrivals).
 
   light query    --socket <path> [--pattern <..>] [--graph <name>]
                  [--timeout-ms <ms>] [--threads <k>] [--variant ..]
-                 [--op query|stats|catalog|ping|shutdown] [--id <s>] [--profile]
+                 [--op query|stats|catalog|health|ping|shutdown]
+                 [--id <s>] [--priority <0-9>] [--profile]
+                 [--retries <n>] [--backoff-base-ms <ms>]
                  [--concurrency <n>] [--repeat <k>]
 
   One-shot client for a serve daemon. Prints the JSON response line and
   maps it to count's exit codes (0 ok, 3/124/130 partial, 2 overloaded,
-  1 error). With --concurrency/--repeat it becomes a closed-loop load
-  driver: n threads each send k copies of the request over private
-  connections, then a latency/QPS summary replaces the response lines."
+  1 error). --retries re-sends idempotent failures only (connection
+  refused, overloaded, draining) with jittered exponential backoff from
+  --backoff-base-ms (default 100), honoring the daemon's retry_after_ms
+  hint; partial results are never retried. With --concurrency/--repeat it
+  becomes a closed-loop load driver: n threads each send k copies of the
+  request over private connections, then a latency/QPS summary replaces
+  the response lines."
     );
 }
 
@@ -773,12 +783,30 @@ fn cmd_serve(opts: &Opts) -> Result<ExitCode, String> {
         .transpose()?
         .map(Duration::from_secs_f64)
         .unwrap_or(Duration::from_secs(10));
+    let idle_timeout = match opts.get("idle-timeout").map(|s| s.as_str()) {
+        None => Some(Duration::from_secs(30)),
+        Some("none") => None,
+        Some(t) => {
+            let secs: f64 = t.parse().map_err(|e| format!("bad --idle-timeout: {e}"))?;
+            Some(Duration::from_secs_f64(secs))
+        }
+    };
+    let mem_watermark = opts
+        .get("mem-watermark")
+        .map(|s| {
+            s.parse::<u64>()
+                .map_err(|e| format!("bad --mem-watermark: {e}"))
+        })
+        .transpose()?
+        .map(|mib| mib * 1024 * 1024);
     let cfg = ServeConfig {
         max_concurrent: parse_usize("max-concurrent", 2)?.max(1),
         queue_depth: parse_usize("queue-depth", 4)?,
         threads_per_query: parse_usize("threads", 1)?.max(1),
         default_timeout,
         drain_grace,
+        idle_timeout,
+        mem_watermark,
         flat_topology: opts.contains_key("flat-topology"),
         engine: engine_config(opts)?,
     };
@@ -941,6 +969,13 @@ fn cmd_query(opts: &Opts) -> Result<ExitCode, String> {
             if opts.contains_key("profile") {
                 w.bool("profile", true);
             }
+            if let Some(p) = opts.get("priority") {
+                let pr: u64 = p.parse().map_err(|e| format!("bad --priority: {e}"))?;
+                if pr > 9 {
+                    return Err(format!("bad --priority: must be 0..=9, got {pr}"));
+                }
+                w.u64("priority", pr);
+            }
         }
         "stats" => {
             if opts.contains_key("profile") {
@@ -948,10 +983,21 @@ fn cmd_query(opts: &Opts) -> Result<ExitCode, String> {
                 w.bool("engine", true);
             }
         }
-        "catalog" | "ping" | "shutdown" => {}
+        "catalog" | "health" | "ping" | "shutdown" => {}
         other => return Err(format!("unknown --op {other:?}")),
     }
     let request = w.finish();
+
+    let retries: u32 = opts
+        .get("retries")
+        .map(|s| s.parse().map_err(|e| format!("bad --retries: {e}")))
+        .transpose()?
+        .unwrap_or(0);
+    let backoff_base_ms: u64 = opts
+        .get("backoff-base-ms")
+        .map(|s| s.parse().map_err(|e| format!("bad --backoff-base-ms: {e}")))
+        .transpose()?
+        .unwrap_or(100);
 
     // Load mode: N client threads x K requests each over private
     // connections, with a latency/QPS summary instead of response lines.
@@ -969,35 +1015,74 @@ fn cmd_query(opts: &Opts) -> Result<ExitCode, String> {
         return Err("--concurrency and --repeat must be at least 1".into());
     }
     if concurrency > 1 || repeat > 1 {
-        if !matches!(op, "query" | "ping" | "stats") {
+        if !matches!(op, "query" | "ping" | "stats" | "health") {
             return Err(format!(
-                "--concurrency/--repeat need an idempotent op (query|ping|stats), not {op:?}"
+                "--concurrency/--repeat need an idempotent op (query|ping|stats|health), not {op:?}"
             ));
         }
         return query_load(socket, &request, concurrency, repeat);
     }
 
-    let stream = std::os::unix::net::UnixStream::connect(socket)
-        .map_err(|e| format!("cannot connect to {socket}: {e}"))?;
-    let mut writer = stream
-        .try_clone()
-        .map_err(|e| format!("cannot clone socket stream: {e}"))?;
-    writer
-        .write_all(request.as_bytes())
-        .and_then(|()| writer.write_all(b"\n"))
-        .and_then(|()| writer.flush())
-        .map_err(|e| format!("cannot send request: {e}"))?;
-    let mut line = String::new();
-    BufReader::new(stream)
-        .read_line(&mut line)
-        .map_err(|e| format!("cannot read response: {e}"))?;
-    let line = line.trim();
-    if line.is_empty() {
-        return Err("daemon closed the connection without a response".into());
-    }
+    // Retry loop. Only failures that provably did not execute anything —
+    // connection refused, a typed `overloaded` rejection, a typed
+    // `draining` refusal — are retried, with jittered exponential backoff
+    // that honors the daemon's `retry_after_ms` hint. Partial results
+    // (timeout/cancelled) carry real counts and are never retried.
+    let mut attempt: u32 = 0;
+    let line: String = loop {
+        let connect_err = match std::os::unix::net::UnixStream::connect(socket) {
+            Ok(stream) => {
+                let mut writer = stream
+                    .try_clone()
+                    .map_err(|e| format!("cannot clone socket stream: {e}"))?;
+                writer
+                    .write_all(request.as_bytes())
+                    .and_then(|()| writer.write_all(b"\n"))
+                    .and_then(|()| writer.flush())
+                    .map_err(|e| format!("cannot send request: {e}"))?;
+                let mut line = String::new();
+                BufReader::new(stream)
+                    .read_line(&mut line)
+                    .map_err(|e| format!("cannot read response: {e}"))?;
+                let line = line.trim().to_string();
+                if line.is_empty() {
+                    return Err("daemon closed the connection without a response".into());
+                }
+                let doc = Json::parse(&line).map_err(|e| format!("malformed response: {e}"))?;
+                let status = doc.get("status").and_then(Json::as_str).unwrap_or("error");
+                let code = doc.get("code").and_then(Json::as_str).unwrap_or("");
+                let retryable = status == "overloaded" || (status == "error" && code == "draining");
+                if !retryable || attempt >= retries {
+                    break line;
+                }
+                let hint = doc.get("retry_after_ms").and_then(Json::as_u64);
+                let delay = backoff_delay(attempt, backoff_base_ms, hint);
+                eprintln!(
+                    "query: {status}; retrying in {} ms (attempt {}/{retries})",
+                    delay.as_millis(),
+                    attempt + 1
+                );
+                std::thread::sleep(delay);
+                attempt += 1;
+                continue;
+            }
+            Err(e) => format!("cannot connect to {socket}: {e}"),
+        };
+        if attempt >= retries {
+            return Err(connect_err);
+        }
+        let delay = backoff_delay(attempt, backoff_base_ms, None);
+        eprintln!(
+            "query: {connect_err}; retrying in {} ms (attempt {}/{retries})",
+            delay.as_millis(),
+            attempt + 1
+        );
+        std::thread::sleep(delay);
+        attempt += 1;
+    };
     println!("{line}");
 
-    let doc = Json::parse(line).map_err(|e| format!("malformed response: {e}"))?;
+    let doc = Json::parse(&line).map_err(|e| format!("malformed response: {e}"))?;
     let status = doc.get("status").and_then(Json::as_str).unwrap_or("error");
     let code = match status {
         "ok" => ExitCode::SUCCESS,
@@ -1010,6 +1095,23 @@ fn cmd_query(opts: &Opts) -> Result<ExitCode, String> {
         _ => ExitCode::FAILURE,
     };
     Ok(code)
+}
+
+/// Backoff before retry `attempt` (0-based): exponential from `base_ms`,
+/// floored at the daemon's `retry_after_ms` hint when one arrived, with
+/// full jitter over the upper half of the window so a burst of rejected
+/// clients does not reconverge on the daemon in lockstep. Capped at 30 s.
+fn backoff_delay(attempt: u32, base_ms: u64, server_hint_ms: Option<u64>) -> Duration {
+    let exp = base_ms.saturating_mul(1u64 << attempt.min(10));
+    let floor = exp.max(server_hint_ms.unwrap_or(0)).max(1);
+    // Clock-seeded jitter: no RNG dependency, and distinct clients
+    // observing the same rejection still spread out.
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64)
+        .unwrap_or(0x9e3779b9);
+    let jittered = floor / 2 + nanos % (floor / 2 + 1);
+    Duration::from_millis(jittered).min(Duration::from_secs(30))
 }
 
 /// Closed-loop client load: `concurrency` threads each issue `repeat`

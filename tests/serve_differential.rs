@@ -40,6 +40,8 @@ fn service() -> Arc<QueryService> {
             threads_per_query: 2,
             default_timeout: Some(Duration::from_secs(60)),
             drain_grace: Duration::from_secs(10),
+            idle_timeout: Some(Duration::from_secs(30)),
+            mem_watermark: None,
             flat_topology: false,
             engine: EngineConfig::light(),
         },

@@ -108,6 +108,8 @@ fn overload_rejections_are_typed_and_bounded() {
             threads_per_query: 1,
             default_timeout: Some(Duration::from_secs(30)),
             drain_grace: Duration::from_secs(5),
+            idle_timeout: Some(Duration::from_secs(30)),
+            mem_watermark: None,
             flat_topology: false,
             engine: EngineConfig::light(),
         },
@@ -157,6 +159,12 @@ fn overload_rejections_are_typed_and_bounded() {
     assert_eq!(doc.get("in_flight").and_then(Json::as_u64), Some(1));
     assert_eq!(doc.get("queued").and_then(Json::as_u64), Some(0));
     assert_eq!(doc.get("max_concurrent").and_then(Json::as_u64), Some(1));
+    // Every overloaded rejection carries a computed, clamped retry hint.
+    let hint = doc
+        .get("retry_after_ms")
+        .and_then(Json::as_u64)
+        .expect("overloaded carries retry_after_ms");
+    assert!((25..=30_000).contains(&hint), "hint {hint} outside clamp");
 
     let slow_resp = slow.join().unwrap();
     assert_eq!(
@@ -228,4 +236,167 @@ fn client_timeout_is_capped_by_daemon_default() {
         Some("timeout"),
         "{resp}"
     );
+}
+
+#[test]
+fn health_response_reports_readiness_and_degradation() {
+    let svc = service_with(ServeConfig::default(), 200);
+
+    // Golden shape on a healthy, idle daemon.
+    let doc = parse(&svc.handle_line("{\"op\":\"health\",\"id\":\"h1\"}"));
+    assert_eq!(doc.get("id").and_then(Json::as_str), Some("h1"));
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(doc.get("ready").and_then(Json::as_bool), Some(true));
+    assert_eq!(doc.get("draining").and_then(Json::as_bool), Some(false));
+    let hint = doc
+        .get("retry_after_ms")
+        .and_then(Json::as_u64)
+        .expect("health always computes a retry hint");
+    assert!((25..=30_000).contains(&hint));
+    let cat = doc.get("catalog").expect("catalog object");
+    assert_eq!(cat.get("graphs").and_then(Json::as_u64), Some(1));
+    assert_eq!(cat.get("healthy").and_then(Json::as_u64), Some(1));
+    let ex = doc.get("executor").expect("executor object");
+    assert_eq!(ex.get("in_flight").and_then(Json::as_u64), Some(0));
+    assert_eq!(ex.get("queued").and_then(Json::as_u64), Some(0));
+    assert_eq!(ex.get("panics_total").and_then(Json::as_u64), Some(0));
+    assert!(ex
+        .get("last_activity_ms_ago")
+        .and_then(Json::as_u64)
+        .is_some());
+    let mem = doc.get("memory").expect("memory object");
+    assert_eq!(mem.get("tripped").and_then(Json::as_bool), Some(false));
+    // resident_bytes is a number on Linux, null elsewhere; the key must
+    // exist either way.
+    assert!(mem.get("resident_bytes").is_some());
+    assert!(mem.get("watermark_bytes").is_some());
+
+    // After shutdown the daemon still answers health, but not ready.
+    let _ = svc.handle_line("{\"op\":\"shutdown\"}");
+    let doc = parse(&svc.handle_line("{\"op\":\"health\",\"id\":\"h2\"}"));
+    assert_eq!(doc.get("ready").and_then(Json::as_bool), Some(false));
+    assert_eq!(doc.get("draining").and_then(Json::as_bool), Some(true));
+}
+
+#[test]
+fn internal_error_renderer_golden() {
+    use light::serve::protocol::render_internal;
+
+    // The exact wire shape the supervisor emits for a contained panic.
+    let line = render_internal(
+        "\"req-9\"",
+        "failpoint serve::dispatch triggered",
+        &[("graph", "g"), ("pattern", "triangle")],
+    );
+    assert_eq!(
+        line,
+        "{\"id\":\"req-9\",\"status\":\"error\",\"code\":\"internal_error\",\
+         \"error\":\"query execution panicked (contained): failpoint serve::dispatch \
+         triggered\",\"graph\":\"g\",\"pattern\":\"triangle\"}"
+    );
+    // And it is valid JSON with the id echoed, like every response.
+    let doc = parse(&line);
+    assert_eq!(doc.get("id").and_then(Json::as_str), Some("req-9"));
+    assert_eq!(
+        doc.get("code").and_then(Json::as_str),
+        Some("internal_error")
+    );
+}
+
+mod noise {
+    //! Property: random byte noise on the wire never desynchronizes the
+    //! per-connection NDJSON parser — every line (garbage or not) gets
+    //! exactly one response, and valid requests interleaved with the
+    //! noise still get their correct answers, in order.
+
+    use super::*;
+    use proptest::collection;
+    use proptest::prelude::*;
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+    use std::sync::OnceLock;
+
+    /// One shared daemon for all cases: (socket path, triangle count).
+    fn daemon() -> &'static (std::path::PathBuf, u64) {
+        static DAEMON: OnceLock<(std::path::PathBuf, u64)> = OnceLock::new();
+        DAEMON.get_or_init(|| {
+            let svc = service_with(ServeConfig::default(), 200);
+            let g = &svc.catalog().get("g").unwrap().graph;
+            let tri = light::core::run_query(
+                &light::pattern::Query::Triangle.pattern(),
+                g,
+                &light::core::EngineConfig::light(),
+            )
+            .matches;
+            let path =
+                std::env::temp_dir().join(format!("light_serve_noise_{}.sock", std::process::id()));
+            // Held for the whole test binary; the OS reaps it on exit.
+            let server = light::serve::SocketServer::bind(svc, &path).expect("bind");
+            std::mem::forget(server);
+            (path, tri)
+        })
+    }
+
+    fn connect(path: &std::path::Path) -> UnixStream {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match UnixStream::connect(path) {
+                Ok(s) => return s,
+                Err(_) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(20))
+                }
+                Err(e) => panic!("cannot connect: {e}"),
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn byte_noise_never_desynchronizes_the_parser(
+            lines in collection::vec(collection::vec(0u8..=255u8, 0..64), 0..6)
+        ) {
+            let (path, tri) = daemon();
+            let s = connect(path);
+            let mut r = BufReader::new(s.try_clone().expect("clone"));
+            let mut w = s;
+            let mut line = String::new();
+            for (j, noise) in lines.iter().enumerate() {
+                // One line of noise: newline bytes would frame extra
+                // lines, so map them away — the property is per line.
+                let noise: Vec<u8> =
+                    noise.iter().map(|&b| if b == b'\n' { b'?' } else { b }).collect();
+                w.write_all(&noise).expect("noise");
+                w.write_all(b"\n").expect("frame");
+                w.flush().expect("flush");
+                line.clear();
+                r.read_line(&mut line).expect("noise response");
+                let doc = Json::parse(line.trim())
+                    .unwrap_or_else(|e| panic!("non-JSON response to noise ({e}): {line:?}"));
+                prop_assert!(doc.get("status").is_some(), "responses always carry status");
+
+                // The very next valid request must be answered correctly:
+                // the parser resynchronized at the newline.
+                writeln!(w, "{{\"op\":\"ping\",\"id\":\"sync-{j}\"}}").expect("ping");
+                w.flush().expect("flush");
+                line.clear();
+                r.read_line(&mut line).expect("ping response");
+                let doc = Json::parse(line.trim()).expect("valid JSON");
+                prop_assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+                prop_assert_eq!(
+                    doc.get("id").and_then(Json::as_str),
+                    Some(format!("sync-{j}").as_str())
+                );
+            }
+            // Full query path still exact after all the noise.
+            writeln!(w, "{{\"op\":\"query\",\"pattern\":\"triangle\",\"id\":\"q\"}}")
+                .expect("query");
+            w.flush().expect("flush");
+            line.clear();
+            r.read_line(&mut line).expect("query response");
+            let doc = Json::parse(line.trim()).expect("valid JSON");
+            prop_assert_eq!(doc.get("matches").and_then(Json::as_u64), Some(*tri));
+        }
+    }
 }
