@@ -1,0 +1,403 @@
+//! Multi-query plans: a prefix trie over normalized execution orders.
+//!
+//! The serve tier batches concurrent queries against the same graph. Two
+//! queries whose execution orders `σ` begin with the same operations — after
+//! renaming pattern vertices to their *position in π* — can share one
+//! enumeration pass over that common prefix (CEMR's redundant-extension
+//! elimination, lifted from one query's siblings to a batch of queries).
+//!
+//! Normalization maps every member plan onto π-index space:
+//!
+//! * pattern vertex `u` becomes its position `norm(u)` in that member's π,
+//!   so every member's `σ[0]` is `Mat(0)` and COMP targets appear in slot
+//!   order `1, 2, …` regardless of how the pattern spelled its vertices;
+//! * COMP operands (`K1` anchors, `K2` cached candidate sets) are mapped to
+//!   slots and sorted — intersection is commutative, so operand order never
+//!   affects the computed candidate set;
+//! * MAT symmetry constraints are mapped to slots and **filtered to slots
+//!   already materialized at that point in σ**. The engine skips constraints
+//!   against unbound vertices at runtime, so the filtered set is exactly the
+//!   set of comparisons the engine would perform — two members whose
+//!   filtered constraints agree behave identically at that node.
+//!
+//! The trie merges members along equal normalized prefixes. Each node carries
+//! the member bitmask that flows through it and the members that *emit* a
+//! match when the node (always a MAT) binds — a member with `|σ| = 2n-1`
+//! emits at the node for `σ[2n-2]`. One pass over the trie therefore counts
+//! several patterns at once; the engine consumes this structure in
+//! `light_core::multi`.
+
+use crate::plan::QueryPlan;
+use light_pattern::PatternVertex;
+use std::fmt;
+use std::sync::Arc;
+
+/// Hard cap on batch width: member liveness is tracked in a `u64` bitmask.
+pub const MAX_MULTI_MEMBERS: usize = 64;
+
+/// A normalized execution operation: slot = position in the member's π.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormOp {
+    /// Compute the candidate set of slot `.0`.
+    Comp(u8),
+    /// Materialize (bind) slot `.0`.
+    Mat(u8),
+}
+
+impl NormOp {
+    /// The slot this operation targets.
+    pub fn slot(&self) -> u8 {
+        match *self {
+            NormOp::Comp(s) | NormOp::Mat(s) => s,
+        }
+    }
+
+    /// Whether this is a MAT operation.
+    pub fn is_mat(&self) -> bool {
+        matches!(self, NormOp::Mat(_))
+    }
+}
+
+/// Normalized COMP operands: sorted slot lists.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NormOperands {
+    /// Slots whose *bound data vertex's neighbor list* is intersected.
+    pub k1: Vec<u8>,
+    /// Slots whose *cached candidate set* is intersected.
+    pub k2: Vec<u8>,
+}
+
+impl NormOperands {
+    /// Total operand count.
+    pub fn len(&self) -> usize {
+        self.k1.len() + self.k2.len()
+    }
+
+    /// True when there are no operands (never the case for a COMP node).
+    pub fn is_empty(&self) -> bool {
+        self.k1.is_empty() && self.k2.is_empty()
+    }
+}
+
+/// One node of the multi-plan trie.
+#[derive(Debug, Clone)]
+pub struct MultiNode {
+    /// The operation this node performs.
+    pub op: NormOp,
+    /// COMP operands (empty for MAT nodes).
+    pub operands: NormOperands,
+    /// MAT only: slots `w` with constraint `φ(w) < v` (v = this binding).
+    pub greater_than: Vec<u8>,
+    /// MAT only: slots `w` with constraint `v < φ(w)`.
+    pub smaller_than: Vec<u8>,
+    /// Bitmask of members whose σ passes through this node.
+    pub members: u64,
+    /// Members whose σ *ends* with this operation: binding here completes a
+    /// full match for them.
+    pub emit: Vec<u16>,
+    /// Child node indices (next σ operation per member branch).
+    pub children: Vec<usize>,
+}
+
+impl MultiNode {
+    fn matches(&self, op: NormOp, operands: &NormOperands, gt: &[u8], st: &[u8]) -> bool {
+        self.op == op
+            && self.operands == *operands
+            && self.greater_than == gt
+            && self.smaller_than == st
+    }
+}
+
+/// Why a batch of plans could not be compiled into one multi-plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MultiPlanError {
+    /// No member plans were supplied.
+    Empty,
+    /// More than [`MAX_MULTI_MEMBERS`] members.
+    TooManyMembers(usize),
+}
+
+impl fmt::Display for MultiPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MultiPlanError::Empty => write!(f, "multi-plan needs at least one member"),
+            MultiPlanError::TooManyMembers(n) => {
+                write!(
+                    f,
+                    "multi-plan capped at {MAX_MULTI_MEMBERS} members, got {n}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MultiPlanError {}
+
+/// Sharing summary of a compiled multi-plan (satellite of the batch gate:
+/// the serve tier's `multiquery` stats histogram is fed from here).
+#[derive(Debug, Clone, Default)]
+pub struct MultiPlanStats {
+    /// Member count.
+    pub members: usize,
+    /// Trie nodes (the shared root MAT is implicit and not counted).
+    pub nodes: usize,
+    /// Sum over members of `|σ|` — the op count independent execution pays.
+    pub total_ops: usize,
+    /// Nodes traversed by ≥ 2 members: ops executed once instead of k times.
+    pub shared_ops: usize,
+    /// Per member: how many of its σ ops (beyond the shared root MAT) lie on
+    /// nodes shared with at least one other member.
+    pub member_shared_depth: Vec<usize>,
+    /// Rough count of set intersections a shared pass saves versus
+    /// independent execution: Σ over shared nodes of
+    /// `(members-1) × max(1, intersections)`.
+    pub saved_intersections_est: usize,
+}
+
+/// A batch of query plans compiled into one prefix-shared enumeration trie.
+#[derive(Debug, Clone)]
+pub struct MultiPlan {
+    members: Vec<Arc<QueryPlan>>,
+    nodes: Vec<MultiNode>,
+    roots: Vec<usize>,
+    max_slots: usize,
+}
+
+impl MultiPlan {
+    /// Compile a batch of member plans into one trie. Members must all
+    /// target the same data graph (the caller's responsibility — the plan
+    /// itself is graph-agnostic).
+    pub fn build(members: &[Arc<QueryPlan>]) -> Result<MultiPlan, MultiPlanError> {
+        if members.is_empty() {
+            return Err(MultiPlanError::Empty);
+        }
+        if members.len() > MAX_MULTI_MEMBERS {
+            return Err(MultiPlanError::TooManyMembers(members.len()));
+        }
+        let mut mp = MultiPlan {
+            members: members.to_vec(),
+            nodes: Vec::new(),
+            roots: Vec::new(),
+            max_slots: 0,
+        };
+        for (m, plan) in members.iter().enumerate() {
+            mp.insert(m, plan);
+        }
+        Ok(mp)
+    }
+
+    /// The member plans, in batch order.
+    pub fn members(&self) -> &[Arc<QueryPlan>] {
+        &self.members
+    }
+
+    /// The trie nodes (children reference this slice by index).
+    pub fn nodes(&self) -> &[MultiNode] {
+        &self.nodes
+    }
+
+    /// Indices of the depth-1 nodes — the children of the implicit shared
+    /// `Mat(0)` root every member starts with.
+    pub fn roots(&self) -> &[usize] {
+        &self.roots
+    }
+
+    /// Slot count of the widest member pattern; sizes the shared φ array.
+    pub fn max_slots(&self) -> usize {
+        self.max_slots
+    }
+
+    /// Insert member `m`'s normalized σ (beyond `σ[0] = Mat(0)`) into the
+    /// trie, merging along equal prefixes.
+    fn insert(&mut self, m: usize, plan: &QueryPlan) {
+        let pi = plan.pi();
+        let n = pi.len();
+        self.max_slots = self.max_slots.max(n);
+        // norm[u] = position of pattern vertex u in π.
+        let mut norm = vec![0u8; n];
+        for (i, &u) in pi.iter().enumerate() {
+            norm[u as usize] = i as u8;
+        }
+        let bit = 1u64 << m;
+
+        let sigma = plan.sigma();
+        debug_assert!(!sigma.is_empty() && sigma[0].is_mat());
+        let mut bound = vec![false; n];
+        bound[0] = true; // σ[0] binds slot 0
+
+        let mut cursor: Option<usize> = None; // None = at the implicit root
+        for (pos, op) in sigma.iter().enumerate().skip(1) {
+            let u = op.vertex();
+            let slot = norm[u as usize];
+            let (nop, operands, gt, st);
+            if op.is_mat() {
+                nop = NormOp::Mat(slot);
+                operands = NormOperands::default();
+                let c = &plan.constraints()[u as usize];
+                gt = Self::norm_filtered(&c.must_be_larger_than, &norm, &bound);
+                st = Self::norm_filtered(&c.must_be_smaller_than, &norm, &bound);
+            } else {
+                nop = NormOp::Comp(slot);
+                let ops = &plan.operands()[u as usize];
+                let mut k1: Vec<u8> = ops.k1.iter().map(|&w| norm[w as usize]).collect();
+                let mut k2: Vec<u8> = ops.k2.iter().map(|&w| norm[w as usize]).collect();
+                k1.sort_unstable();
+                k2.sort_unstable();
+                operands = NormOperands { k1, k2 };
+                gt = Vec::new();
+                st = Vec::new();
+            }
+
+            let child_list: Vec<usize> = match cursor {
+                None => self.roots.clone(),
+                Some(i) => self.nodes[i].children.clone(),
+            };
+            let found = child_list
+                .into_iter()
+                .find(|&c| self.nodes[c].matches(nop, &operands, &gt, &st));
+            let next = match found {
+                Some(c) => {
+                    self.nodes[c].members |= bit;
+                    c
+                }
+                None => {
+                    let idx = self.nodes.len();
+                    self.nodes.push(MultiNode {
+                        op: nop,
+                        operands,
+                        greater_than: gt,
+                        smaller_than: st,
+                        members: bit,
+                        emit: Vec::new(),
+                        children: Vec::new(),
+                    });
+                    match cursor {
+                        None => self.roots.push(idx),
+                        Some(i) => self.nodes[i].children.push(idx),
+                    }
+                    idx
+                }
+            };
+            if op.is_mat() {
+                bound[slot as usize] = true;
+            }
+            if pos + 1 == sigma.len() {
+                self.nodes[next].emit.push(m as u16);
+            }
+            cursor = Some(next);
+        }
+    }
+
+    fn norm_filtered(cs: &[PatternVertex], norm: &[u8], bound: &[bool]) -> Vec<u8> {
+        let mut out: Vec<u8> = cs
+            .iter()
+            .map(|&w| norm[w as usize])
+            .filter(|&s| bound[s as usize])
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Sharing summary: how much work the trie saves versus running every
+    /// member independently. Used by the serve tier's reuse gate and its
+    /// `multiquery` stats section.
+    pub fn reuse_summary(&self) -> MultiPlanStats {
+        let mut st = MultiPlanStats {
+            members: self.members.len(),
+            nodes: self.nodes.len(),
+            member_shared_depth: vec![0; self.members.len()],
+            ..MultiPlanStats::default()
+        };
+        for plan in &self.members {
+            st.total_ops += plan.sigma().len();
+        }
+        for node in &self.nodes {
+            let k = node.members.count_ones() as usize;
+            if k >= 2 {
+                st.shared_ops += 1;
+                let weight = match node.op {
+                    NormOp::Comp(_) => node.operands.len().saturating_sub(1).max(1),
+                    NormOp::Mat(_) => 1,
+                };
+                st.saved_intersections_est += (k - 1) * weight;
+                for m in 0..self.members.len() {
+                    if node.members & (1u64 << m) != 0 {
+                        st.member_shared_depth[m] += 1;
+                    }
+                }
+            }
+        }
+        st
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use light_graph::generators;
+    use light_pattern::Query;
+
+    fn plan_of(q: Query) -> Arc<QueryPlan> {
+        let g = generators::barabasi_albert(200, 3, 11);
+        Arc::new(QueryPlan::optimized(&q.pattern(), &g))
+    }
+
+    #[test]
+    fn single_member_trie_is_a_chain() {
+        let p = plan_of(Query::P1);
+        let mp = MultiPlan::build(&[Arc::clone(&p)]).unwrap();
+        // σ minus the root MAT.
+        assert_eq!(mp.nodes().len(), p.sigma().len() - 1);
+        assert_eq!(mp.roots().len(), 1);
+        // Exactly one emit point, on the final node.
+        let emits: usize = mp.nodes().iter().map(|n| n.emit.len()).sum();
+        assert_eq!(emits, 1);
+        let st = mp.reuse_summary();
+        assert_eq!(st.shared_ops, 0);
+        assert_eq!(st.member_shared_depth, vec![0]);
+    }
+
+    #[test]
+    fn identical_members_share_everything() {
+        let p = plan_of(Query::P2);
+        let mp = MultiPlan::build(&[Arc::clone(&p), Arc::clone(&p)]).unwrap();
+        assert_eq!(mp.nodes().len(), p.sigma().len() - 1);
+        let last = mp
+            .nodes()
+            .iter()
+            .find(|n| n.emit.len() == 2)
+            .expect("both members emit on the shared final node");
+        assert_eq!(last.members, 0b11);
+        let st = mp.reuse_summary();
+        assert_eq!(st.shared_ops, mp.nodes().len());
+    }
+
+    #[test]
+    fn distinct_patterns_share_a_prefix_then_diverge() {
+        let a = plan_of(Query::P1); // triangle
+        let b = plan_of(Query::P2); // 4-clique-ish larger pattern
+        let mp = MultiPlan::build(&[a, b]).unwrap();
+        // Every normalized plan starts Comp(1) with K1 = [0]; the first trie
+        // level must be shared.
+        assert_eq!(mp.roots().len(), 1);
+        let first = &mp.nodes()[mp.roots()[0]];
+        assert_eq!(first.members, 0b11);
+        // And both members still emit exactly once.
+        let emits: usize = mp.nodes().iter().map(|n| n.emit.len()).sum();
+        assert_eq!(emits, 2);
+        let st = mp.reuse_summary();
+        assert!(st.shared_ops >= 1);
+        assert!(st.member_shared_depth.iter().all(|&d| d >= 1));
+    }
+
+    #[test]
+    fn member_cap_enforced() {
+        let p = plan_of(Query::P1);
+        let many: Vec<_> = (0..65).map(|_| Arc::clone(&p)).collect();
+        assert!(matches!(
+            MultiPlan::build(&many),
+            Err(MultiPlanError::TooManyMembers(65))
+        ));
+        assert!(matches!(MultiPlan::build(&[]), Err(MultiPlanError::Empty)));
+    }
+}

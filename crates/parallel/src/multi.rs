@@ -1,0 +1,252 @@
+//! Parallel driver for multi-query (batched) enumeration.
+//!
+//! [`run_multi_parallel`] partitions the shared root range across workers,
+//! each owning a warm [`MultiEnumerator`], and merges per-member counts and
+//! outcomes. Counting is order-independent, so any partition yields counts
+//! bit-identical to a serial pass.
+//!
+//! Scheduling is deliberately simpler than the single-query driver's
+//! sender-initiated stealing: workers draw fixed-width chunks from one
+//! atomic cursor (self-balancing — a worker stuck in a heavy chunk simply
+//! draws fewer chunks). A batch's root loop iterates the *union* of all
+//! member search trees, so per-root skew is already amortized across
+//! members, and the chunk count (8 × threads) keeps the tail bounded.
+//!
+//! Containment matches the single driver: each chunk runs under
+//! `catch_unwind`; a panic abandons that chunk's remaining roots, restores
+//! the worker's enumerator invariants, and is surfaced in
+//! [`MultiParallelReport::failures`] — surviving members still report
+//! their (now partial) counts, and the serve tier maps failures to the
+//! `partial_panic` wire outcome.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::time::Instant;
+
+use light_core::multi::{MemberReport, MemberSpec, MultiCountVisitor, MultiEnumerator};
+use light_core::{EngineConfig, EnumStats, Outcome};
+use light_graph::{CsrGraph, VertexId};
+use light_order::MultiPlan;
+
+use crate::scheduler::ParallelConfig;
+
+/// Result of a parallel multi-pass.
+#[derive(Debug, Clone)]
+pub struct MultiParallelReport {
+    /// Per-member results, batch order.
+    pub members: Vec<MemberReport>,
+    /// Wall-clock time of the pass.
+    pub elapsed: std::time::Duration,
+    /// Aggregate statistics merged across workers.
+    pub stats: EnumStats,
+    /// Root subtrees abandoned to contained worker panics.
+    pub failures: u64,
+}
+
+/// Merge two outcomes for one member under the engine's precedence.
+fn worse(a: Outcome, b: Outcome) -> Outcome {
+    let rank = |o: Outcome| match o {
+        Outcome::OutOfTime => 4,
+        Outcome::MemoryExceeded => 3,
+        Outcome::Cancelled => 2,
+        Outcome::StoppedByVisitor => 1,
+        Outcome::Complete => 0,
+    };
+    if rank(a) >= rank(b) {
+        a
+    } else {
+        b
+    }
+}
+
+/// Run a compiled [`MultiPlan`] across `pcfg.num_threads` workers,
+/// counting matches per member.
+///
+/// Per-member budgets in `specs` are converted to **absolute deadlines**
+/// before the workers start, so every worker observes the same cutoff.
+/// `config.max_memory_bytes` is divided by the worker count, like the
+/// single-query driver.
+pub fn run_multi_parallel(
+    plan: &MultiPlan,
+    g: &CsrGraph,
+    config: &EngineConfig,
+    specs: &[MemberSpec],
+    pcfg: &ParallelConfig,
+) -> MultiParallelReport {
+    let start = Instant::now();
+    let n = g.num_vertices() as VertexId;
+    let members = plan.members().len();
+    assert_eq!(specs.len(), members, "one MemberSpec per plan member");
+
+    // Freeze budgets into absolute deadlines shared by all workers.
+    let now = Instant::now();
+    let frozen: Vec<MemberSpec> = specs
+        .iter()
+        .map(|s| MemberSpec {
+            time_budget: None,
+            deadline: s.deadline.or_else(|| s.time_budget.map(|b| now + b)),
+            cancel: s.cancel.clone(),
+        })
+        .collect();
+
+    let threads = pcfg.num_threads.max(1);
+    let mut worker_cfg = config.clone();
+    if let Some(total) = config.max_memory_bytes {
+        worker_cfg.max_memory_bytes = Some((total / threads).max(1));
+    }
+
+    if threads == 1 || n == 0 {
+        let mut visitor = MultiCountVisitor::new(members);
+        let mut e = MultiEnumerator::new(plan, g, &worker_cfg, &frozen, &mut visitor);
+        let r = e.run_range(0, n);
+        return MultiParallelReport {
+            members: r.members,
+            elapsed: start.elapsed(),
+            stats: r.stats,
+            failures: 0,
+        };
+    }
+
+    // Chunked self-scheduling: 8 chunks per worker bounds both the
+    // cursor contention and the straggler tail.
+    let chunk = (n as usize).div_ceil(threads * 8).max(1) as VertexId;
+    let cursor = AtomicU32::new(0);
+    let failures = AtomicU64::new(0);
+
+    let results: Vec<(Vec<MemberReport>, EnumStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let worker_cfg = &worker_cfg;
+                let frozen = &frozen;
+                let cursor = &cursor;
+                let failures = &failures;
+                scope.spawn(move || {
+                    let mut visitor = MultiCountVisitor::new(members);
+                    let mut e = MultiEnumerator::new(plan, g, worker_cfg, frozen, &mut visitor);
+                    loop {
+                        let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if lo >= n {
+                            break;
+                        }
+                        let hi = (lo.saturating_add(chunk)).min(n);
+                        let panicked = catch_unwind(AssertUnwindSafe(|| {
+                            e.run_range(lo, hi);
+                        }))
+                        .is_err();
+                        if panicked {
+                            failures.fetch_add(1, Ordering::Relaxed);
+                            e.recover_after_panic();
+                        }
+                    }
+                    (e.member_reports(), *e.stats())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(_) => {
+                    // A panic outside the contained chunk body (should not
+                    // happen); account it and keep the batch alive.
+                    failures.fetch_add(1, Ordering::Relaxed);
+                    (
+                        vec![
+                            MemberReport {
+                                matches: 0,
+                                outcome: Outcome::Complete,
+                            };
+                            members
+                        ],
+                        EnumStats::default(),
+                    )
+                }
+            })
+            .collect()
+    });
+
+    let mut merged = vec![
+        MemberReport {
+            matches: 0,
+            outcome: Outcome::Complete,
+        };
+        members
+    ];
+    let mut stats = EnumStats::default();
+    for (reports, ws) in &results {
+        stats.merge_from(ws);
+        for (m, r) in reports.iter().enumerate() {
+            merged[m].matches += r.matches;
+            merged[m].outcome = worse(merged[m].outcome, r.outcome);
+        }
+    }
+
+    MultiParallelReport {
+        members: merged,
+        elapsed: start.elapsed(),
+        stats,
+        failures: failures.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use light_core::CancelToken;
+    use light_graph::generators;
+    use light_order::QueryPlan;
+    use light_pattern::Query;
+    use std::sync::Arc;
+
+    fn plans(qs: &[Query], g: &CsrGraph, cfg: &EngineConfig) -> Vec<Arc<QueryPlan>> {
+        qs.iter()
+            .map(|q| Arc::new(cfg.plan(&q.pattern(), g)))
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial_multi() {
+        let g = generators::barabasi_albert(300, 5, 17);
+        let cfg = EngineConfig::light();
+        let qs = [Query::Triangle, Query::P1, Query::P2];
+        let mp = MultiPlan::build(&plans(&qs, &g, &cfg)).unwrap();
+        let specs = vec![MemberSpec::default(); qs.len()];
+        let serial = light_core::run_multi(&mp, &g, &cfg, &specs);
+        for threads in [1, 2, 4] {
+            let par = run_multi_parallel(&mp, &g, &cfg, &specs, &ParallelConfig::new(threads));
+            for m in 0..qs.len() {
+                assert_eq!(
+                    par.members[m].matches, serial.members[m].matches,
+                    "{threads} threads, member {m}"
+                );
+                assert_eq!(par.members[m].outcome, Outcome::Complete);
+            }
+            assert_eq!(par.failures, 0);
+        }
+    }
+
+    #[test]
+    fn cancelled_member_is_isolated_in_parallel() {
+        let g = generators::barabasi_albert(250, 4, 9);
+        let cfg = EngineConfig::light();
+        let qs = [Query::P2, Query::Triangle];
+        let mp = MultiPlan::build(&plans(&qs, &g, &cfg)).unwrap();
+        let tok = CancelToken::new();
+        tok.cancel();
+        let specs = vec![
+            MemberSpec {
+                cancel: Some(tok),
+                ..Default::default()
+            },
+            MemberSpec::default(),
+        ];
+        let baseline = {
+            let solo = MultiPlan::build(&plans(&[Query::Triangle], &g, &cfg)).unwrap();
+            light_core::run_multi(&solo, &g, &cfg, &[MemberSpec::default()]).members[0].matches
+        };
+        let par = run_multi_parallel(&mp, &g, &cfg, &specs, &ParallelConfig::new(4));
+        assert_eq!(par.members[0].outcome, Outcome::Cancelled);
+        assert_eq!(par.members[1].outcome, Outcome::Complete);
+        assert_eq!(par.members[1].matches, baseline);
+    }
+}

@@ -1,0 +1,458 @@
+//! The multi-query batch gate: shared-pass execution for concurrent
+//! queries on the same graph (DESIGN.md §16).
+//!
+//! A serving daemon under load sees overlapping queries — often the same
+//! handful of patterns — arrive within microseconds of each other. Run
+//! independently, each pays the full cost of walking the data graph even
+//! where their enumeration trees coincide. The gate sits *behind*
+//! admission (every member holds its own permit, deadline, and cancel
+//! token): the first admitted query on a graph becomes the batch
+//! **leader** and waits one collection window; queries admitted for the
+//! same graph meanwhile join as **followers**. The leader then compiles
+//! every member plan into one [`MultiPlan`] prefix trie and runs a single
+//! [`run_multi_parallel`] pass that emits per-member counts — one walk
+//! over the shared plan prefix answers all of them.
+//!
+//! Fallbacks are first-class: a window with no second arrival, a plan set
+//! the trie refuses (> [`MAX_MULTI_MEMBERS`]), or a compile failure all
+//! resolve to [`BatchVerdict::Solo`] — the member runs the ordinary
+//! single-query path, and the `fallbacks`/`singletons` counters say how
+//! often. The `LIGHT_MQO=0` environment kill-switch and
+//! `--batch-window-ms 0` disable the gate entirely.
+//!
+//! ## Containment
+//!
+//! A leader panic between collection and distribution would strand
+//! followers on the condvar, so the whole compile-and-run sequence runs
+//! under `catch_unwind`: on a panic every member (leader included) gets a
+//! typed per-member error result, the group is marked done, and followers
+//! wake normally. The per-member finalize step carries the
+//! `serve::batch_member` failpoint under its own `catch_unwind`, so chaos
+//! tests can kill exactly one member of a live batch and assert the
+//! siblings still answer with exact counts.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use light_core::{CancelToken, EngineConfig, Outcome};
+use light_graph::CsrGraph;
+use light_order::{MultiPlan, QueryPlan, MAX_MULTI_MEMBERS};
+use light_parallel::{run_multi_parallel, ParallelConfig};
+
+use crate::service::lock_recover;
+
+/// One query's stake in a batch: everything the leader needs to execute
+/// it as a member of the shared pass.
+pub struct MemberExec {
+    /// The member's compiled single-query plan (from the plan cache).
+    pub plan: Arc<QueryPlan>,
+    /// Remaining time budget (already capped by the daemon default).
+    pub time_budget: Option<Duration>,
+    /// The member's own cancel token (drain-grace kills stay per-query).
+    pub cancel: CancelToken,
+    /// Worker threads the member asked for (the batch runs on the max).
+    pub threads: usize,
+}
+
+/// What one member gets back from a shared pass.
+#[derive(Debug, Clone)]
+pub struct MemberOutput {
+    /// Matches counted for this member's pattern.
+    pub matches: u64,
+    /// How this member's enumeration ended.
+    pub outcome: Outcome,
+    /// Wall time of the shared pass (identical for all members).
+    pub elapsed: Duration,
+    /// Contained worker panics during the pass (shared by all members).
+    pub failures: u64,
+    /// Batch size, for the `batch` response field.
+    pub members: usize,
+    /// Whether this member is the batch leader (records exec time once).
+    pub leader: bool,
+}
+
+/// How a member leaves the gate.
+pub enum BatchVerdict {
+    /// The shared pass ran; `Err` carries a contained panic message that
+    /// the caller renders as a typed per-member `internal_error`.
+    Ran(Result<MemberOutput, String>),
+    /// No batch formed (singleton window, compile fallback, stalled
+    /// leader): run the ordinary single-query path.
+    Solo,
+}
+
+/// A member's handle on its group.
+pub enum Ticket {
+    /// First member in the window: sleeps it out, then executes.
+    Leader(Arc<Group>),
+    /// Joined an open window: waits for the leader's verdict. The index
+    /// is the member's position in the group (and in the multi-plan).
+    Follower(Arc<Group>, usize),
+}
+
+struct GroupState {
+    /// Accepting joiners. Closed by the leader at window end.
+    open: bool,
+    members: Vec<MemberExec>,
+    /// Verdict published. Guarded by `done` so spurious wakeups are safe.
+    done: bool,
+    /// The leader chose not to run a shared pass: everyone goes solo.
+    fallback: bool,
+    results: Vec<Option<Result<MemberOutput, String>>>,
+}
+
+/// One collection window's worth of queries on one graph.
+pub struct Group {
+    state: Mutex<GroupState>,
+    cv: Condvar,
+}
+
+/// Counters for the `multiquery` stats section. All monotone.
+#[derive(Debug, Default)]
+pub struct MultiQueryMetrics {
+    /// Shared passes executed (≥ 2 members each).
+    pub batches: AtomicU64,
+    /// Members across all shared passes.
+    pub batched_members: AtomicU64,
+    /// Windows that closed with a single member (ran solo).
+    pub singletons: AtomicU64,
+    /// Members sent solo by a compile failure or an over-full trie.
+    pub fallbacks: AtomicU64,
+    /// Histogram of per-member shared-prefix depth: index d counts
+    /// members whose first d plan ops were shared with a sibling
+    /// (last bucket = 8+).
+    pub shared_depth_hist: [AtomicU64; 9],
+    /// Intersections the trie merged away, planner's estimate.
+    pub saved_intersections_est: AtomicU64,
+}
+
+impl MultiQueryMetrics {
+    fn note_batch(&self, stats: &light_order::MultiPlanStats) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_members
+            .fetch_add(stats.members as u64, Ordering::Relaxed);
+        for &d in &stats.member_shared_depth {
+            let bucket = d.min(self.shared_depth_hist.len() - 1);
+            self.shared_depth_hist[bucket].fetch_add(1, Ordering::Relaxed);
+        }
+        self.saved_intersections_est
+            .fetch_add(stats.saved_intersections_est as u64, Ordering::Relaxed);
+    }
+}
+
+/// The gate itself: one open group per graph, plus the counters.
+pub struct BatchGate {
+    groups: Mutex<HashMap<String, Arc<Group>>>,
+    /// Batch formation counters (exported by `stats`).
+    pub metrics: MultiQueryMetrics,
+}
+
+impl Default for BatchGate {
+    fn default() -> Self {
+        BatchGate {
+            groups: Mutex::new(HashMap::new()),
+            metrics: MultiQueryMetrics::default(),
+        }
+    }
+}
+
+impl BatchGate {
+    /// Enter the gate for `graph`. Either joins the open window as a
+    /// follower or opens a new one as its leader.
+    pub fn join(&self, graph: &str, member: MemberExec) -> Ticket {
+        let mut groups = lock_recover(&self.groups);
+        if let Some(g) = groups.get(graph) {
+            let mut st = lock_recover(&g.state);
+            if st.open && st.members.len() < MAX_MULTI_MEMBERS {
+                st.members.push(member);
+                let idx = st.members.len() - 1;
+                let g = Arc::clone(g);
+                drop(st);
+                return Ticket::Follower(g, idx);
+            }
+        }
+        let group = Arc::new(Group {
+            state: Mutex::new(GroupState {
+                open: true,
+                members: vec![member],
+                done: false,
+                fallback: false,
+                results: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        });
+        groups.insert(graph.to_string(), Arc::clone(&group));
+        Ticket::Leader(group)
+    }
+
+    /// Leader side: sleep out the collection window, close the group,
+    /// and either run the shared pass or fall back.
+    ///
+    /// `engine` is the leader's fully resolved [`EngineConfig`] minus the
+    /// per-member fields (budget/cancel live in the member specs); it
+    /// carries the shared aux store, kernel, and δ for the whole pass.
+    pub fn lead(
+        &self,
+        group: &Arc<Group>,
+        graph_name: &str,
+        g: &CsrGraph,
+        window: Duration,
+        engine: &EngineConfig,
+        pcfg_base: &ParallelConfig,
+    ) -> BatchVerdict {
+        std::thread::sleep(window);
+
+        // Retire this group from the map first so late arrivals open a
+        // fresh window instead of joining a closed one.
+        {
+            let mut groups = lock_recover(&self.groups);
+            if let Some(cur) = groups.get(graph_name) {
+                if Arc::ptr_eq(cur, group) {
+                    groups.remove(graph_name);
+                }
+            }
+        }
+
+        let (plans, specs, threads, n_members) = {
+            let mut st = lock_recover(&group.state);
+            st.open = false;
+            if st.members.len() == 1 {
+                // Nobody joined: the window cost a sleep, nothing more.
+                self.metrics.singletons.fetch_add(1, Ordering::Relaxed);
+                st.done = true;
+                st.fallback = true;
+                return BatchVerdict::Solo;
+            }
+            let plans: Vec<Arc<QueryPlan>> =
+                st.members.iter().map(|m| Arc::clone(&m.plan)).collect();
+            let specs: Vec<light_core::MemberSpec> = st
+                .members
+                .iter()
+                .map(|m| light_core::MemberSpec {
+                    time_budget: m.time_budget,
+                    deadline: None,
+                    cancel: Some(m.cancel.clone()),
+                })
+                .collect();
+            let threads = st.members.iter().map(|m| m.threads).max().unwrap_or(1);
+            let n = st.members.len();
+            (plans, specs, threads, n)
+        };
+
+        // The whole compile-and-run sequence is unwind-contained: a panic
+        // anywhere inside must never strand followers on the condvar.
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mp = match MultiPlan::build(&plans) {
+                Ok(mp) => mp,
+                Err(_) => return None,
+            };
+            let stats = mp.reuse_summary();
+            let mut pcfg = pcfg_base.clone();
+            pcfg.num_threads = threads;
+            let report = run_multi_parallel(&mp, g, engine, &specs, &pcfg);
+            Some((report, stats))
+        }));
+
+        let mut st = lock_recover(&group.state);
+        let verdict = match run {
+            Ok(Some((report, stats))) => {
+                self.metrics.note_batch(&stats);
+                st.results = report
+                    .members
+                    .iter()
+                    .enumerate()
+                    .map(|(i, m)| {
+                        // Per-member finalize under its own containment:
+                        // the chaos failpoint can kill one member here
+                        // without touching its siblings.
+                        let fin = std::panic::catch_unwind(|| {
+                            light_failpoint::fail_point!("serve::batch_member");
+                            MemberOutput {
+                                matches: m.matches,
+                                outcome: m.outcome,
+                                elapsed: report.elapsed,
+                                failures: report.failures,
+                                members: n_members,
+                                leader: i == 0,
+                            }
+                        });
+                        Some(fin.map_err(crate::service::panic_message))
+                    })
+                    .collect();
+                BatchVerdict::Ran(st.results[0].clone().expect("leader result set"))
+            }
+            Ok(None) => {
+                // The trie refused the member set: everyone runs solo.
+                self.metrics
+                    .fallbacks
+                    .fetch_add(n_members as u64, Ordering::Relaxed);
+                st.fallback = true;
+                BatchVerdict::Solo
+            }
+            Err(payload) => {
+                let msg = crate::service::panic_message(payload);
+                st.results = (0..n_members).map(|_| Some(Err(msg.clone()))).collect();
+                BatchVerdict::Ran(Err(msg))
+            }
+        };
+        st.done = true;
+        drop(st);
+        group.cv.notify_all();
+        verdict
+    }
+
+    /// Follower side: wait for the leader's verdict. `cutoff` bounds the
+    /// wait (member deadline plus slack) so a wedged leader can never
+    /// hang a follower past its own budget — the timeout falls back to
+    /// the solo path, which re-runs the query independently.
+    pub fn follow(&self, group: &Arc<Group>, idx: usize, cutoff: Duration) -> BatchVerdict {
+        let deadline = Instant::now() + cutoff;
+        let mut st = lock_recover(&group.state);
+        while !st.done {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                // Abandon the batch: mark our slot so a late leader
+                // verdict is dropped, and run solo.
+                return BatchVerdict::Solo;
+            }
+            let (g, _timeout) = group
+                .cv
+                .wait_timeout(st, left)
+                .unwrap_or_else(|e| e.into_inner());
+            st = g;
+        }
+        if st.fallback {
+            return BatchVerdict::Solo;
+        }
+        match st.results.get(idx).cloned().flatten() {
+            Some(r) => BatchVerdict::Ran(r),
+            None => BatchVerdict::Solo,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use light_graph::generators;
+    use light_pattern::Query;
+
+    fn member(plan: Arc<QueryPlan>) -> MemberExec {
+        MemberExec {
+            plan,
+            time_budget: None,
+            cancel: CancelToken::new(),
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn leader_and_followers_get_matching_exact_counts() {
+        let g = generators::barabasi_albert(300, 4, 21);
+        let cfg = EngineConfig::light();
+        let gate = Arc::new(BatchGate::default());
+        let queries = [Query::Triangle, Query::P1, Query::P2];
+        let expect: Vec<u64> = queries
+            .iter()
+            .map(|q| light_core::run_query(&q.pattern(), &g, &cfg).matches)
+            .collect();
+        let plans: Vec<Arc<QueryPlan>> = queries
+            .iter()
+            .map(|q| Arc::new(cfg.plan(&q.pattern(), &g)))
+            .collect();
+
+        // Leader joins first, followers pile in behind it while it sleeps
+        // out the window.
+        let t0 = match gate.join("g", member(Arc::clone(&plans[0]))) {
+            Ticket::Leader(grp) => grp,
+            Ticket::Follower(..) => panic!("first join must lead"),
+        };
+        let mut follower_handles = Vec::new();
+        for plan in plans[1..].iter().cloned() {
+            match gate.join("g", member(plan)) {
+                Ticket::Follower(grp, idx) => {
+                    let gate = Arc::clone(&gate);
+                    follower_handles.push(std::thread::spawn(move || {
+                        gate.follow(&grp, idx, Duration::from_secs(30))
+                    }));
+                }
+                Ticket::Leader(_) => panic!("window must still be open"),
+            }
+        }
+        let verdict = gate.lead(
+            &t0,
+            "g",
+            &g,
+            Duration::from_millis(5),
+            &cfg,
+            &ParallelConfig::new(2),
+        );
+        match verdict {
+            BatchVerdict::Ran(Ok(out)) => {
+                assert_eq!(out.matches, expect[0]);
+                assert_eq!(out.members, 3);
+                assert!(out.leader);
+            }
+            other => panic!(
+                "leader must get a result, got {:?}",
+                matches!(other, BatchVerdict::Solo)
+            ),
+        }
+        for (h, want) in follower_handles.into_iter().zip(&expect[1..]) {
+            match h.join().expect("follower thread") {
+                BatchVerdict::Ran(Ok(out)) => {
+                    assert_eq!(out.matches, *want);
+                    assert!(!out.leader);
+                }
+                _ => panic!("follower must get a result"),
+            }
+        }
+        assert_eq!(gate.metrics.batches.load(Ordering::Relaxed), 1);
+        assert_eq!(gate.metrics.batched_members.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn lonely_window_goes_solo_and_counts_a_singleton() {
+        let g = generators::barabasi_albert(100, 3, 5);
+        let cfg = EngineConfig::light();
+        let gate = BatchGate::default();
+        let plan = Arc::new(cfg.plan(&Query::Triangle.pattern(), &g));
+        let grp = match gate.join("g", member(plan)) {
+            Ticket::Leader(grp) => grp,
+            _ => panic!("must lead"),
+        };
+        match gate.lead(
+            &grp,
+            "g",
+            &g,
+            Duration::from_millis(1),
+            &cfg,
+            &ParallelConfig::new(1),
+        ) {
+            BatchVerdict::Solo => {}
+            _ => panic!("singleton window must go solo"),
+        }
+        assert_eq!(gate.metrics.singletons.load(Ordering::Relaxed), 1);
+        assert_eq!(gate.metrics.batches.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn closed_group_is_replaced_for_late_arrivals() {
+        let g = generators::barabasi_albert(100, 3, 5);
+        let cfg = EngineConfig::light();
+        let gate = BatchGate::default();
+        let plan = Arc::new(cfg.plan(&Query::Triangle.pattern(), &g));
+        let grp = match gate.join("g", member(Arc::clone(&plan))) {
+            Ticket::Leader(grp) => grp,
+            _ => panic!("must lead"),
+        };
+        let _ = gate.lead(&grp, "g", &g, Duration::ZERO, &cfg, &ParallelConfig::new(1));
+        // The retired window is gone: the next join leads a fresh one.
+        match gate.join("g", member(plan)) {
+            Ticket::Leader(_) => {}
+            Ticket::Follower(..) => panic!("must not join a closed window"),
+        }
+    }
+}

@@ -38,6 +38,7 @@
 //! assert!(resp.contains("\"status\":\"ok\""));
 //! ```
 
+pub mod batch;
 pub mod catalog;
 pub mod json;
 pub mod plan_cache;
@@ -47,6 +48,7 @@ pub mod reactor;
 pub mod server;
 pub mod service;
 
+pub use batch::{BatchGate, BatchVerdict, MemberExec, MemberOutput, MultiQueryMetrics, Ticket};
 pub use catalog::{CatalogEntry, GraphCatalog};
 pub use plan_cache::{PlanCache, PlanKey, PLAN_CACHE_CAP};
 pub use protocol::{ErrorCode, Request, WireOutcome, MAX_REQUEST_BYTES};

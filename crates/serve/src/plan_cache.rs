@@ -83,13 +83,22 @@ struct CacheState {
 }
 
 impl CacheState {
+    /// Refresh `key`'s LRU stamp and return its plan, or `None` on a miss.
+    ///
+    /// The clock advances only on a hit. `get_or_build` probes the cache
+    /// *before* running the build closure (the build-outside-lock path),
+    /// and the build can fail — a panicking failpoint, an OOM-aborted
+    /// planner — so a probe must be free of side effects: a failed build
+    /// must not refresh any stamp or occupy a slot, and the only LRU
+    /// mutation for the new entry happens after the build succeeded.
     fn touch(&mut self, key: &PlanKey) -> Option<Arc<QueryPlan>> {
-        self.clock += 1;
-        let clock = self.clock;
-        self.map.get_mut(key).map(|e| {
-            e.last_used = clock;
-            Arc::clone(&e.plan)
-        })
+        if let Some(e) = self.map.get_mut(key) {
+            self.clock += 1;
+            e.last_used = self.clock;
+            Some(Arc::clone(&e.plan))
+        } else {
+            None
+        }
     }
 }
 
@@ -132,7 +141,9 @@ impl PlanCache {
     /// Fetch the plan for `key`, building it with `build` on a miss.
     /// Returns the plan and whether this was a hit. The build runs outside
     /// the lock: two racing misses on the same key both build, and the
-    /// loser's plan is dropped — wasted work, never a wrong answer.
+    /// loser's plan is dropped — wasted work, never a wrong answer. A
+    /// build that panics unwinds out of here having changed nothing but
+    /// the miss counter: no slot, no eviction, no LRU stamp.
     pub fn get_or_build(
         &self,
         key: PlanKey,
@@ -315,6 +326,42 @@ mod tests {
         assert_eq!(cache.hits(), 19 * hot.len() as u64);
         assert_eq!(cache.misses(), hot.len() as u64 + cold as u64);
         assert!(cache.hit_rate() > 0.6, "rate {}", cache.hit_rate());
+    }
+
+    #[test]
+    fn failed_build_does_not_touch_lru_or_occupy_a_slot() {
+        // Build-outside-lock regression: a build that panics (armed
+        // failpoint, planner bug) must leave the cache exactly as it
+        // found it — no resident slot, no eviction, and no LRU stamp
+        // refresh that would perturb the victim order of later inserts.
+        let g = generators::complete(6);
+        let cfg = EngineConfig::light();
+        let cache = PlanCache::with_capacity(2);
+        let build = || cfg.plan(&Query::Triangle.pattern(), &g);
+        let key = |name: &str| PlanKey::new(&Query::Triangle.pattern(), name, &cfg);
+
+        cache.get_or_build(key("a"), build); // a
+        cache.get_or_build(key("b"), build); // a b
+        cache.get_or_build(key("a"), build); // touch a: b is now LRU
+
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_build(key("c"), || panic!("injected build failure"))
+        }));
+        assert!(boom.is_err(), "the panic must propagate");
+        assert_eq!(cache.len(), 2, "failed build must not occupy a slot");
+        assert_eq!(cache.evictions(), 0, "failed build must not evict");
+
+        // LRU order is intact: the next insert evicts b (the LRU entry),
+        // not a — the failed probe refreshed nothing.
+        cache.get_or_build(key("d"), build);
+        let (_, hit_a) = cache.get_or_build(key("a"), build);
+        assert!(hit_a, "entry touched before the failure must survive");
+
+        // A later successful build of the same key inserts normally.
+        let (_, hit_c) = cache.get_or_build(key("c"), build);
+        assert!(!hit_c);
+        let (_, hit_c2) = cache.get_or_build(key("c"), build);
+        assert!(hit_c2, "the successful rebuild must be resident");
     }
 
     #[test]

@@ -40,13 +40,16 @@
 //! within the engine's ≤ 100 ms cancel latency.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use light_core::{validate_query, CancelToken, EngineConfig, EngineVariant, Outcome};
+use light_core::{
+    validate_query, CancelToken, EngineConfig, EngineVariant, Outcome, SharedAuxStore,
+};
 use light_parallel::{run_plan_parallel, ParallelConfig};
 use light_pattern::{PatternGraph, Query};
 
+use crate::batch::{BatchGate, BatchVerdict, MemberExec, MemberOutput, Ticket};
 use crate::catalog::GraphCatalog;
 use crate::json::ObjWriter;
 use crate::plan_cache::{PlanCache, PlanKey};
@@ -97,6 +100,16 @@ pub struct ServeConfig {
     /// `--flat-topology` flag sets this; `LIGHT_FLAT_TOPOLOGY=1` forces
     /// it process-wide regardless.
     pub flat_topology: bool,
+    /// Multi-query batch collection window: an admitted query on graph G
+    /// waits this long for concurrent queries on G to join its shared
+    /// pass (DESIGN.md §16). `None` disables batching; `LIGHT_MQO=0`
+    /// disables it at runtime regardless. Bounds the worst-case latency a
+    /// lone query pays for batching.
+    pub batch_window: Option<Duration>,
+    /// Maintain a per-graph cross-query [`SharedAuxStore`] so concurrent
+    /// (even non-batchable) queries reuse each other's trimmed-adjacency
+    /// tables. `--no-shared-aux` clears it.
+    pub shared_aux: bool,
 }
 
 impl Default for ServeConfig {
@@ -111,6 +124,8 @@ impl Default for ServeConfig {
             mem_watermark: None,
             engine: EngineConfig::light(),
             flat_topology: false,
+            batch_window: Some(Duration::from_millis(2)),
+            shared_aux: true,
         }
     }
 }
@@ -368,7 +383,7 @@ pub fn resident_memory_bytes() -> Option<u64> {
 }
 
 /// Render a panic payload for the `internal_error` response.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -397,11 +412,39 @@ pub struct QueryService {
     live: Mutex<Vec<CancelToken>>,
     /// Generation counter so stale tokens can be pruned cheaply.
     started: Instant,
+    /// Multi-query batch gate (DESIGN.md §16). Always present; whether
+    /// queries visit it is decided by `mqo`.
+    batch: BatchGate,
+    /// Per-graph cross-query aux stores, `(catalog name, store)`. The
+    /// catalog is immutable after startup, so a flat vector suffices.
+    shared_aux: Vec<(String, Arc<SharedAuxStore>)>,
+    /// Batching enabled: a window is configured and `LIGHT_MQO` ≠ "0"
+    /// (the env kill-switch is read once at construction).
+    mqo: bool,
 }
 
 impl QueryService {
     /// Build a service over a loaded catalog.
     pub fn new(catalog: GraphCatalog, cfg: ServeConfig) -> QueryService {
+        // One cross-query aux store per graph. The watermark mirrors the
+        // engine's per-query budget: with no explicit limit the store
+        // stays bounded structurally (fixed slot count).
+        let shared_aux: Vec<(String, Arc<SharedAuxStore>)> = if cfg.shared_aux {
+            catalog
+                .entries()
+                .iter()
+                .map(|e| {
+                    (
+                        e.name.clone(),
+                        Arc::new(SharedAuxStore::new(cfg.engine.max_memory_bytes)),
+                    )
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mqo =
+            cfg.batch_window.is_some() && std::env::var("LIGHT_MQO").map_or(true, |v| v != "0");
         QueryService {
             admission: Admission::new(cfg.max_concurrent, cfg.queue_depth),
             plans: PlanCache::new(),
@@ -410,9 +453,20 @@ impl QueryService {
             shutdown: CancelToken::new(),
             live: Mutex::new(Vec::new()),
             started: Instant::now(),
+            batch: BatchGate::default(),
+            shared_aux,
+            mqo,
             catalog,
             cfg,
         }
+    }
+
+    /// The cross-query aux store for a graph, if the shared tier is on.
+    fn shared_store(&self, graph: &str) -> Option<&Arc<SharedAuxStore>> {
+        self.shared_aux
+            .iter()
+            .find(|(n, _)| n == graph)
+            .map(|(_, s)| s)
     }
 
     /// The shared drain token: cancel it to start a graceful drain. The
@@ -670,14 +724,77 @@ impl QueryService {
         let profile_rec = q.profile.then(light_metrics::Recorder::new);
         cfg.metrics = profile_rec.clone().unwrap_or_else(|| self.recorder.clone());
 
+        // Cross-query aux tier: every query on this graph (batched or
+        // not) reads and feeds the same trimmed-adjacency store.
+        if let Some(store) = self.shared_store(&entry.name) {
+            cfg.shared_aux = Some(Arc::clone(store));
+        }
+
         let key = PlanKey::new(&pattern, &entry.name, &cfg);
         let (plan, cache_hit) = self.plans.get_or_build(key, || {
             light_failpoint::fail_point!("serve::plan_build");
             cfg.plan(&pattern, &entry.graph)
         });
 
-        let t_exec = Instant::now();
         let pcfg = ParallelConfig::new(threads).flat_topology(self.cfg.flat_topology);
+
+        // Multi-query gate (DESIGN.md §16): batchable queries wait one
+        // collection window for siblings on the same graph and run as one
+        // shared pass. Profiled queries stay solo (their recorder is
+        // per-query), and a Solo verdict — singleton window, compile
+        // fallback, stalled leader — falls through to the ordinary path.
+        if self.mqo && !q.profile {
+            if let Some(window) = self.cfg.batch_window {
+                let member = MemberExec {
+                    plan: Arc::clone(&plan),
+                    time_budget: deadline,
+                    cancel: cfg.cancel.clone().expect("cancel token set above"),
+                    threads,
+                };
+                let verdict = match self.batch.join(&entry.name, member) {
+                    Ticket::Leader(grp) => {
+                        // Per-member budget/cancel ride the member specs;
+                        // the pass-wide config must not impose the
+                        // leader's own deadline on its siblings.
+                        let mut bcfg = cfg.clone();
+                        bcfg.time_budget = None;
+                        bcfg.cancel = None;
+                        self.batch
+                            .lead(&grp, &entry.name, &entry.graph, window, &bcfg, &pcfg)
+                    }
+                    Ticket::Follower(grp, idx) => {
+                        let cutoff = deadline.unwrap_or(Duration::from_secs(3600))
+                            + window
+                            + self.cfg.drain_grace
+                            + Duration::from_secs(5);
+                        self.batch.follow(&grp, idx, cutoff)
+                    }
+                };
+                match verdict {
+                    BatchVerdict::Ran(Ok(out)) => {
+                        return self.render_batched(q, &out, &entry.name, queue_wait, cache_hit)
+                    }
+                    BatchVerdict::Ran(Err(msg)) => {
+                        // Typed per-member containment: this member's slot
+                        // of the shared pass panicked (or the whole pass
+                        // did). Siblings are unaffected.
+                        self.metrics.note_panic();
+                        return protocol::render_internal(
+                            &q.id,
+                            &msg,
+                            &[
+                                ("graph", entry.name.as_str()),
+                                ("pattern", &q.pattern),
+                                ("batch", "member"),
+                            ],
+                        );
+                    }
+                    BatchVerdict::Solo => {}
+                }
+            }
+        }
+
+        let t_exec = Instant::now();
         let pr = run_plan_parallel(&plan, &entry.graph, &cfg, &pcfg);
         let exec_ns = t_exec.elapsed().as_nanos() as u64;
         self.metrics.exec_ns.fetch_add(exec_ns, Ordering::Relaxed);
@@ -715,7 +832,65 @@ impl QueryService {
             plan_cache_hit: cache_hit,
             graph: entry.name.clone(),
             failures: pr.failures.len() as u64,
+            batch_size: None,
             profile: profile_rec.map(|r| r.to_json()),
+        })
+    }
+
+    /// Account and render one member's result from a shared batch pass.
+    ///
+    /// Per-member counters (ok/partial/timeout/cancelled/matches) are
+    /// bumped by each member's own handler thread; the pass's execution
+    /// time is recorded once, by the leader, so `retry_after_ms` keeps
+    /// estimating wall time per execution lane rather than summing the
+    /// same pass `k` times.
+    fn render_batched(
+        &self,
+        q: &QueryRequest,
+        out: &MemberOutput,
+        graph: &str,
+        queue_wait: Duration,
+        cache_hit: bool,
+    ) -> String {
+        if out.leader {
+            self.metrics
+                .exec_ns
+                .fetch_add(out.elapsed.as_nanos() as u64, Ordering::Relaxed);
+            self.metrics.exec_done.fetch_add(1, Ordering::Relaxed);
+        }
+        let outcome = match out.outcome {
+            Outcome::OutOfTime => WireOutcome::Timeout,
+            Outcome::Cancelled => WireOutcome::Cancelled,
+            Outcome::MemoryExceeded => WireOutcome::MemoryExceeded,
+            _ if out.failures > 0 => WireOutcome::PartialPanic,
+            _ => WireOutcome::Complete,
+        };
+        match outcome {
+            WireOutcome::Complete => self.metrics.ok.fetch_add(1, Ordering::Relaxed),
+            WireOutcome::Timeout => {
+                self.metrics.partial.fetch_add(1, Ordering::Relaxed);
+                self.metrics.timeouts.fetch_add(1, Ordering::Relaxed)
+            }
+            WireOutcome::Cancelled => {
+                self.metrics.partial.fetch_add(1, Ordering::Relaxed);
+                self.metrics.cancelled.fetch_add(1, Ordering::Relaxed)
+            }
+            _ => self.metrics.partial.fetch_add(1, Ordering::Relaxed),
+        };
+        self.metrics
+            .matches_returned
+            .fetch_add(out.matches, Ordering::Relaxed);
+        protocol::render_result(&QueryResult {
+            id: q.id.clone(),
+            matches: out.matches,
+            outcome,
+            elapsed_ms: out.elapsed.as_secs_f64() * 1e3,
+            queue_ms: queue_wait.as_secs_f64() * 1e3,
+            plan_cache_hit: cache_hit,
+            graph: graph.to_string(),
+            failures: out.failures,
+            batch_size: Some(out.members as u64),
+            profile: None,
         })
     }
 
@@ -754,6 +929,54 @@ impl QueryService {
             .u64("entries", self.plans.len() as u64)
             .u64("evictions", self.plans.evictions());
 
+        let mq = &self.batch.metrics;
+        let hist: Vec<String> = mq
+            .shared_depth_hist
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed).to_string())
+            .collect();
+        let mut shared = ObjWriter::new();
+        if self.shared_aux.is_empty() {
+            shared.bool("enabled", false);
+        } else {
+            let mut sum = light_core::SharedAuxCounters::default();
+            for (_, store) in &self.shared_aux {
+                let c = store.counters();
+                sum.hits += c.hits;
+                sum.misses += c.misses;
+                sum.stores += c.stores;
+                sum.evictions += c.evictions;
+                sum.bytes += c.bytes;
+            }
+            shared
+                .bool("enabled", true)
+                .u64("hits", sum.hits)
+                .u64("misses", sum.misses)
+                .u64("stores", sum.stores)
+                .u64("evictions", sum.evictions)
+                .u64("bytes", sum.bytes as u64);
+        }
+        let mut multiquery = ObjWriter::new();
+        multiquery
+            .bool("enabled", self.mqo)
+            .f64(
+                "window_ms",
+                self.cfg.batch_window.map_or(0.0, |w| w.as_secs_f64() * 1e3),
+            )
+            .u64("batches", mq.batches.load(Ordering::Relaxed))
+            .u64(
+                "batched_members",
+                mq.batched_members.load(Ordering::Relaxed),
+            )
+            .u64("singletons", mq.singletons.load(Ordering::Relaxed))
+            .u64("fallbacks", mq.fallbacks.load(Ordering::Relaxed))
+            .raw("shared_depth_hist", &format!("[{}]", hist.join(",")))
+            .u64(
+                "saved_intersections_est",
+                mq.saved_intersections_est.load(Ordering::Relaxed),
+            )
+            .raw("shared_aux", &shared.finish());
+
         let mut w = ObjWriter::new();
         w.raw("id", id)
             .str("status", "ok")
@@ -764,7 +987,8 @@ impl QueryService {
             .u64("graphs", self.catalog.len() as u64)
             .raw("queries", &queries.finish())
             .raw("queue", &queue.finish())
-            .raw("plan_cache", &plans.finish());
+            .raw("plan_cache", &plans.finish())
+            .raw("multiquery", &multiquery.finish());
         if engine {
             // The full light-metrics document ({"enabled": false} when the
             // feature is compiled out) — engine-side observability rides

@@ -226,6 +226,7 @@ USAGE:
                  [--threads <per-query>] [--timeout <secs>|none]
                  [--drain-grace <secs>] [--idle-timeout <secs>|none]
                  [--mem-watermark <MiB>] [--flat-topology] [--no-mmap]
+                 [--batch-window-ms <ms>] [--no-shared-aux]
                  [engine options as for count]
 
   Resident daemon: loads the catalog once, answers newline-delimited JSON
@@ -239,7 +240,12 @@ USAGE:
   handler thread per connection. --idle-timeout (default 30) hangs up on
   connections stalled mid-request-line; --mem-watermark freezes admission
   queue growth while resident memory exceeds it (queued low-priority work
-  is shed to admit higher-priority arrivals).
+  is shed to admit higher-priority arrivals). --batch-window-ms (default
+  2, 0 = off) is the multi-query collection window: admitted queries on
+  the same graph that arrive within it run as ONE shared enumeration
+  pass over their common plan prefix (LIGHT_MQO=0 disables at runtime);
+  --no-shared-aux drops the per-graph cross-query trimmed-adjacency
+  cache that concurrent queries otherwise share.
 
   light query    --socket <path> [--pattern <..>] [--graph <name>]
                  [--timeout-ms <ms>] [--threads <k>] [--variant ..]
@@ -263,7 +269,13 @@ USAGE:
 type Opts = HashMap<String, String>;
 
 /// Options that are boolean flags: present or absent, no value operand.
-const FLAG_OPTS: &[&str] = &["profile", "no-aux-cache", "flat-topology", "no-mmap"];
+const FLAG_OPTS: &[&str] = &[
+    "profile",
+    "no-aux-cache",
+    "flat-topology",
+    "no-mmap",
+    "no-shared-aux",
+];
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut out = HashMap::new();
@@ -799,6 +811,12 @@ fn cmd_serve(opts: &Opts) -> Result<ExitCode, String> {
         })
         .transpose()?
         .map(|mib| mib * 1024 * 1024);
+    // Multi-query batching: --batch-window-ms 0 disables the gate
+    // (LIGHT_MQO=0 does too, at runtime).
+    let batch_window = match parse_usize("batch-window-ms", 2)? {
+        0 => None,
+        ms => Some(Duration::from_millis(ms as u64)),
+    };
     let cfg = ServeConfig {
         max_concurrent: parse_usize("max-concurrent", 2)?.max(1),
         queue_depth: parse_usize("queue-depth", 4)?,
@@ -808,6 +826,8 @@ fn cmd_serve(opts: &Opts) -> Result<ExitCode, String> {
         idle_timeout,
         mem_watermark,
         flat_topology: opts.contains_key("flat-topology"),
+        batch_window,
+        shared_aux: !opts.contains_key("no-shared-aux"),
         engine: engine_config(opts)?,
     };
 

@@ -43,6 +43,10 @@ fn service() -> Arc<QueryService> {
             idle_timeout: Some(Duration::from_secs(30)),
             mem_watermark: None,
             flat_topology: false,
+            // Production defaults: the differential also exercises the
+            // batched path when concurrent clients land in one window.
+            batch_window: Some(Duration::from_millis(2)),
+            shared_aux: true,
             engine: EngineConfig::light(),
         },
     ))

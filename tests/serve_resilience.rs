@@ -58,6 +58,10 @@ fn service(idle_timeout: Option<Duration>) -> Arc<QueryService> {
             idle_timeout,
             mem_watermark: None,
             flat_topology: false,
+            // Timing-sensitive legs (slowloris, drain races): keep the
+            // batch gate out of the picture.
+            batch_window: None,
+            shared_aux: false,
             engine: EngineConfig::light(),
         },
     ))
