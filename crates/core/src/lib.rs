@@ -34,6 +34,7 @@
 pub mod auxcache;
 pub mod cancel;
 pub mod config;
+pub mod delta_count;
 pub mod engine;
 pub mod error;
 pub mod iter;
@@ -46,6 +47,7 @@ pub mod visitor;
 pub use auxcache::{AuxCache, SharedAuxCounters, SharedAuxStore, SharedKey};
 pub use cancel::CancelToken;
 pub use config::{EngineConfig, EngineVariant};
+pub use delta_count::{automorphism_count, count_raw_through, raw_delta};
 pub use engine::Enumerator;
 pub use error::{validate_query, EnumError, QueryError};
 pub use iter::MatchIter;

@@ -10,6 +10,21 @@ use crate::types::{Edge, VertexId};
 /// * the vertex set is `0..=max_endpoint` (isolated vertices up to the
 ///   largest mentioned ID are kept so external ID spaces survive a round
 ///   trip; use [`GraphBuilder::with_num_vertices`] to force a larger set).
+///
+/// # Normalization contract
+///
+/// This builder is the workspace's *single* normalization point for
+/// untrusted edge input: every path that accepts arbitrary pairs (the text
+/// edge-list reader, generators, the delta overlay's
+/// [`apply`](crate::delta::DeltaGraph::apply)) either goes through it or
+/// implements the identical rules — canonical endpoint order, no
+/// self-loops, no duplicates, strictly sorted adjacency. Binary snapshot
+/// decoders deliberately *verify* instead of normalize: a snapshot whose
+/// adjacency breaks these rules is rejected as corrupt (see
+/// `light_graph::io`), never silently repaired. Downstream code — binary
+/// search, the intersection kernels, symmetry breaking, delta merges — may
+/// therefore assume deduped sorted simple adjacency without re-checking.
+/// `tests/proptest_normalize.rs` pins all of this.
 #[derive(Debug, Default, Clone)]
 pub struct GraphBuilder {
     edges: Vec<Edge>,

@@ -1,0 +1,479 @@
+//! Delta-CSR overlay: an immutable base [`CsrGraph`] plus small edge
+//! insert/delete buffers, for graphs that mutate under live traffic.
+//!
+//! The base graph stays exactly what it was — an Owned heap CSR or a
+//! zero-copy Mapped v2 snapshot — and is never written through. Mutations
+//! accumulate in two sorted buffers (`added`, `removed`) together with a
+//! *patched adjacency* for every touched vertex: the touched vertex's full
+//! current neighbor list, sorted and deduplicated, resident on the heap.
+//! Untouched vertices keep aliasing the base CSR, so the overlay costs
+//! `O(Σ degree(touched))` heap bytes regardless of base size — the
+//! out-of-core argument (Silvestri, PAPERS.md): the billion-edge base stays
+//! on disk, the delta stays small and resident.
+//!
+//! Queries do not run against the overlay directly. The serve tier calls
+//! [`DeltaGraph::merged_arc`] after each update batch to materialize a full
+//! merged [`CsrGraph`] for the enumeration hot path (setops/core/parallel
+//! are untouched — they keep consuming a plain `CsrGraph`). Materialization
+//! is a run-length copy: contiguous spans of untouched vertices are copied
+//! from the base CSR with one `extend_from_slice` per span, and only touched
+//! vertices splice in their patched lists. [`DeltaGraph::compact`] folds the
+//! buffers into a new base (the serve tier additionally rewrites the backing
+//! v2 snapshot through the atomic `save_snapshot_v2` path and re-stamps).
+//!
+//! ## Normalization contract
+//!
+//! [`DeltaGraph::apply`] enforces the same normalization as
+//! [`GraphBuilder`](crate::GraphBuilder): self-loops are dropped, endpoint
+//! order is canonicalized, and duplicates within a batch are deduplicated.
+//! On top of that it is *idempotent against the current view*: inserting an
+//! edge that is already present or deleting one that is absent is a counted
+//! no-op, never an error and never a double entry. Deletes apply before
+//! inserts, so a batch naming the same edge in both lists ends with the
+//! edge present ("insert wins"). The report lists exactly the edges whose
+//! presence actually changed — the incremental count maintenance in
+//! `light-core` depends on that exactness.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use crate::csr::CsrGraph;
+use crate::types::{Edge, VertexId};
+
+/// What one [`DeltaGraph::apply`] batch actually did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ApplyReport {
+    /// Edges that became present (canonical, sorted, deduplicated). These
+    /// were absent from the pre-batch view (after the batch's deletes ran).
+    pub inserted: Vec<Edge>,
+    /// Edges that became absent (canonical, sorted, deduplicated). These
+    /// were present in the pre-batch view.
+    pub deleted: Vec<Edge>,
+    /// Insert requests that were already present (no-ops), plus self-loops
+    /// and within-batch duplicates dropped by normalization.
+    pub dup_inserts: usize,
+    /// Delete requests for edges that were not present (no-ops), plus
+    /// self-loops and within-batch duplicates dropped by normalization.
+    pub missing_deletes: usize,
+}
+
+/// An immutable base CSR graph plus pending insert/delete edge buffers.
+///
+/// Invariants (maintained by [`DeltaGraph::apply`]):
+/// * `added ∩ E(base) = ∅` and `removed ⊆ E(base)` — an edge is never in
+///   both buffers, so `|E| = |E(base)| − |removed| + |added|` exactly;
+/// * `patched` holds the *full*, sorted, deduplicated current adjacency of
+///   every vertex incident to any buffered edge; untouched vertices are
+///   absent and alias the base.
+#[derive(Debug, Clone)]
+pub struct DeltaGraph {
+    base: Arc<CsrGraph>,
+    added: BTreeSet<Edge>,
+    removed: BTreeSet<Edge>,
+    patched: BTreeMap<VertexId, Vec<VertexId>>,
+    num_vertices: usize,
+}
+
+impl DeltaGraph {
+    /// A clean overlay over `base`: no pending edges, every vertex aliases
+    /// the base CSR.
+    pub fn new(base: Arc<CsrGraph>) -> Self {
+        let num_vertices = base.num_vertices();
+        DeltaGraph {
+            base,
+            added: BTreeSet::new(),
+            removed: BTreeSet::new(),
+            patched: BTreeMap::new(),
+            num_vertices,
+        }
+    }
+
+    /// The immutable base graph (pre-delta).
+    pub fn base(&self) -> &Arc<CsrGraph> {
+        &self.base
+    }
+
+    /// Number of vertices in the current view. Grows when an insert names
+    /// an endpoint beyond the base vertex set; never shrinks (deleting all
+    /// edges of a vertex leaves it isolated, matching `GraphBuilder`).
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of undirected edges in the current view.
+    pub fn num_edges(&self) -> usize {
+        self.base.num_edges() - self.removed.len() + self.added.len()
+    }
+
+    /// Pending buffered edges (inserts + deletes) since the last compaction.
+    /// The serve tier compares this against its compaction threshold.
+    pub fn pending_edges(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+
+    /// Pending (inserts, deletes) counts.
+    pub fn pending(&self) -> (usize, usize) {
+        (self.added.len(), self.removed.len())
+    }
+
+    /// Whether any buffered edges are pending.
+    pub fn is_dirty(&self) -> bool {
+        !self.added.is_empty() || !self.removed.is_empty()
+    }
+
+    /// Current degree of `v`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Current sorted neighbor list of `v` — the same access the CSR hot
+    /// path uses. Touched vertices read their patched heap list; untouched
+    /// vertices alias the base CSR (zero copies, possibly mmap-backed).
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        if let Some(list) = self.patched.get(&v) {
+            return list;
+        }
+        if (v as usize) < self.base.num_vertices() {
+            self.base.neighbors(v)
+        } else {
+            &[]
+        }
+    }
+
+    /// Whether edge `{u, v}` is present in the current view.
+    pub fn contains_edge(&self, u: VertexId, v: VertexId) -> bool {
+        let e = Edge::canonical(u, v);
+        if e.is_loop() {
+            return false;
+        }
+        if self.added.contains(&e) {
+            return true;
+        }
+        if self.removed.contains(&e) {
+            return false;
+        }
+        (e.dst as usize) < self.base.num_vertices() && self.base.contains_edge(e.src, e.dst)
+    }
+
+    /// Ensure `v` has a patched (owned, current) adjacency list and return
+    /// it mutably.
+    fn touch(&mut self, v: VertexId) -> &mut Vec<VertexId> {
+        let base = &self.base;
+        self.patched.entry(v).or_insert_with(|| {
+            if (v as usize) < base.num_vertices() {
+                base.neighbors(v).to_vec()
+            } else {
+                Vec::new()
+            }
+        })
+    }
+
+    fn patch_insert(&mut self, v: VertexId, w: VertexId) {
+        let list = self.touch(v);
+        if let Err(pos) = list.binary_search(&w) {
+            list.insert(pos, w);
+        }
+    }
+
+    fn patch_remove(&mut self, v: VertexId, w: VertexId) {
+        let list = self.touch(v);
+        if let Ok(pos) = list.binary_search(&w) {
+            list.remove(pos);
+        }
+    }
+
+    /// Canonicalize, drop self-loops, sort, and deduplicate one request
+    /// list — the [`GraphBuilder`](crate::GraphBuilder) contract. Returns
+    /// the normalized list and how many requests normalization dropped.
+    fn normalize(batch: &[(VertexId, VertexId)]) -> (Vec<Edge>, usize) {
+        let mut edges: Vec<Edge> = batch
+            .iter()
+            .map(|&(a, b)| Edge::canonical(a, b))
+            .filter(|e| !e.is_loop())
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        (edges.clone(), batch.len() - edges.len())
+    }
+
+    /// Apply one batch of edge deletes then inserts against the current
+    /// view. See the module docs for the normalization contract; the
+    /// returned report lists exactly the edges whose presence changed.
+    pub fn apply(
+        &mut self,
+        deletes: &[(VertexId, VertexId)],
+        inserts: &[(VertexId, VertexId)],
+    ) -> ApplyReport {
+        let mut report = ApplyReport::default();
+
+        let (dels, dropped) = Self::normalize(deletes);
+        report.missing_deletes += dropped;
+        for e in dels {
+            if !self.contains_edge(e.src, e.dst) {
+                report.missing_deletes += 1;
+                continue;
+            }
+            if !self.added.remove(&e) {
+                self.removed.insert(e);
+            }
+            self.patch_remove(e.src, e.dst);
+            self.patch_remove(e.dst, e.src);
+            report.deleted.push(e);
+        }
+
+        let (ins, dropped) = Self::normalize(inserts);
+        report.dup_inserts += dropped;
+        for e in ins {
+            if self.contains_edge(e.src, e.dst) {
+                report.dup_inserts += 1;
+                continue;
+            }
+            if !self.removed.remove(&e) {
+                self.added.insert(e);
+            }
+            self.patch_insert(e.src, e.dst);
+            self.patch_insert(e.dst, e.src);
+            self.num_vertices = self.num_vertices.max(e.dst as usize + 1);
+            report.inserted.push(e);
+        }
+        report
+    }
+
+    /// Materialize the current view as a standalone [`CsrGraph`]. A clean
+    /// overlay returns the base `Arc` unchanged (zero copy); a dirty one
+    /// builds a fresh Owned CSR, copying contiguous spans of untouched
+    /// vertices from the base with one bulk copy per span.
+    pub fn merged_arc(&self) -> Arc<CsrGraph> {
+        if !self.is_dirty() && self.num_vertices == self.base.num_vertices() {
+            return Arc::clone(&self.base);
+        }
+        let n = self.num_vertices;
+        let base_n = self.base.num_vertices();
+        let base_offs = self.base.offs();
+        let base_nbrs = self.base.nbrs();
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u64;
+        offsets.push(0u64);
+        for v in 0..n as VertexId {
+            acc += self.degree(v) as u64;
+            offsets.push(acc);
+        }
+
+        let mut neighbors: Vec<VertexId> = Vec::with_capacity(acc as usize);
+        // `cursor` is the next vertex whose adjacency has not been emitted.
+        // Vertices in `[cursor, v)` are untouched: their base lists are
+        // contiguous in the base CSR, so the whole span is one copy.
+        // Untouched vertices at or past `base_n` (possible when an insert
+        // grew the ID space past a gap) are isolated — nothing to emit.
+        let mut cursor: usize = 0;
+        for (&v, list) in &self.patched {
+            let v = v as usize;
+            if cursor < v && cursor < base_n {
+                let hi = v.min(base_n);
+                neighbors.extend_from_slice(
+                    &base_nbrs[base_offs[cursor] as usize..base_offs[hi] as usize],
+                );
+            }
+            neighbors.extend_from_slice(list);
+            cursor = v + 1;
+        }
+        if cursor < base_n {
+            neighbors.extend_from_slice(
+                &base_nbrs[base_offs[cursor] as usize..base_offs[base_n] as usize],
+            );
+        }
+        debug_assert_eq!(neighbors.len(), acc as usize);
+        let g = CsrGraph::from_parts(offsets, neighbors);
+        debug_assert!(g.validate().is_ok());
+        Arc::new(g)
+    }
+
+    /// Fold the pending buffers into a new base and return it. After this
+    /// the overlay is clean: `base()` is the merged graph, every vertex
+    /// aliases it, and `pending_edges()` is zero. The caller owns writing
+    /// the new base to durable storage (the serve tier rewrites the v2
+    /// snapshot atomically and re-stamps).
+    pub fn compact(&mut self) -> Arc<CsrGraph> {
+        let merged = self.merged_arc();
+        self.base = Arc::clone(&merged);
+        self.added.clear();
+        self.removed.clear();
+        self.patched.clear();
+        self.num_vertices = merged.num_vertices();
+        merged
+    }
+
+    /// Replace the base with an equivalent graph (e.g. the just-compacted
+    /// snapshot re-opened through mmap). The overlay must be clean and the
+    /// replacement must match the current view's shape.
+    ///
+    /// # Errors
+    /// Returns the overlay unchanged if it is dirty or the shapes differ.
+    pub fn rebase(&mut self, base: Arc<CsrGraph>) -> Result<(), String> {
+        if self.is_dirty() {
+            return Err("rebase on a dirty overlay".into());
+        }
+        if base.num_vertices() != self.num_vertices || base.num_edges() != self.base.num_edges() {
+            return Err(format!(
+                "rebase shape mismatch: {}v/{}e vs {}v/{}e",
+                base.num_vertices(),
+                base.num_edges(),
+                self.num_vertices,
+                self.base.num_edges()
+            ));
+        }
+        self.base = base;
+        self.num_vertices = self.base.num_vertices();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Reference view: current edge set as a BTreeSet, rebuilt from scratch.
+    fn edge_set(g: &CsrGraph) -> BTreeSet<Edge> {
+        g.edges().map(|(a, b)| Edge::canonical(a, b)).collect()
+    }
+
+    fn assert_view_matches(d: &DeltaGraph, reference: &CsrGraph) {
+        assert_eq!(d.num_vertices(), reference.num_vertices());
+        assert_eq!(d.num_edges(), reference.num_edges());
+        for v in 0..d.num_vertices() as VertexId {
+            assert_eq!(d.neighbors(v), reference.neighbors(v), "vertex {v}");
+            assert_eq!(d.degree(v), reference.degree(v));
+        }
+        let merged = d.merged_arc();
+        assert_eq!(*merged, *reference, "merged CSR differs from rebuild");
+    }
+
+    #[test]
+    fn clean_overlay_aliases_base() {
+        let base = Arc::new(generators::barabasi_albert(200, 3, 1));
+        let d = DeltaGraph::new(Arc::clone(&base));
+        assert!(!d.is_dirty());
+        // Zero-copy: the merged view of a clean overlay IS the base Arc.
+        assert!(Arc::ptr_eq(&d.merged_arc(), &base));
+        assert_eq!(d.neighbors(5), base.neighbors(5));
+    }
+
+    #[test]
+    fn insert_delete_roundtrip_matches_rebuild() {
+        let base = from_edges([(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut d = DeltaGraph::new(Arc::new(base));
+        let rep = d.apply(&[(1, 2)], &[(0, 2), (1, 3)]);
+        assert_eq!(rep.deleted, vec![Edge::canonical(1, 2)]);
+        assert_eq!(
+            rep.inserted,
+            vec![Edge::canonical(0, 2), Edge::canonical(1, 3)]
+        );
+        let reference = from_edges([(0, 1), (2, 3), (3, 0), (0, 2), (1, 3)]);
+        assert_view_matches(&d, &reference);
+    }
+
+    #[test]
+    fn normalization_contract_loops_dups_noops() {
+        let base = from_edges([(0, 1), (1, 2)]);
+        let mut d = DeltaGraph::new(Arc::new(base));
+        // Self-loop, duplicate request, already-present edge: all no-ops.
+        let rep = d.apply(&[(5, 5), (0, 3)], &[(2, 2), (1, 0), (0, 1), (2, 0), (0, 2)]);
+        assert_eq!(rep.deleted, vec![]);
+        assert_eq!(rep.missing_deletes, 2);
+        assert_eq!(rep.inserted, vec![Edge::canonical(0, 2)]);
+        // Normalization drops three (the loop, and one dup each of the two
+        // double-spelled edges); the present edge (0,1) is one more no-op.
+        assert_eq!(rep.dup_inserts, 4);
+        let reference = from_edges([(0, 1), (1, 2), (0, 2)]);
+        assert_view_matches(&d, &reference);
+    }
+
+    #[test]
+    fn insert_wins_when_batch_names_edge_in_both_lists() {
+        let base = from_edges([(0, 1), (1, 2)]);
+        let mut d = DeltaGraph::new(Arc::new(base));
+        // Delete then re-insert (0,1) in one batch: ends present, and both
+        // legs are reported (the count-maintenance math needs both).
+        let rep = d.apply(&[(0, 1)], &[(0, 1)]);
+        assert_eq!(rep.deleted, vec![Edge::canonical(0, 1)]);
+        assert_eq!(rep.inserted, vec![Edge::canonical(0, 1)]);
+        assert!(d.contains_edge(0, 1));
+        assert!(!d.is_dirty(), "net-zero batch leaves no pending edges");
+    }
+
+    #[test]
+    fn inserts_grow_vertex_set() {
+        let base = from_edges([(0, 1)]);
+        let mut d = DeltaGraph::new(Arc::new(base));
+        d.apply(&[], &[(1, 7)]);
+        assert_eq!(d.num_vertices(), 8);
+        assert_eq!(d.neighbors(7), &[1]);
+        assert_eq!(d.neighbors(5), &[] as &[VertexId]);
+        let reference = from_edges([(0, 1), (1, 7)]);
+        assert_view_matches(&d, &reference);
+    }
+
+    #[test]
+    fn random_sequences_match_rebuild_pre_and_post_compaction() {
+        let mut rng = StdRng::seed_from_u64(0x11_97);
+        for trial in 0..8 {
+            let base = generators::erdos_renyi(60, 140, trial);
+            let mut d = DeltaGraph::new(Arc::new(base.clone()));
+            let mut live = edge_set(&base);
+            let mut max_v = base.num_vertices() as VertexId;
+            for batch in 0..6 {
+                // Random deletes from the live set, random inserts anywhere.
+                let dels: Vec<(VertexId, VertexId)> = live
+                    .iter()
+                    .filter(|_| rng.random_bool(0.15))
+                    .map(|e| (e.src, e.dst))
+                    .collect();
+                let inserts: Vec<(VertexId, VertexId)> = (0..12)
+                    .map(|_| {
+                        (
+                            rng.random_range(0..max_v + 3),
+                            rng.random_range(0..max_v + 3),
+                        )
+                    })
+                    .collect();
+                let rep = d.apply(&dels, &inserts);
+                for e in &rep.deleted {
+                    assert!(live.remove(e));
+                }
+                for e in &rep.inserted {
+                    assert!(live.insert(*e));
+                    max_v = max_v.max(e.dst + 1);
+                }
+                let mut b = crate::GraphBuilder::new().with_num_vertices(d.num_vertices());
+                for e in &live {
+                    b.add_edge(e.src, e.dst);
+                }
+                let reference = b.build();
+                assert_view_matches(&d, &reference);
+                // Mid-sequence compaction must not change the view.
+                if batch == 3 {
+                    let merged = d.compact();
+                    assert!(!d.is_dirty());
+                    assert_eq!(*merged, reference);
+                    assert_view_matches(&d, &reference);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rebase_requires_clean_matching_shape() {
+        let base = from_edges([(0, 1), (1, 2)]);
+        let mut d = DeltaGraph::new(Arc::new(base.clone()));
+        d.apply(&[], &[(0, 2)]);
+        assert!(d.rebase(Arc::new(base.clone())).is_err(), "dirty rebase");
+        let merged = d.compact();
+        assert!(d.rebase(Arc::new(base)).is_err(), "shape mismatch");
+        assert!(d.rebase(Arc::clone(&merged)).is_ok());
+    }
+}

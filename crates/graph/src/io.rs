@@ -25,6 +25,26 @@
 //! array access*, so a truncated or hostile file is a typed error, never a
 //! `SIGBUS`. The property tests in `tests/proptest_loader.rs` fuzz this
 //! contract for every format.
+//!
+//! ## Normalization contract
+//!
+//! Loaders handle duplicate edges and self-loops in exactly two ways,
+//! never a third (pinned by `tests/proptest_normalize.rs`):
+//!
+//! * **normalizing** — the text edge-list reader feeds every pair through
+//!   [`GraphBuilder`], which drops loops and dedups (real SNAP dumps
+//!   contain both). Arbitrary input loads; the result is always clean.
+//! * **verifying** — the heap snapshot decoders run the full
+//!   [`CsrGraph::validate`] and *reject* unnormalized adjacency as corrupt
+//!   (a binary snapshot is machine output; dups in it mean a broken
+//!   writer, and silently repairing would mask that). The zero-copy
+//!   [`map_snapshot`] path checks header + offset structure only and
+//!   trusts the O(m) neighbor invariants to `light convert`'s writer —
+//!   the price of not faulting every page at open.
+//!
+//! Downstream consumers (set-intersection kernels, symmetry breaking, the
+//! delta-CSR overlay's merge) assume deduped sorted simple adjacency on
+//! the strength of this contract.
 
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};

@@ -47,6 +47,7 @@ pub mod algos;
 pub mod builder;
 pub mod csr;
 pub mod datasets;
+pub mod delta;
 pub mod generators;
 pub mod io;
 pub mod mmap;

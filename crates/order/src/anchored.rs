@@ -1,0 +1,170 @@
+//! Edge-anchored plan variants for incremental (delta) counting.
+//!
+//! When an edge `{a, b}` is inserted into (or deleted from) the data
+//! graph, the embeddings whose count changes are exactly those that map
+//! some pattern edge onto `{a, b}`. The differential trick (ROADMAP item
+//! 3; CEMR's redundant-extension elimination in PAPERS.md is the same
+//! observation) is to enumerate *only those* embeddings by anchoring the
+//! plan at the edge: for every **ordered** adjacent pattern pair
+//! `(pu, pv)` the enumeration order starts `π = [pu, pv, …]`, and the
+//! engine pins `φ(pu) = a, φ(pv) = b` through its bind filter. Summing the
+//! results over all ordered pairs counts every affected embedding exactly
+//! once — φ is injective, so at most one pattern edge can map onto a given
+//! data edge, in exactly one orientation.
+//!
+//! Anchored plans run with **symmetry breaking off** (raw embedding
+//! counts, divided by `|Aut(P)|` by the caller): a degree-ordered partial
+//! order would discard embeddings whose anchored images violate it, and
+//! mutated graphs drift from degree order anyway. The remainder of π after
+//! the anchor pair is a greedy connected order by descending pattern
+//! degree — the cheap heuristic, since per-delta enumerations are tiny and
+//! not worth an estimator pass.
+//!
+//! This module is distinct from [`crate::anchor`], which implements the
+//! paper's Definition IV.1 anchor/free *vertex* analysis of a single plan.
+
+use light_pattern::{PartialOrder, PatternGraph, PatternVertex};
+
+use crate::plan::{CandidateStrategy, Materialization, QueryPlan};
+
+/// A plan whose enumeration order starts at the ordered pattern pair
+/// `(pu, pv)` — slot 0 binds `pu`, slot 1 binds `pv`.
+#[derive(Debug, Clone)]
+pub struct AnchoredPlan {
+    /// Pattern vertex bound first (maps to the data edge's first endpoint).
+    pub pu: PatternVertex,
+    /// Pattern vertex bound second (maps to the second endpoint).
+    pub pv: PatternVertex,
+    /// The plan with `π = [pu, pv, …]` and no partial order.
+    pub plan: QueryPlan,
+}
+
+/// All ordered adjacent pattern pairs `(pu, pv)` — both orientations of
+/// every pattern edge. Anchoring a delta count at a data edge requires one
+/// enumeration per entry.
+pub fn anchor_pairs(pattern: &PatternGraph) -> Vec<(PatternVertex, PatternVertex)> {
+    let mut pairs = Vec::with_capacity(pattern.num_edges() * 2);
+    for (a, b) in pattern.edges() {
+        pairs.push((a, b));
+        pairs.push((b, a));
+    }
+    pairs
+}
+
+/// Build the greedy connected order starting `[pu, pv, …]`: each next
+/// vertex is adjacent to a chosen one, preferring high pattern degree
+/// (most constraining first), ties to the smaller ID for determinism.
+fn anchored_order(
+    pattern: &PatternGraph,
+    pu: PatternVertex,
+    pv: PatternVertex,
+) -> Vec<PatternVertex> {
+    let n = pattern.num_vertices();
+    let mut pi = Vec::with_capacity(n);
+    pi.push(pu);
+    pi.push(pv);
+    while pi.len() < n {
+        let next = (0..n as PatternVertex)
+            .filter(|v| !pi.contains(v))
+            .filter(|&v| pi.iter().any(|&u| pattern.has_edge(u, v)))
+            .max_by_key(|&v| (pattern.degree(v), std::cmp::Reverse(v)))
+            .expect("pattern is connected: some unchosen vertex borders the prefix");
+        pi.push(next);
+    }
+    debug_assert!(pattern.is_connected_order(&pi));
+    pi
+}
+
+/// Build the edge-anchored variant of a plan for the ordered adjacent
+/// pair `(pu, pv)`.
+///
+/// # Panics
+/// If `(pu, pv)` is not a pattern edge or the pattern is disconnected.
+pub fn anchored_plan(
+    pattern: &PatternGraph,
+    pu: PatternVertex,
+    pv: PatternVertex,
+    materialization: Materialization,
+    strategy: CandidateStrategy,
+) -> AnchoredPlan {
+    assert!(
+        pattern.has_edge(pu, pv),
+        "anchor pair ({pu}, {pv}) is not a pattern edge"
+    );
+    let pi = anchored_order(pattern, pu, pv);
+    let plan = QueryPlan::with_order(
+        pattern,
+        &pi,
+        PartialOrder::none(),
+        materialization,
+        strategy,
+    );
+    AnchoredPlan { pu, pv, plan }
+}
+
+/// The full anchored-plan family of a pattern: one plan per ordered
+/// adjacent pair, in [`anchor_pairs`] order. Build once per (pattern,
+/// config), reuse across every edge in a delta batch.
+pub fn anchored_plans(
+    pattern: &PatternGraph,
+    materialization: Materialization,
+    strategy: CandidateStrategy,
+) -> Vec<AnchoredPlan> {
+    anchor_pairs(pattern)
+        .into_iter()
+        .map(|(pu, pv)| anchored_plan(pattern, pu, pv, materialization, strategy))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use light_pattern::Query;
+
+    #[test]
+    fn pairs_cover_both_orientations() {
+        let p = Query::Triangle.pattern();
+        let pairs = anchor_pairs(&p);
+        assert_eq!(pairs.len(), 2 * p.num_edges());
+        for (a, b) in p.edges() {
+            assert!(pairs.contains(&(a, b)));
+            assert!(pairs.contains(&(b, a)));
+        }
+    }
+
+    #[test]
+    fn anchored_plans_start_at_the_pair_with_no_partial_order() {
+        for q in Query::ALL {
+            let p = q.pattern();
+            for plan in anchored_plans(&p, Materialization::Lazy, CandidateStrategy::MinSetCover) {
+                let pi = plan.plan.pi();
+                assert_eq!(pi[0], plan.pu, "{}", q.name());
+                assert_eq!(pi[1], plan.pv, "{}", q.name());
+                assert!(p.is_connected_order(pi), "{}", q.name());
+                assert_eq!(pi.len(), p.num_vertices());
+                // Raw counting: no symmetry-breaking constraints at all.
+                assert!(
+                    plan.plan
+                        .constraints()
+                        .iter()
+                        .all(|c| c.must_be_larger_than.is_empty()
+                            && c.must_be_smaller_than.is_empty())
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a pattern edge")]
+    fn non_edge_anchor_panics() {
+        // P1 (4-cycle 0-1-2-3) has no chord 0-2.
+        let p = Query::P1.pattern();
+        anchored_plan(
+            &p,
+            0,
+            2,
+            Materialization::Lazy,
+            CandidateStrategy::MinSetCover,
+        );
+    }
+}

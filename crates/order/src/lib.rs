@@ -38,6 +38,7 @@
 //! ```
 
 pub mod anchor;
+pub mod anchored;
 pub mod auxplan;
 pub mod cost;
 pub mod estimate;
@@ -46,6 +47,7 @@ pub mod multiplan;
 pub mod plan;
 pub mod setcover;
 
+pub use anchored::{anchor_pairs, anchored_plan, anchored_plans, AnchoredPlan};
 pub use auxplan::{TrimDirective, DEFAULT_AUX_THRESHOLD};
 pub use exec_order::{ExecOp, ExecutionOrder};
 pub use multiplan::{

@@ -1,12 +1,16 @@
 //! The graph catalog: named data graphs, loaded once, shared by every
-//! query for the lifetime of the daemon.
+//! query for the lifetime of the daemon — and, since the dynamic-graph
+//! work, *mutable* through batched edge updates.
 //!
 //! This is the amortization the paper's serving story assumes — load and
 //! preprocess the data graph once, answer many queries against it. Each
-//! entry holds the graph behind an `Arc` (workers borrow it concurrently),
-//! its precomputed [`GraphStats`], and provenance (where it came from and
-//! how long it took to load), so `stats`/`catalog` responses need no
-//! recomputation.
+//! entry holds its serving state behind a read/write lock: a
+//! [`DeltaGraph`] overlay (immutable base CSR plus pending edge buffers),
+//! the materialized merged view workers borrow concurrently, precomputed
+//! [`GraphStats`], and a monotone **generation** counter that bumps on
+//! every successful update. The generation is the cache-invalidation
+//! contract: plan-cache keys and cross-query aux stores embed it, so a
+//! mutation can never serve stale derived state (see DESIGN.md §17).
 //!
 //! Entries come from three sources:
 //!
@@ -17,54 +21,283 @@
 //! Every graph is normalized to the degree-ordered ID space on the way in
 //! (symmetry breaking relies on it, see `light_graph::ordered`): text
 //! lists are always relabeled; snapshots are trusted but verified, and
-//! relabeled with a warning if they fail the check.
+//! relabeled with a warning if they fail the check. Mutated graphs are
+//! *not* re-normalized — the engine only needs a fixed total vertex order
+//! for symmetry breaking, and relabeling live IDs would break clients.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 use light_graph::datasets::Dataset;
+use light_graph::delta::{ApplyReport, DeltaGraph};
 use light_graph::io::{FileStamp, GraphFormat};
 use light_graph::stats::{compute_stats, GraphStats};
-use light_graph::CsrGraph;
+use light_graph::{CsrGraph, VertexId};
+
+/// The mutable serving state of one entry, swapped atomically under the
+/// entry's write lock on every committed update.
+#[derive(Debug)]
+struct LiveState {
+    /// Base CSR plus pending insert/delete buffers.
+    delta: DeltaGraph,
+    /// The materialized current view (`delta.merged_arc()`, cached).
+    /// Clean overlays alias the base `Arc` — zero copy.
+    graph: Arc<CsrGraph>,
+    /// Stats of `graph`, recomputed on every update (graphs served here
+    /// are modest; incremental triangle maintenance is future work).
+    stats: GraphStats,
+    /// Storage backend of the *base* (`"heap"` or `"mmap"`).
+    backend: &'static str,
+    /// SIGBUS guard for mmap-backed bases: the backing file's fingerprint
+    /// at map time. Heap-backed state carries `None`.
+    stamp: Option<FileStamp>,
+    /// Monotone update counter. Starts at 0 on load; every committed
+    /// update (including pure compactions) increments it.
+    generation: u64,
+}
+
+/// The result of one committed [`CatalogEntry::apply_update`] batch.
+#[derive(Debug)]
+pub struct UpdateOutcome {
+    /// The entry's generation *after* the commit.
+    pub generation: u64,
+    /// Normalized edges whose presence actually changed.
+    pub report: ApplyReport,
+    /// The merged view before the batch (for delta counting).
+    pub pre: Arc<CsrGraph>,
+    /// The merged view after the batch.
+    pub post: Arc<CsrGraph>,
+    /// Pending overlay edges after the batch (0 if compacted).
+    pub pending: usize,
+    /// Whether this update folded the overlay into a fresh base (and, for
+    /// snapshot-backed entries, rewrote + re-stamped the snapshot file).
+    pub compacted: bool,
+}
 
 /// One named graph resident in the daemon.
 #[derive(Debug, Clone)]
 pub struct CatalogEntry {
     /// Catalog name clients address the graph by.
     pub name: String,
-    /// The loaded, degree-ordered graph.
-    pub graph: Arc<CsrGraph>,
-    /// Stats computed once at load (drives planning-free `stats` answers).
-    pub stats: GraphStats,
     /// Where the graph came from (path or dataset spec).
     pub source: String,
-    /// Source format (`"snapshot"`, `"edge-list"`, `"dataset"`).
+    /// Source format (`"snapshot"`, `"edge-list"`, `"dataset"`, `"memory"`).
     pub format: &'static str,
-    /// Storage backend the graph ended up on (`"heap"` or `"mmap"`).
-    pub backend: &'static str,
     /// Wall-clock load + normalization + stats time, milliseconds.
     pub load_ms: f64,
-    /// SIGBUS guard for mmap-backed entries: the backing file's
-    /// fingerprint at map time. Heap-backed entries (which own their
-    /// bytes and cannot fault) carry `None` and are always healthy.
-    pub stamp: Option<FileStamp>,
     /// Sticky health flag, shared across clones. Flips to `false` the
     /// first time [`CatalogEntry::check_health`] sees the backing file
-    /// shrunk, replaced, or modified — and never flips back, because the
-    /// mapping stays unsafe/stale even if the file is later restored.
+    /// shrunk, replaced, or modified — and flips back **only** when the
+    /// entry itself replaces the file (compaction rewrites the snapshot
+    /// and re-stamps; an external replacement stays fatal).
     pub healthy: Arc<AtomicBool>,
+    /// Serving state, shared across clones.
+    live: Arc<RwLock<LiveState>>,
+    /// Serializes writers: updates are prepared off-lock and committed
+    /// under `live`'s write lock, so only one batch may be in flight.
+    update_lock: Arc<Mutex<()>>,
+    /// Whether compaction re-opens rewritten snapshots through mmap.
+    prefer_mmap: bool,
+}
+
+/// Read-lock with poison recovery: a writer that panicked *before* the
+/// commit left the previous consistent state in place (see
+/// [`CatalogEntry::apply_update`]), so serving through poison is safe.
+fn read_recover<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|p| p.into_inner())
+}
+
+fn write_recover<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|p| p.into_inner())
 }
 
 impl CatalogEntry {
+    fn from_graph(
+        name: &str,
+        source: &str,
+        format: &'static str,
+        graph: CsrGraph,
+        stamp: Option<FileStamp>,
+        load_started: Instant,
+        prefer_mmap: bool,
+    ) -> CatalogEntry {
+        // Warm hint for mapped graphs: start readahead on the CSR arrays
+        // now so the stats pass below (and the first query) fault fewer
+        // cold pages. Advice only — the pages stay evictable.
+        graph.advise_willneed();
+        let stats = compute_stats(&graph);
+        let backend = graph.backend().name();
+        let graph = Arc::new(graph);
+        CatalogEntry {
+            name: name.to_string(),
+            source: source.to_string(),
+            format,
+            load_ms: load_started.elapsed().as_secs_f64() * 1e3,
+            healthy: Arc::new(AtomicBool::new(true)),
+            live: Arc::new(RwLock::new(LiveState {
+                delta: DeltaGraph::new(Arc::clone(&graph)),
+                graph,
+                stats,
+                backend,
+                stamp,
+                generation: 0,
+            })),
+            update_lock: Arc::new(Mutex::new(())),
+            prefer_mmap,
+        }
+    }
+
+    /// The current merged view. Cheap: one read lock + `Arc` clone.
+    pub fn graph(&self) -> Arc<CsrGraph> {
+        Arc::clone(&read_recover(&self.live).graph)
+    }
+
+    /// The merged view together with the generation it belongs to, read
+    /// under one lock so a query's plan-cache key and execution graph can
+    /// never straddle an update.
+    pub fn view(&self) -> (Arc<CsrGraph>, u64) {
+        let st = read_recover(&self.live);
+        (Arc::clone(&st.graph), st.generation)
+    }
+
+    /// Stats of the current view (recomputed at load and on every update).
+    pub fn stats(&self) -> GraphStats {
+        read_recover(&self.live).stats
+    }
+
+    /// Storage backend of the current base (`"heap"` or `"mmap"`).
+    pub fn backend(&self) -> &'static str {
+        read_recover(&self.live).backend
+    }
+
+    /// The entry's update generation (0 until the first update commits).
+    pub fn generation(&self) -> u64 {
+        read_recover(&self.live).generation
+    }
+
+    /// Pending overlay edges not yet folded into the base.
+    pub fn pending_edges(&self) -> usize {
+        read_recover(&self.live).delta.pending_edges()
+    }
+
+    /// Apply one batch of edge deletes-then-inserts, commit it
+    /// transactionally, and bump the generation.
+    ///
+    /// The batch is prepared on a *clone* of the overlay while readers
+    /// keep serving the old state; nothing is published until the final
+    /// commit under the write lock. A panic anywhere before the commit
+    /// (the `serve::update_apply` failpoint sits between preparation and
+    /// commit) leaves the old generation, graph, and stats fully intact.
+    ///
+    /// Compaction runs when `force_compact` is set or the post-batch
+    /// overlay holds at least `compact_threshold` pending edges: the
+    /// buffers fold into a fresh base and, for snapshot-backed entries,
+    /// the v2 snapshot is atomically rewritten at `source`, re-opened
+    /// (mmap when preferred), and re-stamped — after which the sticky
+    /// health flag is deliberately reset, because *this* replacement is
+    /// ours (the bugfix for treating every replaced file as fatal).
+    ///
+    /// # Errors
+    /// On compaction I/O failure the whole batch is rejected and the old
+    /// state stays live.
+    pub fn apply_update(
+        &self,
+        deletes: &[(VertexId, VertexId)],
+        inserts: &[(VertexId, VertexId)],
+        compact_threshold: Option<usize>,
+        force_compact: bool,
+    ) -> Result<UpdateOutcome, String> {
+        // One writer at a time; poison means a previous writer panicked
+        // pre-commit, which left `live` consistent — recover and proceed.
+        let _writer = self.update_lock.lock().unwrap_or_else(|p| p.into_inner());
+
+        // Snapshot the current state under a short read lock.
+        let (mut delta, pre) = {
+            let st = read_recover(&self.live);
+            (st.delta.clone(), Arc::clone(&st.graph))
+        };
+
+        let report = delta.apply(deletes, inserts);
+        let post = delta.merged_arc();
+        let stats = compute_stats(&post);
+
+        let compact =
+            force_compact || compact_threshold.is_some_and(|t| t > 0 && delta.pending_edges() >= t);
+        let mut new_stamp = None;
+        let mut new_backend = None;
+        if compact && delta.is_dirty() {
+            delta.compact();
+            if self.format == GraphFormat::Snapshot.name() {
+                // Durable compaction: atomically rewrite the snapshot the
+                // entry was loaded from, re-open (zero-copy when mmap is
+                // preferred), and swap the fresh mapping in as the base.
+                light_graph::io::save_snapshot_v2(&post, &self.source)
+                    .map_err(|e| format!("compaction: cannot rewrite {}: {e}", self.source))?;
+                let (reopened, _) = light_graph::io::open_any(&self.source, self.prefer_mmap)
+                    .map_err(|e| format!("compaction: cannot reopen {}: {e}", self.source))?;
+                let backend = reopened.backend().name();
+                delta.rebase(Arc::new(reopened))?;
+                new_stamp = Some(if backend == "mmap" {
+                    FileStamp::of(&self.source).ok()
+                } else {
+                    None
+                });
+                new_backend = Some(backend);
+            }
+        }
+
+        // Everything is computed; a panic up to here (this is the chaos
+        // harness's injection site) must leave the old generation live.
+        light_failpoint::fail_point!("serve::update_apply");
+
+        let generation = {
+            let mut st = write_recover(&self.live);
+            st.generation += 1;
+            st.graph = if compact {
+                // Serve through the (possibly re-mapped) compacted base.
+                Arc::clone(delta.base())
+            } else {
+                Arc::clone(&post)
+            };
+            st.stats = stats;
+            if let Some(stamp) = new_stamp {
+                st.stamp = stamp;
+            }
+            if let Some(backend) = new_backend {
+                st.backend = backend;
+            }
+            let pending = delta.pending_edges();
+            debug_assert!(!compact || pending == 0);
+            st.delta = delta;
+            st.generation
+        };
+        if compact && self.format == GraphFormat::Snapshot.name() {
+            // We replaced the file ourselves and re-stamped against the
+            // new inode: the entry is healthy again by construction.
+            self.healthy.store(true, Ordering::Relaxed);
+        }
+        let pending = self.pending_edges();
+        Ok(UpdateOutcome {
+            generation,
+            report,
+            pre,
+            post,
+            pending,
+            compacted: compact,
+        })
+    }
+
     /// Re-stat the backing file of an mmap-backed entry and return whether
     /// it is still safe to serve from. Cheap (one `stat`), called on the
-    /// `health`/`catalog` ops and before every query. Unhealthy is sticky.
+    /// `health`/`catalog` ops and before every query. Unhealthy is sticky
+    /// against *external* file changes; only the entry's own compaction
+    /// (which re-maps and re-stamps) resets it.
     pub fn check_health(&self) -> bool {
         if !self.healthy.load(Ordering::Relaxed) {
             return false;
         }
-        let Some(recorded) = &self.stamp else {
+        let Some(recorded) = read_recover(&self.live).stamp else {
             return true;
         };
         // A stat failure means the file is gone (unlinked without a
@@ -167,30 +400,22 @@ impl GraphCatalog {
             }
             light_graph::ordered::into_degree_ordered(&raw).0
         };
-        // Warm hint for mapped graphs: start readahead on the CSR arrays
-        // now so the stats pass below (and the first query) fault fewer
-        // cold pages. Advice only — the pages stay evictable.
-        graph.advise_willneed();
-        let stats = compute_stats(&graph);
-        let backend = graph.backend().name();
         // Only mmap-backed graphs can SIGBUS on file truncation; stamp
         // them at map time so health checks can catch it first.
-        let stamp = if backend == "mmap" {
+        let stamp = if graph.backend().name() == "mmap" {
             FileStamp::of(source).ok()
         } else {
             None
         };
-        self.entries.push(CatalogEntry {
-            name: name.to_string(),
-            graph: Arc::new(graph),
-            stats,
-            source: source.to_string(),
+        self.entries.push(CatalogEntry::from_graph(
+            name,
+            source,
             format,
-            backend,
-            load_ms: start.elapsed().as_secs_f64() * 1e3,
+            graph,
             stamp,
-            healthy: Arc::new(AtomicBool::new(true)),
-        });
+            start,
+            self.prefer_mmap,
+        ));
         Ok(())
     }
 
@@ -206,19 +431,15 @@ impl GraphCatalog {
         } else {
             light_graph::ordered::into_degree_ordered(&g).0
         };
-        let stats = compute_stats(&graph);
-        let backend = graph.backend().name();
-        self.entries.push(CatalogEntry {
-            name: name.to_string(),
-            graph: Arc::new(graph),
-            stats,
-            source: "<memory>".to_string(),
-            format: "memory",
-            backend,
-            load_ms: start.elapsed().as_secs_f64() * 1e3,
-            stamp: None,
-            healthy: Arc::new(AtomicBool::new(true)),
-        });
+        self.entries.push(CatalogEntry::from_graph(
+            name,
+            "<memory>",
+            "memory",
+            graph,
+            None,
+            start,
+            self.prefer_mmap,
+        ));
         Ok(())
     }
 
@@ -283,14 +504,17 @@ mod tests {
         assert_eq!(t.format, "edge-list");
         assert_eq!(b.format, "snapshot");
         // Both normalize to degree-ordered form with identical stats.
-        assert!(light_graph::ordered::is_degree_ordered(&t.graph));
-        assert!(light_graph::ordered::is_degree_ordered(&b.graph));
-        assert_eq!(t.stats.num_edges, b.stats.num_edges);
-        assert_eq!(t.stats.triangles, b.stats.triangles);
+        assert!(light_graph::ordered::is_degree_ordered(&t.graph()));
+        assert!(light_graph::ordered::is_degree_ordered(&b.graph()));
+        assert_eq!(t.stats().num_edges, b.stats().num_edges);
+        assert_eq!(t.stats().triangles, b.stats().triangles);
         assert!(cat.sole_entry().is_none());
         // v1 snapshots and text lists always decode onto the heap.
-        assert_eq!(t.backend, "heap");
-        assert_eq!(b.backend, "heap");
+        assert_eq!(t.backend(), "heap");
+        assert_eq!(b.backend(), "heap");
+        // Fresh entries start at generation 0 with a clean overlay.
+        assert_eq!(t.generation(), 0);
+        assert_eq!(t.pending_edges(), 0);
 
         std::fs::remove_file(&text).ok();
         std::fs::remove_file(&bin).ok();
@@ -314,14 +538,14 @@ mod tests {
 
         let m = mapped.get("m").unwrap();
         let h = heap.get("h").unwrap();
-        assert_eq!(h.backend, "heap");
+        assert_eq!(h.backend(), "heap");
         #[cfg(all(target_os = "linux", target_endian = "little"))]
         {
-            assert_eq!(m.backend, "mmap");
-            assert_eq!(m.graph.resident_bytes(), 0);
+            assert_eq!(m.backend(), "mmap");
+            assert_eq!(m.graph().resident_bytes(), 0);
         }
-        assert_eq!(*m.graph, *h.graph);
-        assert_eq!(m.stats.triangles, h.stats.triangles);
+        assert_eq!(*m.graph(), *h.graph());
+        assert_eq!(m.stats().triangles, h.stats().triangles);
 
         // A truncated v2 file must come back as a typed load error.
         let bytes = std::fs::read(&v2).unwrap();
@@ -372,8 +596,7 @@ mod tests {
         cat.load_entry("h", v2.to_str().unwrap()).unwrap();
         let entry = cat.get("h").unwrap().clone();
 
-        if entry.backend == "mmap" {
-            assert!(entry.stamp.is_some(), "mmap entries must be stamped");
+        if entry.backend() == "mmap" {
             assert!(entry.check_health());
             assert_eq!(cat.check_health(), (1, 1));
 
@@ -386,7 +609,7 @@ mod tests {
             assert_eq!(cat.check_health(), (0, 1));
 
             // Restoring the file does not help: the mapping is still the
-            // truncated inode. Unhealthy is sticky.
+            // truncated inode. Unhealthy is sticky against external writes.
             light_graph::io::save_snapshot_v2(&ordered, &v2).unwrap();
             assert!(!entry.check_health());
             // The clone inside the catalog shares the flag.
@@ -394,7 +617,6 @@ mod tests {
         } else {
             // Heap fallback hosts: no stamp, always healthy, even after
             // the file disappears — the graph owns its bytes.
-            assert!(entry.stamp.is_none());
             std::fs::remove_file(&v2).ok();
             assert!(entry.check_health());
             assert_eq!(cat.check_health(), (1, 1));
@@ -413,7 +635,7 @@ mod tests {
 
         let mut cat = GraphCatalog::new();
         cat.load_entry("r", v2.to_str().unwrap()).unwrap();
-        if cat.get("r").unwrap().backend == "mmap" {
+        if cat.get("r").unwrap().backend() == "mmap" {
             // Replace by rename (the write_atomic idiom): new inode at the
             // same path. Reading the old mapping is safe but stale.
             let tmp = dir.join("r.v2.tmp");
@@ -433,8 +655,137 @@ mod tests {
         let mut cat = GraphCatalog::new();
         cat.insert("g", g.clone()).unwrap();
         assert!(light_graph::ordered::is_degree_ordered(
-            &cat.get("g").unwrap().graph
+            &cat.get("g").unwrap().graph()
         ));
-        assert_eq!(cat.get("g").unwrap().stats.num_edges, g.num_edges());
+        assert_eq!(cat.get("g").unwrap().stats().num_edges, g.num_edges());
+    }
+
+    #[test]
+    fn apply_update_bumps_generation_and_serves_new_view() {
+        let mut cat = GraphCatalog::new();
+        cat.insert("g", generators::path(6)).unwrap();
+        let e = cat.get("g").unwrap();
+        let (g0, gen0) = e.view();
+        assert_eq!(gen0, 0);
+        let t0 = e.stats().triangles;
+        assert_eq!(t0, 0);
+
+        // Close a triangle on the path: find an interior vertex (IDs were
+        // relabeled by degree ordering) and connect its two neighbors.
+        let u = (0..g0.num_vertices() as u32)
+            .find(|&v| g0.neighbors(v).len() >= 2)
+            .expect("a path of 6 has interior vertices");
+        let nbrs: Vec<u32> = g0.neighbors(u).to_vec();
+        let out = e
+            .apply_update(&[], &[(nbrs[0], nbrs[1])], None, false)
+            .unwrap();
+        assert_eq!(out.generation, 1);
+        assert_eq!(e.generation(), 1);
+        assert_eq!(out.report.inserted.len(), 1);
+        assert!(!out.compacted);
+        assert_eq!(out.pending, 1);
+        assert_eq!(e.stats().triangles, t0 + 1);
+        assert_eq!(e.graph().num_edges(), g0.num_edges() + 1);
+        // The pre/post views bracket the batch.
+        assert_eq!(out.pre.num_edges(), g0.num_edges());
+        assert_eq!(out.post.num_edges(), g0.num_edges() + 1);
+
+        // Idempotent re-insert: still bumps the generation (the catalog
+        // cannot know the caller's intent), changes nothing else.
+        let out2 = e
+            .apply_update(&[], &[(nbrs[0], nbrs[1])], None, false)
+            .unwrap();
+        assert_eq!(out2.generation, 2);
+        assert!(out2.report.inserted.is_empty());
+        assert_eq!(out2.report.dup_inserts, 1);
+
+        // Threshold compaction folds the overlay (memory entry: no file).
+        // Deleting a *base* edge keeps the overlay dirty (deleting the
+        // overlay-added chord would cancel back to clean), and breaks the
+        // triangle just as well.
+        let out3 = e
+            .apply_update(&[(u, nbrs[0])], &[], Some(1), false)
+            .unwrap();
+        assert!(out3.compacted);
+        assert_eq!(out3.pending, 0);
+        assert_eq!(e.pending_edges(), 0);
+        assert_eq!(e.stats().triangles, 0);
+        assert_eq!(e.generation(), 3);
+    }
+
+    #[test]
+    fn compaction_rewrites_snapshot_and_stays_healthy() {
+        let dir = std::env::temp_dir().join(format!("light_serve_cat_cp_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = generators::barabasi_albert(150, 3, 17);
+        let (ordered, _) = light_graph::ordered::into_degree_ordered(&g);
+        let v2 = dir.join("c.v2");
+        light_graph::io::save_snapshot_v2(&ordered, &v2).unwrap();
+
+        let mut cat = GraphCatalog::new();
+        cat.load_entry("c", v2.to_str().unwrap()).unwrap();
+        let e = cat.get("c").unwrap();
+        let n = e.graph().num_vertices() as u32;
+        let edges0 = e.graph().num_edges();
+
+        // Mutate, then force a durable compaction.
+        let out = e
+            .apply_update(&[], &[(0, n - 1), (1, n - 1)], None, true)
+            .unwrap();
+        assert!(out.compacted);
+        assert_eq!(out.pending, 0);
+        // The snapshot on disk was replaced by the entry itself: the
+        // entry re-stamped and must remain healthy (the sticky-unhealthy
+        // bugfix), and the rewritten file reloads to the mutated graph.
+        assert!(e.check_health(), "self-compaction must not poison health");
+        assert_eq!(cat.check_health(), (1, 1));
+        let (reloaded, _) = light_graph::io::load_any(v2.to_str().unwrap()).unwrap();
+        let served = e.graph();
+        assert_eq!(reloaded.num_edges(), served.num_edges());
+        assert!(served.num_edges() >= edges0);
+        #[cfg(all(target_os = "linux", target_endian = "little"))]
+        assert_eq!(e.backend(), "mmap", "compaction re-opens zero-copy");
+
+        // A subsequent *external* replacement is still fatal.
+        light_graph::io::save_snapshot_v2(&ordered, &v2).unwrap();
+        if e.backend() == "mmap" {
+            assert!(!e.check_health());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_readers_see_consistent_views_during_updates() {
+        let mut cat = GraphCatalog::new();
+        cat.insert("g", generators::barabasi_albert(300, 3, 23))
+            .unwrap();
+        let e = cat.get("g").unwrap().clone();
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let e = e.clone();
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let (g, _) = e.view();
+                        // The served view is always a valid simple graph.
+                        assert!(g.validate().is_ok());
+                    }
+                })
+            })
+            .collect();
+        let n = e.graph().num_vertices() as u32;
+        for i in 0..40u32 {
+            let (a, b) = (i % n, (i * 7 + 1) % n);
+            if a != b {
+                e.apply_update(&[], &[(a, b)], Some(16), false).unwrap();
+                e.apply_update(&[(a, b)], &[], Some(16), false).unwrap();
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert!(e.generation() > 0);
     }
 }

@@ -82,7 +82,7 @@ mod tests {
         let entry = svc.catalog().get("demo").unwrap();
         let expect = light_core::run_query(
             &light_pattern::Query::P2.pattern(),
-            &entry.graph,
+            &entry.graph(),
             &svc.config().engine,
         )
         .matches;

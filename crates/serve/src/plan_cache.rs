@@ -11,7 +11,11 @@
 //!   clients that spell the same shape differently get distinct but
 //!   equally valid plans);
 //! * the catalog graph name (plans embed graph-derived cardinality
-//!   estimates, so a plan never transfers between graphs);
+//!   estimates, so a plan never transfers between graphs) **and the
+//!   entry's update generation** — an `update` op changes the graph, so
+//!   plans optimized against the old statistics must not be served for
+//!   the new graph (the mutation-invalidation bugfix; stale-generation
+//!   entries age out through LRU);
 //! * the engine knobs that alter planning: variant (materialization ×
 //!   candidate strategy), symmetry breaking, and the aux-cache benefit
 //!   threshold.
@@ -39,6 +43,10 @@ pub const PLAN_CACHE_CAP: usize = 4096;
 pub struct PlanKey {
     /// Catalog graph name (estimates are graph-specific).
     graph: String,
+    /// The entry's update generation at key-build time: a committed
+    /// `update` bumps it, so plans built against the pre-update graph
+    /// can never be served afterwards.
+    generation: u64,
     /// Pattern vertex count.
     n: usize,
     /// Canonical (sorted `a < b`) pattern edge list.
@@ -53,12 +61,18 @@ pub struct PlanKey {
 }
 
 impl PlanKey {
-    /// Build the key for `(pattern, graph, config)`.
-    pub fn new(pattern: &PatternGraph, graph: &str, cfg: &EngineConfig) -> PlanKey {
+    /// Build the key for `(pattern, graph @ generation, config)`.
+    pub fn new(
+        pattern: &PatternGraph,
+        graph: &str,
+        generation: u64,
+        cfg: &EngineConfig,
+    ) -> PlanKey {
         let mut edges = pattern.edges();
         edges.sort_unstable();
         PlanKey {
             graph: graph.to_string(),
+            generation,
             n: pattern.num_vertices(),
             edges,
             variant: cfg.variant,
@@ -225,7 +239,7 @@ mod tests {
     use light_pattern::Query;
 
     fn key_for(q: Query, graph: &str, cfg: &EngineConfig) -> PlanKey {
-        PlanKey::new(&q.pattern(), graph, cfg)
+        PlanKey::new(&q.pattern(), graph, 0, cfg)
     }
 
     #[test]
@@ -268,7 +282,10 @@ mod tests {
         let a = PatternGraph::parse("0-1,1-2,2-0").unwrap();
         let b = PatternGraph::parse("2-0,0-1,1-2").unwrap();
         let cfg = EngineConfig::light();
-        assert_eq!(PlanKey::new(&a, "g", &cfg), PlanKey::new(&b, "g", &cfg));
+        assert_eq!(
+            PlanKey::new(&a, "g", 0, &cfg),
+            PlanKey::new(&b, "g", 0, &cfg)
+        );
     }
 
     #[test]
@@ -279,14 +296,14 @@ mod tests {
         // Unique patterns beyond the cap: grow paths of distinct lengths
         // is impossible at ≤8 vertices, so reuse distinct graph names.
         for i in 0..(PLAN_CACHE_CAP + 5) {
-            let key = PlanKey::new(&Query::Triangle.pattern(), &format!("g{i}"), &cfg);
+            let key = PlanKey::new(&Query::Triangle.pattern(), &format!("g{i}"), 0, &cfg);
             cache.get_or_build(key, || cfg.plan(&Query::Triangle.pattern(), &g));
         }
         assert_eq!(cache.len(), PLAN_CACHE_CAP);
         assert_eq!(cache.evictions(), 5);
         // With no intervening re-use, LRU degrades to FIFO: the very
         // first key was evicted and re-querying it is a miss.
-        let key0 = PlanKey::new(&Query::Triangle.pattern(), "g0", &cfg);
+        let key0 = PlanKey::new(&Query::Triangle.pattern(), "g0", 0, &cfg);
         let (_, hit) = cache.get_or_build(key0, || cfg.plan(&Query::Triangle.pattern(), &g));
         assert!(!hit);
     }
@@ -305,7 +322,7 @@ mod tests {
         let mut cold = 0usize;
         for round in 0..20 {
             for &q in &hot {
-                let key = PlanKey::new(&q.pattern(), "g", &cfg);
+                let key = PlanKey::new(&q.pattern(), "g", 0, &cfg);
                 let (_, hit) = cache.get_or_build(key, || cfg.plan(&q.pattern(), &g));
                 // After the warm-up round every hot lookup must hit, no
                 // matter how much cold traffic went by in between.
@@ -317,7 +334,7 @@ mod tests {
             // over a FIFO of this size several times across the run.
             for _ in 0..2 {
                 cold += 1;
-                let key = PlanKey::new(&Query::Triangle.pattern(), &format!("cold{cold}"), &cfg);
+                let key = PlanKey::new(&Query::Triangle.pattern(), &format!("cold{cold}"), 0, &cfg);
                 cache.get_or_build(key, || cfg.plan(&Query::Triangle.pattern(), &g));
             }
         }
@@ -338,7 +355,7 @@ mod tests {
         let cfg = EngineConfig::light();
         let cache = PlanCache::with_capacity(2);
         let build = || cfg.plan(&Query::Triangle.pattern(), &g);
-        let key = |name: &str| PlanKey::new(&Query::Triangle.pattern(), name, &cfg);
+        let key = |name: &str| PlanKey::new(&Query::Triangle.pattern(), name, 0, &cfg);
 
         cache.get_or_build(key("a"), build); // a
         cache.get_or_build(key("b"), build); // a b
@@ -370,7 +387,7 @@ mod tests {
         let cfg = EngineConfig::light();
         let cache = PlanCache::with_capacity(2);
         let build = || cfg.plan(&Query::Triangle.pattern(), &g);
-        let key = |name: &str| PlanKey::new(&Query::Triangle.pattern(), name, &cfg);
+        let key = |name: &str| PlanKey::new(&Query::Triangle.pattern(), name, 0, &cfg);
 
         cache.get_or_build(key("a"), build); // a
         cache.get_or_build(key("b"), build); // a b

@@ -13,6 +13,10 @@
 //! ```text
 //! {"op":"query","pattern":"P2","graph":"yt","id":1,"priority":5,
 //!  "timeout_ms":5000,"threads":4,"variant":"light","profile":false}
+//! {"op":"update","graph":"yt","inserts":[[0,1],[2,3]],"deletes":[[4,5]],
+//!  "compact":false}
+//! {"op":"subscribe","pattern":"triangle","graph":"yt"}
+//! {"op":"unsubscribe","sub":3}
 //! {"op":"stats","engine":false}
 //! {"op":"catalog"}
 //! {"op":"health"}
@@ -32,6 +36,11 @@ use crate::json::{Json, ObjWriter};
 /// (patterns are ≤ 8 vertices); a client streaming an unbounded "line"
 /// must not buffer the daemon to death.
 pub const MAX_REQUEST_BYTES: usize = 64 * 1024;
+
+/// Upper bound on edges in one `update` batch (inserts + deletes). Keeps
+/// the per-batch delta-maintenance work bounded; bulk loads should go
+/// through `light convert` + daemon restart instead.
+pub const MAX_UPDATE_EDGES: usize = 4096;
 
 /// Machine-readable error codes (the `code` field of error responses).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +85,17 @@ impl ErrorCode {
 pub enum Request {
     /// Run a pattern query (the workhorse).
     Query(QueryRequest),
+    /// Apply a batch of edge deletes-then-inserts to a catalog graph.
+    Update(UpdateRequest),
+    /// Register a maintained count for a (pattern, graph) pair.
+    Subscribe(SubscribeRequest),
+    /// Drop a maintained count by subscription id.
+    Unsubscribe {
+        /// Echoed request id (rendered form).
+        id: String,
+        /// Subscription id returned by `subscribe`.
+        sub: u64,
+    },
     /// Service + engine metrics snapshot.
     Stats {
         /// Echoed request id (rendered form).
@@ -126,6 +146,32 @@ pub struct QueryRequest {
     /// Admission priority, `0..=9` (default 5). Under overload, queued
     /// low-priority work is shed first to admit higher-priority arrivals.
     pub priority: u8,
+}
+
+/// Fields of an `update` request.
+#[derive(Debug, Clone)]
+pub struct UpdateRequest {
+    /// Echoed request id (rendered JSON scalar; `"null"` when absent).
+    pub id: String,
+    /// Catalog graph name; `None` defers to the daemon's sole graph.
+    pub graph: Option<String>,
+    /// Edges to delete, applied before the inserts.
+    pub deletes: Vec<(u32, u32)>,
+    /// Edges to insert.
+    pub inserts: Vec<(u32, u32)>,
+    /// Force folding the overlay into a fresh base snapshot now.
+    pub compact: bool,
+}
+
+/// Fields of a `subscribe` request.
+#[derive(Debug, Clone)]
+pub struct SubscribeRequest {
+    /// Echoed request id (rendered JSON scalar; `"null"` when absent).
+    pub id: String,
+    /// Pattern: `P1`..`P7`, `triangle`, or an `a-b,c-d` edge list.
+    pub pattern: String,
+    /// Catalog graph name; `None` defers to the daemon's sole graph.
+    pub graph: Option<String>,
 }
 
 /// Render a request `id` field for echoing: any scalar is kept verbatim,
@@ -207,6 +253,40 @@ pub fn parse_request(line: &str) -> Result<Request, (String, ErrorCode, String)>
         }
     };
 
+    // `[[a,b],...]` edge arrays for the `update` op. Endpoints must be
+    // non-negative integers that fit a vertex id; loops and duplicates
+    // are tolerated here and normalized by the overlay.
+    let edges_field = |name: &str| -> Result<Vec<(u32, u32)>, (String, ErrorCode, String)> {
+        let bad = |msg: String| fail(ErrorCode::BadRequest, msg);
+        match doc.get(name) {
+            None | Some(Json::Null) => Ok(Vec::new()),
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(|item| match item {
+                    Json::Arr(pair) if pair.len() == 2 => {
+                        let v = |j: &Json| {
+                            j.as_u64()
+                                .filter(|&x| x <= u32::MAX as u64)
+                                .map(|x| x as u32)
+                        };
+                        match (v(&pair[0]), v(&pair[1])) {
+                            (Some(a), Some(b)) => Ok((a, b)),
+                            _ => Err(bad(format!(
+                                "field \"{name}\": edge endpoints must be u32 integers"
+                            ))),
+                        }
+                    }
+                    _ => Err(bad(format!(
+                        "field \"{name}\" must be an array of [a,b] pairs"
+                    ))),
+                })
+                .collect(),
+            Some(_) => Err(bad(format!(
+                "field \"{name}\" must be an array of [a,b] pairs"
+            ))),
+        }
+    };
+
     match op {
         "query" => {
             let pattern = str_field("pattern")?.ok_or_else(|| {
@@ -240,6 +320,50 @@ pub fn parse_request(line: &str) -> Result<Request, (String, ErrorCode, String)>
                 profile,
                 priority,
             }))
+        }
+        "update" => {
+            let graph = str_field("graph")?;
+            let deletes = edges_field("deletes")?;
+            let inserts = edges_field("inserts")?;
+            let compact = bool_field("compact")?;
+            if deletes.is_empty() && inserts.is_empty() && !compact {
+                return Err(fail(
+                    ErrorCode::BadRequest,
+                    "update needs \"inserts\", \"deletes\", or \"compact\":true".into(),
+                ));
+            }
+            if deletes.len() + inserts.len() > MAX_UPDATE_EDGES {
+                return Err(fail(
+                    ErrorCode::BadRequest,
+                    format!("update batch exceeds {MAX_UPDATE_EDGES} edges"),
+                ));
+            }
+            Ok(Request::Update(UpdateRequest {
+                id,
+                graph,
+                deletes,
+                inserts,
+                compact,
+            }))
+        }
+        "subscribe" => {
+            let pattern = str_field("pattern")?.ok_or_else(|| {
+                fail(
+                    ErrorCode::BadRequest,
+                    "subscribe needs a string field \"pattern\"".into(),
+                )
+            })?;
+            let graph = str_field("graph")?;
+            Ok(Request::Subscribe(SubscribeRequest { id, pattern, graph }))
+        }
+        "unsubscribe" => {
+            let sub = u64_field("sub")?.ok_or_else(|| {
+                fail(
+                    ErrorCode::BadRequest,
+                    "unsubscribe needs an integer field \"sub\"".into(),
+                )
+            })?;
+            Ok(Request::Unsubscribe { id, sub })
         }
         "stats" => {
             let engine = bool_field("engine")?;
@@ -426,23 +550,136 @@ pub fn render_shutdown_ack(id: &str) -> String {
     w.finish()
 }
 
+/// One maintained count's state after an update, echoed in the `update`
+/// response so subscribers see their new counts without a round trip.
+#[derive(Debug, Clone)]
+pub struct SubscriptionDelta {
+    /// Subscription id.
+    pub sub: u64,
+    /// Pattern spec the subscription was registered with.
+    pub pattern: String,
+    /// Maintained reduced count after the batch.
+    pub count: u64,
+    /// Raw embeddings destroyed by the batch.
+    pub destroyed: u64,
+    /// Raw embeddings created by the batch.
+    pub created: u64,
+}
+
+/// Result fields of a committed `update`.
+#[derive(Debug, Clone)]
+pub struct UpdateResult {
+    /// Echoed id.
+    pub id: String,
+    /// Graph the batch applied to.
+    pub graph: String,
+    /// Graph generation after the commit (monotone per entry).
+    pub generation: u64,
+    /// Edges actually inserted (after normalization and presence checks).
+    pub inserted: u64,
+    /// Edges actually deleted.
+    pub deleted: u64,
+    /// Insert requests that were loops, duplicates, or already present.
+    pub dup_inserts: u64,
+    /// Delete requests for edges that were not present.
+    pub missing_deletes: u64,
+    /// Overlay edges still pending after the batch.
+    pub pending: u64,
+    /// Whether the overlay was folded into a fresh base (and the backing
+    /// snapshot rewritten, for snapshot-backed entries).
+    pub compacted: bool,
+    /// Wall time to apply + maintain, milliseconds.
+    pub elapsed_ms: f64,
+    /// Post-batch state of every maintained count on this graph.
+    pub subscriptions: Vec<SubscriptionDelta>,
+}
+
+/// Render an `update` response line.
+pub fn render_update(r: &UpdateResult) -> String {
+    let subs: Vec<String> = r
+        .subscriptions
+        .iter()
+        .map(|s| {
+            let mut w = ObjWriter::new();
+            w.u64("sub", s.sub)
+                .str("pattern", &s.pattern)
+                .u64("count", s.count)
+                .u64("destroyed", s.destroyed)
+                .u64("created", s.created);
+            w.finish()
+        })
+        .collect();
+    let mut w = ObjWriter::new();
+    w.raw("id", &r.id)
+        .str("status", "ok")
+        .str("graph", &r.graph)
+        .u64("generation", r.generation)
+        .u64("inserted", r.inserted)
+        .u64("deleted", r.deleted)
+        .u64("dup_inserts", r.dup_inserts)
+        .u64("missing_deletes", r.missing_deletes)
+        .u64("pending", r.pending)
+        .bool("compacted", r.compacted)
+        .f64("elapsed_ms", r.elapsed_ms)
+        .raw("subscriptions", &format!("[{}]", subs.join(",")));
+    w.finish()
+}
+
+/// Render a `subscribe` response line: the new subscription id plus the
+/// full count the registration just computed.
+pub fn render_subscribed(
+    id: &str,
+    sub: u64,
+    graph: &str,
+    pattern: &str,
+    generation: u64,
+    count: u64,
+    elapsed_ms: f64,
+) -> String {
+    let mut w = ObjWriter::new();
+    w.raw("id", id)
+        .str("status", "ok")
+        .u64("sub", sub)
+        .str("graph", graph)
+        .str("pattern", pattern)
+        .u64("generation", generation)
+        .u64("count", count)
+        .f64("elapsed_ms", elapsed_ms);
+    w.finish()
+}
+
+/// Render an `unsubscribe` response line.
+pub fn render_unsubscribed(id: &str, sub: u64, removed: bool) -> String {
+    let mut w = ObjWriter::new();
+    w.raw("id", id)
+        .str("status", "ok")
+        .u64("sub", sub)
+        .bool("removed", removed);
+    w.finish()
+}
+
 /// Render one catalog entry as an object (used by the `catalog` response).
 /// `healthy:false` marks an mmap-backed graph whose snapshot shrank or was
-/// replaced on disk (see the SIGBUS guard in `catalog.rs`).
+/// replaced on disk (see the SIGBUS guard in `catalog.rs`). `generation`
+/// counts committed updates; `pending` is the overlay edges not yet folded
+/// into the base.
 pub fn render_catalog_entry(e: &crate::catalog::CatalogEntry) -> String {
+    let stats = e.stats();
     let mut w = ObjWriter::new();
     w.str("name", &e.name)
         .str("source", &e.source)
         .str("format", e.format)
-        .str("backend", e.backend)
+        .str("backend", e.backend())
         .bool(
             "healthy",
             e.healthy.load(std::sync::atomic::Ordering::Relaxed),
         )
-        .u64("vertices", e.stats.num_vertices as u64)
-        .u64("edges", e.stats.num_edges as u64)
-        .u64("max_degree", e.stats.max_degree as u64)
-        .u64("triangles", e.stats.triangles)
+        .u64("vertices", stats.num_vertices as u64)
+        .u64("edges", stats.num_edges as u64)
+        .u64("max_degree", stats.max_degree as u64)
+        .u64("triangles", stats.triangles)
+        .u64("generation", e.generation())
+        .u64("pending", e.pending_edges() as u64)
         .f64("load_ms", e.load_ms);
     w.finish()
 }
@@ -685,6 +922,154 @@ mod tests {
                 .unwrap()
                 .as_bool(),
             Some(true)
+        );
+    }
+
+    #[test]
+    fn parses_update_request() {
+        let r = parse_request(
+            r#"{"op":"update","graph":"g","inserts":[[0,1],[2,3]],"deletes":[[4,5]],"id":"u1"}"#,
+        )
+        .unwrap();
+        match r {
+            Request::Update(u) => {
+                assert_eq!(u.id, "\"u1\"");
+                assert_eq!(u.graph.as_deref(), Some("g"));
+                assert_eq!(u.inserts, vec![(0, 1), (2, 3)]);
+                assert_eq!(u.deletes, vec![(4, 5)]);
+                assert!(!u.compact);
+            }
+            other => panic!("expected update, got {other:?}"),
+        }
+        // A pure compaction request carries no edges at all.
+        match parse_request(r#"{"op":"update","compact":true}"#).unwrap() {
+            Request::Update(u) => {
+                assert!(u.compact);
+                assert!(u.inserts.is_empty() && u.deletes.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_parse_failures_are_typed() {
+        let cases: &[&str] = &[
+            // No edges and no compact: nothing to do.
+            r#"{"op":"update"}"#,
+            r#"{"op":"update","compact":false}"#,
+            // Malformed edge arrays.
+            r#"{"op":"update","inserts":[[0]]}"#,
+            r#"{"op":"update","inserts":[[0,1,2]]}"#,
+            r#"{"op":"update","inserts":[0,1]}"#,
+            r#"{"op":"update","inserts":"0-1"}"#,
+            r#"{"op":"update","inserts":[["a","b"]]}"#,
+            r#"{"op":"update","deletes":[[-1,2]]}"#,
+            r#"{"op":"update","inserts":[[4294967296,0]]}"#,
+        ];
+        for line in cases {
+            let (_, code, _) = parse_request(line).unwrap_err();
+            assert_eq!(code, ErrorCode::BadRequest, "line {line:?}");
+        }
+
+        // A batch over the cap is refused up front, before any graph work.
+        let edges: Vec<String> = (0..=MAX_UPDATE_EDGES as u64)
+            .map(|i| format!("[{i},{}]", i + 1))
+            .collect();
+        let big = format!("{{\"op\":\"update\",\"inserts\":[{}]}}", edges.join(","));
+        let (_, code, msg) = parse_request(&big).unwrap_err();
+        assert_eq!(code, ErrorCode::BadRequest);
+        assert!(msg.contains("exceeds") || msg.contains("bytes"), "{msg}");
+    }
+
+    #[test]
+    fn parses_subscribe_and_unsubscribe() {
+        match parse_request(r#"{"op":"subscribe","pattern":"triangle","graph":"g","id":1}"#)
+            .unwrap()
+        {
+            Request::Subscribe(s) => {
+                assert_eq!(s.pattern, "triangle");
+                assert_eq!(s.graph.as_deref(), Some("g"));
+                assert_eq!(s.id, "1");
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_request(r#"{"op":"unsubscribe","sub":7}"#).unwrap() {
+            Request::Unsubscribe { sub, .. } => assert_eq!(sub, 7),
+            other => panic!("{other:?}"),
+        }
+        // Missing required fields stay typed.
+        let (_, code, _) = parse_request(r#"{"op":"subscribe"}"#).unwrap_err();
+        assert_eq!(code, ErrorCode::BadRequest);
+        let (_, code, _) = parse_request(r#"{"op":"unsubscribe"}"#).unwrap_err();
+        assert_eq!(code, ErrorCode::BadRequest);
+        let (_, code, _) = parse_request(r#"{"op":"unsubscribe","sub":"x"}"#).unwrap_err();
+        assert_eq!(code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn update_and_subscription_renderers_emit_valid_json() {
+        let res = render_update(&UpdateResult {
+            id: "\"u\"".into(),
+            graph: "g".into(),
+            generation: 3,
+            inserted: 2,
+            deleted: 1,
+            dup_inserts: 1,
+            missing_deletes: 0,
+            pending: 5,
+            compacted: false,
+            elapsed_ms: 0.7,
+            subscriptions: vec![SubscriptionDelta {
+                sub: 1,
+                pattern: "triangle".into(),
+                count: 42,
+                destroyed: 3,
+                created: 9,
+            }],
+        });
+        assert_eq!(response_field(&res, "status").unwrap().as_str(), Some("ok"));
+        assert_eq!(
+            response_field(&res, "generation").unwrap().as_u64(),
+            Some(3)
+        );
+        assert_eq!(response_field(&res, "inserted").unwrap().as_u64(), Some(2));
+        assert_eq!(response_field(&res, "pending").unwrap().as_u64(), Some(5));
+        assert_eq!(
+            response_field(&res, "compacted").unwrap().as_bool(),
+            Some(false)
+        );
+        let subs = response_field(&res, "subscriptions").expect("subscriptions array");
+        match &subs {
+            Json::Arr(items) => {
+                assert_eq!(items.len(), 1);
+                assert_eq!(items[0].get("sub").and_then(Json::as_u64), Some(1));
+                assert_eq!(items[0].get("count").and_then(Json::as_u64), Some(42));
+                assert_eq!(
+                    items[0].get("pattern").and_then(Json::as_str),
+                    Some("triangle")
+                );
+            }
+            other => panic!("subscriptions must be an array, got {other:?}"),
+        }
+
+        let sub = render_subscribed("\"s\"", 4, "g", "p2", 7, 1234, 0.3);
+        assert_eq!(response_field(&sub, "status").unwrap().as_str(), Some("ok"));
+        assert_eq!(response_field(&sub, "sub").unwrap().as_u64(), Some(4));
+        assert_eq!(response_field(&sub, "count").unwrap().as_u64(), Some(1234));
+        assert_eq!(
+            response_field(&sub, "generation").unwrap().as_u64(),
+            Some(7)
+        );
+
+        let un = render_unsubscribed("null", 4, true);
+        assert_eq!(
+            response_field(&un, "removed").unwrap().as_bool(),
+            Some(true)
+        );
+        let un = render_unsubscribed("null", 9, false);
+        assert_eq!(
+            response_field(&un, "removed").unwrap().as_bool(),
+            Some(false)
         );
     }
 }

@@ -53,7 +53,10 @@ use crate::batch::{BatchGate, BatchVerdict, MemberExec, MemberOutput, Ticket};
 use crate::catalog::GraphCatalog;
 use crate::json::ObjWriter;
 use crate::plan_cache::{PlanCache, PlanKey};
-use crate::protocol::{self, ErrorCode, QueryRequest, QueryResult, Request, WireOutcome};
+use crate::protocol::{
+    self, ErrorCode, QueryRequest, QueryResult, Request, SubscribeRequest, SubscriptionDelta,
+    UpdateRequest, UpdateResult, WireOutcome,
+};
 
 /// Lock a mutex, recovering the data if a previous holder panicked.
 ///
@@ -110,6 +113,11 @@ pub struct ServeConfig {
     /// (even non-batchable) queries reuse each other's trimmed-adjacency
     /// tables. `--no-shared-aux` clears it.
     pub shared_aux: bool,
+    /// Fold a mutated entry's delta overlay into a fresh base (rewriting
+    /// the backing snapshot, for snapshot-loaded graphs) once it holds
+    /// this many pending edges. `None` compacts only on explicit
+    /// `"compact":true` requests.
+    pub compact_threshold: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -126,6 +134,7 @@ impl Default for ServeConfig {
             flat_topology: false,
             batch_window: Some(Duration::from_millis(2)),
             shared_aux: true,
+            compact_threshold: Some(32_768),
         }
     }
 }
@@ -341,6 +350,8 @@ pub struct ServiceMetrics {
     pub matches_returned: AtomicU64,
     /// Non-query ops served (ping/stats/catalog/health/shutdown).
     pub control_ops: AtomicU64,
+    /// Committed `update` batches across all graphs.
+    pub updates: AtomicU64,
     /// Total engine execution time, nanoseconds (feeds `retry_after_ms`).
     pub exec_ns: AtomicU64,
     /// Queries whose engine run finished (denominator for `exec_ns`).
@@ -421,6 +432,37 @@ pub struct QueryService {
     /// Batching enabled: a window is configured and `LIGHT_MQO` ≠ "0"
     /// (the env kill-switch is read once at construction).
     mqo: bool,
+    /// Maintained per-(pattern, graph) counts (`subscribe` op) plus the
+    /// next subscription id. The lock is held across the whole update op
+    /// — subscription maintenance, generation reads, and registration are
+    /// thereby serialized against each other, so a maintained count can
+    /// never straddle a concurrent batch.
+    subs: Mutex<SubRegistry>,
+}
+
+/// One maintained count: the raw (symmetry-off) embedding total, updated
+/// differentially on every batch; the reduced count reported to clients
+/// is `raw / aut`.
+#[derive(Debug, Clone)]
+struct Subscription {
+    id: u64,
+    graph: String,
+    /// Pattern spec as the client sent it (echoed back on updates).
+    spec: String,
+    pattern: PatternGraph,
+    /// `|Aut(P)|` — raw-to-reduced ratio, computed at registration.
+    aut: u64,
+    /// Maintained raw embedding count.
+    raw: u64,
+    /// Entry generation the count is valid for.
+    generation: u64,
+}
+
+/// The subscription table plus its id counter.
+#[derive(Debug, Default)]
+struct SubRegistry {
+    next_id: u64,
+    entries: Vec<Subscription>,
 }
 
 impl QueryService {
@@ -456,6 +498,7 @@ impl QueryService {
             batch: BatchGate::default(),
             shared_aux,
             mqo,
+            subs: Mutex::new(SubRegistry::default()),
             catalog,
             cfg,
         }
@@ -608,7 +651,240 @@ impl QueryService {
                     }
                 }
             }
+            Request::Update(u) => {
+                // Same supervision as queries: the update path is
+                // transactional (nothing commits before the catalog
+                // entry's write-lock swap), so a contained panic —
+                // including an armed `serve::update_apply` failpoint —
+                // leaves the old generation serving.
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.apply_update_op(&u)
+                })) {
+                    Ok(resp) => resp,
+                    Err(payload) => {
+                        self.metrics.note_panic();
+                        protocol::render_internal(
+                            &u.id,
+                            &panic_message(payload),
+                            &[
+                                ("graph", u.graph.as_deref().unwrap_or("<default>")),
+                                ("op", "update"),
+                            ],
+                        )
+                    }
+                }
+            }
+            Request::Subscribe(s) => {
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.subscribe_op(&s)
+                })) {
+                    Ok(resp) => resp,
+                    Err(payload) => {
+                        self.metrics.note_panic();
+                        protocol::render_internal(
+                            &s.id,
+                            &panic_message(payload),
+                            &[
+                                ("graph", s.graph.as_deref().unwrap_or("<default>")),
+                                ("pattern", &s.pattern),
+                                ("op", "subscribe"),
+                            ],
+                        )
+                    }
+                }
+            }
+            Request::Unsubscribe { id, sub } => {
+                self.metrics.control_ops.fetch_add(1, Ordering::Relaxed);
+                let mut subs = lock_recover(&self.subs);
+                let before = subs.entries.len();
+                subs.entries.retain(|s| s.id != sub);
+                protocol::render_unsubscribed(&id, sub, subs.entries.len() < before)
+            }
         }
+    }
+
+    /// Resolve a request's graph name (or the sole entry) to its catalog
+    /// entry.
+    fn resolve_entry(
+        &self,
+        graph: &Option<String>,
+    ) -> Result<&crate::catalog::CatalogEntry, (ErrorCode, String)> {
+        match graph {
+            Some(name) => self.catalog.get(name).ok_or_else(|| {
+                (
+                    ErrorCode::UnknownGraph,
+                    format!("no graph {name:?} in the catalog (try \"op\":\"catalog\")"),
+                )
+            }),
+            None => self.catalog.sole_entry().ok_or_else(|| {
+                (
+                    ErrorCode::BadRequest,
+                    format!(
+                        "\"graph\" is required on a {}-graph daemon",
+                        self.catalog.len()
+                    ),
+                )
+            }),
+        }
+    }
+
+    /// Apply one `update` batch: mutate the catalog entry, invalidate the
+    /// cross-query cache tiers, and differentially maintain every
+    /// subscribed count on the graph.
+    fn apply_update_op(&self, u: &UpdateRequest) -> String {
+        let err = |code: ErrorCode, msg: String| {
+            self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            protocol::render_error(&u.id, code, &msg)
+        };
+        if self.is_draining() {
+            return err(
+                ErrorCode::Draining,
+                "service is draining; no new updates accepted".into(),
+            );
+        }
+        let entry = match self.resolve_entry(&u.graph) {
+            Ok(e) => e,
+            Err((code, msg)) => return err(code, msg),
+        };
+        if !entry.check_health() {
+            return err(
+                ErrorCode::GraphUnhealthy,
+                format!(
+                    "graph {:?}: backing snapshot {} shrank or was replaced on disk; \
+                     updates refused",
+                    entry.name, entry.source
+                ),
+            );
+        }
+        let t = Instant::now();
+        // Hold the registry lock across apply + maintenance: update
+        // batches are serialized against each other and against
+        // registrations, so every maintained count sees every batch
+        // exactly once, in commit order.
+        let mut subs = lock_recover(&self.subs);
+        let out = match entry.apply_update(
+            &u.deletes,
+            &u.inserts,
+            self.cfg.compact_threshold,
+            u.compact,
+        ) {
+            Ok(o) => o,
+            Err(e) => {
+                return err(
+                    ErrorCode::Internal,
+                    format!("update rejected; graph unchanged: {e}"),
+                )
+            }
+        };
+        self.metrics.updates.fetch_add(1, Ordering::Relaxed);
+        // A mutated graph invalidates every cross-query cache tier: the
+        // shared aux store drops its trimmed-adjacency tables (O(1)
+        // generation bump), and the plan cache misses naturally because
+        // its keys embed the entry generation. Per-entry `GraphStats`
+        // were recomputed inside the commit.
+        if let Some(store) = self.shared_store(&entry.name) {
+            store.invalidate();
+        }
+        // Differential maintenance: count only the embeddings the batch
+        // destroyed (in the pre graph) or created (in the post graph).
+        let mut deltas = Vec::new();
+        for sub in subs.entries.iter_mut().filter(|s| s.graph == entry.name) {
+            let (destroyed, created) = light_core::raw_delta(
+                &sub.pattern,
+                &out.pre,
+                &out.post,
+                &out.report.deleted,
+                &out.report.inserted,
+                &self.cfg.engine,
+            );
+            sub.raw = (sub.raw + created).saturating_sub(destroyed);
+            sub.generation = out.generation;
+            deltas.push(SubscriptionDelta {
+                sub: sub.id,
+                pattern: sub.spec.clone(),
+                count: sub.raw / sub.aut.max(1),
+                destroyed,
+                created,
+            });
+        }
+        drop(subs);
+        protocol::render_update(&UpdateResult {
+            id: u.id.clone(),
+            graph: entry.name.clone(),
+            generation: out.generation,
+            inserted: out.report.inserted.len() as u64,
+            deleted: out.report.deleted.len() as u64,
+            dup_inserts: out.report.dup_inserts as u64,
+            missing_deletes: out.report.missing_deletes as u64,
+            pending: out.pending as u64,
+            compacted: out.compacted,
+            elapsed_ms: t.elapsed().as_secs_f64() * 1e3,
+            subscriptions: deltas,
+        })
+    }
+
+    /// Register a maintained count: run the full count once, then keep it
+    /// current differentially on every subsequent update.
+    fn subscribe_op(&self, s: &SubscribeRequest) -> String {
+        let err = |code: ErrorCode, msg: String| {
+            self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            protocol::render_error(&s.id, code, &msg)
+        };
+        if self.is_draining() {
+            return err(
+                ErrorCode::Draining,
+                "service is draining; no new subscriptions accepted".into(),
+            );
+        }
+        let entry = match self.resolve_entry(&s.graph) {
+            Ok(e) => e,
+            Err((code, msg)) => return err(code, msg),
+        };
+        if !entry.check_health() {
+            return err(
+                ErrorCode::GraphUnhealthy,
+                format!(
+                    "graph {:?}: backing snapshot {} shrank or was replaced on disk",
+                    entry.name, entry.source
+                ),
+            );
+        }
+        let pattern = match parse_pattern(&s.pattern) {
+            Ok(p) => p,
+            Err(e) => return err(ErrorCode::BadPattern, e),
+        };
+        // Registration holds the registry lock across the initial full
+        // count, so no update can commit between counting and enrolling —
+        // the count is exact for the generation it records.
+        let mut subs = lock_recover(&self.subs);
+        let (graph, generation) = entry.view();
+        if let Err(e) = validate_query(&pattern, graph.num_vertices()) {
+            return err(ErrorCode::BadQuery, e.to_string());
+        }
+        let t = Instant::now();
+        let report = light_core::run_query(&pattern, &graph, &self.cfg.engine);
+        let aut = light_core::automorphism_count(&pattern);
+        let id = subs.next_id;
+        subs.next_id += 1;
+        subs.entries.push(Subscription {
+            id,
+            graph: entry.name.clone(),
+            spec: s.pattern.clone(),
+            pattern,
+            aut,
+            raw: report.matches * aut,
+            generation,
+        });
+        drop(subs);
+        protocol::render_subscribed(
+            &s.id,
+            id,
+            &entry.name,
+            &s.pattern,
+            generation,
+            report.matches,
+            t.elapsed().as_secs_f64() * 1e3,
+        )
     }
 
     /// Resolve and run one query request end to end.
@@ -663,7 +939,11 @@ impl QueryService {
             Ok(p) => p,
             Err(e) => return err(ErrorCode::BadPattern, e),
         };
-        if let Err(e) = validate_query(&pattern, entry.graph.num_vertices()) {
+        // One consistent (graph, generation) pair for the whole query:
+        // the plan-cache key, planning statistics, and execution all see
+        // the same view even if an update commits mid-query.
+        let (graph, generation) = entry.view();
+        if let Err(e) = validate_query(&pattern, graph.num_vertices()) {
             return err(ErrorCode::BadQuery, e.to_string());
         }
         let mut cfg = self.cfg.engine.clone();
@@ -730,10 +1010,10 @@ impl QueryService {
             cfg.shared_aux = Some(Arc::clone(store));
         }
 
-        let key = PlanKey::new(&pattern, &entry.name, &cfg);
+        let key = PlanKey::new(&pattern, &entry.name, generation, &cfg);
         let (plan, cache_hit) = self.plans.get_or_build(key, || {
             light_failpoint::fail_point!("serve::plan_build");
-            cfg.plan(&pattern, &entry.graph)
+            cfg.plan(&pattern, &graph)
         });
 
         let pcfg = ParallelConfig::new(threads).flat_topology(self.cfg.flat_topology);
@@ -760,7 +1040,7 @@ impl QueryService {
                         bcfg.time_budget = None;
                         bcfg.cancel = None;
                         self.batch
-                            .lead(&grp, &entry.name, &entry.graph, window, &bcfg, &pcfg)
+                            .lead(&grp, &entry.name, &graph, window, &bcfg, &pcfg)
                     }
                     Ticket::Follower(grp, idx) => {
                         let cutoff = deadline.unwrap_or(Duration::from_secs(3600))
@@ -795,7 +1075,7 @@ impl QueryService {
         }
 
         let t_exec = Instant::now();
-        let pr = run_plan_parallel(&plan, &entry.graph, &cfg, &pcfg);
+        let pr = run_plan_parallel(&plan, &graph, &cfg, &pcfg);
         let exec_ns = t_exec.elapsed().as_nanos() as u64;
         self.metrics.exec_ns.fetch_add(exec_ns, Ordering::Relaxed);
         self.metrics.exec_done.fetch_add(1, Ordering::Relaxed);
@@ -911,7 +1191,8 @@ impl QueryService {
             .u64("timeout", ld(&m.timeouts))
             .u64("cancelled", ld(&m.cancelled))
             .u64("matches_returned", ld(&m.matches_returned))
-            .u64("control_ops", ld(&m.control_ops));
+            .u64("control_ops", ld(&m.control_ops))
+            .u64("updates", ld(&m.updates));
 
         let mut queue = ObjWriter::new();
         queue

@@ -227,6 +227,7 @@ USAGE:
                  [--drain-grace <secs>] [--idle-timeout <secs>|none]
                  [--mem-watermark <MiB>] [--flat-topology] [--no-mmap]
                  [--batch-window-ms <ms>] [--no-shared-aux]
+                 [--compact-threshold <edges>]
                  [engine options as for count]
 
   Resident daemon: loads the catalog once, answers newline-delimited JSON
@@ -245,11 +246,17 @@ USAGE:
   the same graph that arrive within it run as ONE shared enumeration
   pass over their common plan prefix (LIGHT_MQO=0 disables at runtime);
   --no-shared-aux drops the per-graph cross-query trimmed-adjacency
-  cache that concurrent queries otherwise share.
+  cache that concurrent queries otherwise share. Graphs mutate in place
+  via the update op (see light query below); --compact-threshold
+  (default 32768, 0 = never) is the pending-overlay size at which an
+  update also folds the delta overlay into a fresh base snapshot.
 
   light query    --socket <path> [--pattern <..>] [--graph <name>]
                  [--timeout-ms <ms>] [--threads <k>] [--variant ..]
-                 [--op query|stats|catalog|health|ping|shutdown]
+                 [--op query|update|subscribe|unsubscribe|stats|catalog|
+                      health|ping|shutdown]
+                 [--inserts <a-b,..>] [--deletes <a-b,..>] [--compact]
+                 [--sub <id>]
                  [--id <s>] [--priority <0-9>] [--profile]
                  [--retries <n>] [--backoff-base-ms <ms>]
                  [--concurrency <n>] [--repeat <k>]
@@ -262,7 +269,10 @@ USAGE:
   hint; partial results are never retried. With --concurrency/--repeat it
   becomes a closed-loop load driver: n threads each send k copies of the
   request over private connections, then a latency/QPS summary replaces
-  the response lines."
+  the response lines. --op update mutates a served graph (--inserts /
+  --deletes take dashed edge lists, --compact forces an overlay fold);
+  --op subscribe registers --pattern for incremental count maintenance,
+  --op unsubscribe --sub <id> removes it (docs/serve.md)."
     );
 }
 
@@ -275,6 +285,7 @@ const FLAG_OPTS: &[&str] = &[
     "flat-topology",
     "no-mmap",
     "no-shared-aux",
+    "compact",
 ];
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -828,6 +839,12 @@ fn cmd_serve(opts: &Opts) -> Result<ExitCode, String> {
         flat_topology: opts.contains_key("flat-topology"),
         batch_window,
         shared_aux: !opts.contains_key("no-shared-aux"),
+        // --compact-threshold 0 disables automatic overlay compaction
+        // (explicit {"op":"update","compact":true} still works).
+        compact_threshold: match parse_usize("compact-threshold", 32_768)? {
+            0 => None,
+            t => Some(t),
+        },
         engine: engine_config(opts)?,
     };
 
@@ -838,9 +855,9 @@ fn cmd_serve(opts: &Opts) -> Result<ExitCode, String> {
             e.name,
             e.source,
             e.format,
-            e.backend,
-            e.stats.num_vertices,
-            e.stats.num_edges,
+            e.backend(),
+            e.stats().num_vertices,
+            e.stats().num_edges,
             e.load_ms
         );
     }
@@ -1002,6 +1019,52 @@ fn cmd_query(opts: &Opts) -> Result<ExitCode, String> {
                 // --profile on stats asks for the engine-side document.
                 w.bool("engine", true);
             }
+        }
+        "update" => {
+            if let Some(g) = opts.get("graph") {
+                w.str("graph", g);
+            }
+            // `--inserts "0-1,2-5"` / `--deletes ...`: the same dashed
+            // edge-list spelling `--pattern` uses, rendered as [[a,b],..].
+            let edges = |spec: &str| -> Result<String, String> {
+                let mut pairs = Vec::new();
+                for part in spec.split(',').filter(|p| !p.is_empty()) {
+                    let (a, b) = part
+                        .split_once('-')
+                        .ok_or_else(|| format!("bad edge {part:?}: expected a-b"))?;
+                    let a: u32 = a
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("bad edge {part:?}: {e}"))?;
+                    let b: u32 = b
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("bad edge {part:?}: {e}"))?;
+                    pairs.push(format!("[{a},{b}]"));
+                }
+                Ok(format!("[{}]", pairs.join(",")))
+            };
+            if let Some(s) = opts.get("inserts") {
+                w.raw("inserts", &edges(s)?);
+            }
+            if let Some(s) = opts.get("deletes") {
+                w.raw("deletes", &edges(s)?);
+            }
+            if opts.contains_key("compact") {
+                w.bool("compact", true);
+            }
+        }
+        "subscribe" => {
+            w.str("pattern", get(opts, "pattern")?);
+            if let Some(g) = opts.get("graph") {
+                w.str("graph", g);
+            }
+        }
+        "unsubscribe" => {
+            let sub: u64 = get(opts, "sub")?
+                .parse()
+                .map_err(|e| format!("bad --sub: {e}"))?;
+            w.u64("sub", sub);
         }
         "catalog" | "health" | "ping" | "shutdown" => {}
         other => return Err(format!("unknown --op {other:?}")),

@@ -1,0 +1,248 @@
+//! Differential tests for the dynamic-graph path (DESIGN.md §17): a
+//! base CSR graph mutated through the delta overlay must count exactly
+//! like a graph rebuilt from scratch from the same edge set — across
+//! every catalog pattern, serial and parallel execution, the auxiliary
+//! cache on and off, and before and after compaction. A second leg
+//! checks the incremental count-maintenance identity the serve tier's
+//! `subscribe` op relies on: `raw += created − destroyed` tracked by
+//! edge-anchored delta enumeration stays equal to a full recount after
+//! every batch.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use light::core::{automorphism_count, raw_delta, run_query, EngineConfig};
+use light::graph::delta::DeltaGraph;
+use light::graph::{generators, CsrGraph};
+use light::parallel::{run_query_parallel, ParallelConfig};
+use light::pattern::Query;
+
+/// The full pattern catalog plus the triangle.
+const CATALOG: [Query; 8] = [
+    Query::Triangle,
+    Query::P1,
+    Query::P2,
+    Query::P3,
+    Query::P4,
+    Query::P5,
+    Query::P6,
+    Query::P7,
+];
+
+/// Collect the undirected edge set of a graph as canonical `(u, v)` with
+/// `u < v`.
+fn edge_set(g: &CsrGraph) -> Vec<(u32, u32)> {
+    let mut edges = Vec::with_capacity(g.num_edges());
+    for u in 0..g.num_vertices() as u32 {
+        for &v in g.neighbors(u) {
+            if u < v {
+                edges.push((u, v));
+            }
+        }
+    }
+    edges
+}
+
+/// Rebuild-from-scratch reference: a fresh CSR from the same edge set.
+/// `from_edges` may relabel; subgraph counts are isomorphism-invariant,
+/// so any relabeling must leave every catalog count unchanged.
+fn rebuilt(g: &CsrGraph) -> CsrGraph {
+    light::graph::builder::from_edges(edge_set(g))
+}
+
+/// A batch of edge endpoints, as the serve tier's `update` op takes them.
+type EdgeBatch = Vec<(u32, u32)>;
+
+/// One random mutation batch: deletes biased toward edges that exist,
+/// inserts biased toward edges that don't, with some deliberate no-ops
+/// and self-loops mixed in to exercise normalization.
+fn random_batch(rng: &mut StdRng, g: &CsrGraph, ops: usize) -> (EdgeBatch, EdgeBatch) {
+    let n = g.num_vertices() as u32;
+    let present = edge_set(g);
+    let mut deletes = Vec::new();
+    let mut inserts = Vec::new();
+    for _ in 0..ops {
+        if rng.random_bool(0.45) && !present.is_empty() {
+            deletes.push(present[rng.random_range(0..present.len())]);
+        } else {
+            let a = rng.random_range(0..n);
+            let b = rng.random_range(0..n);
+            inserts.push((a, b)); // may be a self-loop or duplicate
+        }
+    }
+    (deletes, inserts)
+}
+
+/// Every engine leg the serve tier can route a count through.
+fn count_all_ways(pattern: &Query, g: &CsrGraph) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    for aux in [true, false] {
+        let cfg = EngineConfig::light().aux_cache(aux);
+        out.push((
+            format!("serial/aux={aux}"),
+            run_query(&pattern.pattern(), g, &cfg).matches,
+        ));
+        out.push((
+            format!("parallel/aux={aux}"),
+            run_query_parallel(&pattern.pattern(), g, &cfg, &ParallelConfig::new(3))
+                .report
+                .matches,
+        ));
+    }
+    out
+}
+
+/// Tentpole differential: after every batch the overlay's merged view
+/// counts exactly like a graph rebuilt from scratch, across the full
+/// pattern × execution matrix; compaction changes nothing.
+#[test]
+fn overlay_counts_match_rebuild_across_matrix() {
+    let mut rng = StdRng::seed_from_u64(0x11617);
+    let base = Arc::new(generators::erdos_renyi(140, 420, 7));
+    let mut delta = DeltaGraph::new(Arc::clone(&base));
+
+    for batch in 0..6 {
+        let pre = delta.merged_arc();
+        let (deletes, inserts) = random_batch(&mut rng, &pre, 30);
+        delta.apply(&deletes, &inserts);
+        let post = delta.merged_arc();
+        let reference = rebuilt(&post);
+        assert_eq!(post.num_edges(), reference.num_edges(), "batch {batch}");
+
+        // Full matrix on the first and last batches, a cheap spot-check
+        // (triangle only) in between: the overlay either merges right for
+        // every pattern or it doesn't — the matrix does not depend on
+        // which batch it runs after.
+        let patterns: &[Query] = if batch == 0 || batch == 5 {
+            &CATALOG
+        } else {
+            &CATALOG[..1]
+        };
+        for q in patterns {
+            let want = run_query(&q.pattern(), &reference, &EngineConfig::light()).matches;
+            for (leg, got) in count_all_ways(q, &post) {
+                assert_eq!(
+                    got,
+                    want,
+                    "batch {batch}, {} via {leg}: overlay={got} rebuilt={want}",
+                    q.name()
+                );
+            }
+        }
+
+        // Mid-sequence compaction: folding the buffers into a fresh base
+        // must not change a single count, and later batches then mutate
+        // the compacted base.
+        if batch == 2 {
+            assert!(delta.is_dirty(), "random batches must leave pending edges");
+            let folded = delta.compact();
+            assert_eq!(delta.pending_edges(), 0);
+            assert_eq!(folded.num_edges(), reference.num_edges());
+            for q in &CATALOG {
+                let want = run_query(&q.pattern(), &reference, &EngineConfig::light()).matches;
+                for (leg, got) in count_all_ways(q, &folded) {
+                    assert_eq!(got, want, "post-compaction {} via {leg}", q.name());
+                }
+            }
+        }
+    }
+}
+
+/// Incremental-maintenance leg: the running raw count maintained by
+/// edge-anchored delta enumeration equals `aut × full recount` after
+/// every batch — the exact invariant the serve tier's subscriptions
+/// depend on.
+#[test]
+fn incremental_counts_match_full_recount() {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    let base = Arc::new(generators::erdos_renyi(120, 360, 11));
+    let mut delta = DeltaGraph::new(Arc::clone(&base));
+    let cfg = EngineConfig::light();
+
+    // Maintained patterns: keep the heavy tail out so the per-batch
+    // recount stays fast; the tentpole test covers the full catalog.
+    let maintained = [Query::Triangle, Query::P1, Query::P2, Query::P3];
+    let mut raw: Vec<u64> = maintained
+        .iter()
+        .map(|q| {
+            let p = q.pattern();
+            run_query(&p, &base, &cfg).matches * automorphism_count(&p)
+        })
+        .collect();
+
+    for batch in 0..8 {
+        let pre = delta.merged_arc();
+        let (deletes, inserts) = random_batch(&mut rng, &pre, 20);
+        let report = delta.apply(&deletes, &inserts);
+        let post = delta.merged_arc();
+
+        for (i, q) in maintained.iter().enumerate() {
+            let p = q.pattern();
+            let (destroyed, created) =
+                raw_delta(&p, &pre, &post, &report.deleted, &report.inserted, &cfg);
+            raw[i] = (raw[i] + created).saturating_sub(destroyed);
+
+            let aut = automorphism_count(&p);
+            let full = run_query(&p, &post, &cfg).matches;
+            assert_eq!(
+                raw[i],
+                full * aut,
+                "batch {batch}, {}: maintained raw {} != {} × aut {}",
+                q.name(),
+                raw[i],
+                full,
+                aut
+            );
+        }
+
+        // Halfway through, compact and rebase the running counts onto the
+        // fresh base — the maintained totals must survive unchanged, as
+        // they do in the serve tier when the threshold trips.
+        if batch == 3 {
+            let folded = delta.compact();
+            for (i, q) in maintained.iter().enumerate() {
+                let p = q.pattern();
+                assert_eq!(
+                    raw[i],
+                    run_query(&p, &folded, &cfg).matches * automorphism_count(&p),
+                    "compaction must not disturb maintained count for {}",
+                    q.name()
+                );
+            }
+        }
+    }
+}
+
+/// Deletes-then-reinserts round-trip: a batch that removes a set of
+/// edges followed by a batch that puts them back must restore every
+/// count exactly, and leave the overlay logically clean of those edges.
+#[test]
+fn delete_insert_roundtrip_restores_counts() {
+    let base = Arc::new(generators::barabasi_albert(200, 3, 3));
+    let before: Vec<u64> = CATALOG
+        .iter()
+        .map(|q| run_query(&q.pattern(), &base, &EngineConfig::light()).matches)
+        .collect();
+
+    let victims: Vec<(u32, u32)> = edge_set(&base).into_iter().step_by(7).take(40).collect();
+    let mut delta = DeltaGraph::new(Arc::clone(&base));
+    let out = delta.apply(&victims, &[]);
+    assert_eq!(out.deleted.len(), victims.len());
+    let in_between = delta.merged_arc();
+    assert_eq!(in_between.num_edges(), base.num_edges() - victims.len());
+
+    let back = delta.apply(&[], &victims);
+    assert_eq!(back.inserted.len(), victims.len());
+    let restored = delta.merged_arc();
+    assert_eq!(restored.num_edges(), base.num_edges());
+    for (q, want) in CATALOG.iter().zip(&before) {
+        assert_eq!(
+            run_query(&q.pattern(), &restored, &EngineConfig::light()).matches,
+            *want,
+            "round-trip must restore {}",
+            q.name()
+        );
+    }
+}

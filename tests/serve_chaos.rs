@@ -98,6 +98,7 @@ fn service() -> Arc<QueryService> {
             // stays per-query; the batch leg below turns it on.
             batch_window: None,
             shared_aux: false,
+            compact_threshold: Some(32_768),
             engine: EngineConfig::light(),
         },
     ))
@@ -123,19 +124,20 @@ fn batched_service() -> Arc<QueryService> {
             flat_topology: false,
             batch_window: Some(Duration::from_millis(30)),
             shared_aux: true,
+            compact_threshold: Some(32_768),
             engine: EngineConfig::light(),
         },
     ))
 }
 
 fn expected_counts(svc: &QueryService) -> Vec<(&'static str, u64)> {
-    let g = &svc.catalog().get("g").unwrap().graph;
+    let g = svc.catalog().get("g").unwrap().graph();
     PATTERNS
         .iter()
         .map(|q| {
             (
                 q.name(),
-                run_query(&q.pattern(), g, &EngineConfig::light()).matches,
+                run_query(&q.pattern(), &g, &EngineConfig::light()).matches,
             )
         })
         .collect()
@@ -756,4 +758,109 @@ fn reactor_io_panics_kill_connections_not_the_daemon() {
         drop(s);
         shutdown_and_drain(&svc, server, &path);
     });
+}
+
+/// Transactional updates: a panic injected at `serve::update_apply` —
+/// after the new view is prepared, before it commits — must surface as
+/// a typed `internal_error`, leave the old generation live (the served
+/// graph, its generation counter, and every count unchanged), and once
+/// disarmed the very same batch applies cleanly, bumping the generation
+/// exactly once.
+#[test]
+fn update_fault_leaves_old_generation_intact() {
+    let _s = failpoint::FailScenario::setup();
+    quiet_injected_panics();
+    for kind in transports() {
+        let kind = *kind;
+        watchdog(&format!("update/{kind}"), move || {
+            let svc = service();
+            let expect = expected_counts(&svc);
+            let gen0 = svc.catalog().get("g").unwrap().generation();
+            let path = sock_path(&format!("update_{kind}"));
+            let server = Server::bind(kind, Arc::clone(&svc), &path);
+
+            // Pick an edge whose insertion is a real mutation.
+            let g0 = svc.catalog().get("g").unwrap().graph();
+            let mut wedge = None;
+            'outer: for u in 0..g0.num_vertices() as u32 {
+                let nbrs = g0.neighbors(u);
+                for (i, &x) in nbrs.iter().enumerate() {
+                    for &y in &nbrs[i + 1..] {
+                        if !g0.neighbors(x).contains(&y) {
+                            wedge = Some((x, y));
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            let (a, b) = wedge.expect("an open wedge exists");
+            let batch = format!(
+                "{{\"op\":\"update\",\"graph\":\"g\",\"inserts\":[[{a},{b}]],\"id\":\"boom\"}}"
+            );
+
+            failpoint::configure("serve::update_apply", "panic").unwrap();
+            let mut s = connect(&path);
+            let resp = roundtrip(&mut s, &batch);
+            assert_eq!(
+                resp.get("code").and_then(Json::as_str),
+                Some("internal_error"),
+                "{kind}: armed update panic must surface as internal_error: {resp:?}"
+            );
+            failpoint::remove("serve::update_apply");
+
+            // Nothing committed: same generation, and every count still
+            // matches the pre-fault graph exactly.
+            assert_eq!(
+                svc.catalog().get("g").unwrap().generation(),
+                gen0,
+                "{kind}: failed update must not bump the generation"
+            );
+            for (pat, matches) in &expect {
+                let resp = roundtrip(
+                    &mut s,
+                    &format!("{{\"op\":\"query\",\"pattern\":\"{pat}\",\"id\":\"pre-{pat}\"}}"),
+                );
+                assert_eq!(
+                    resp.get("matches").and_then(Json::as_u64),
+                    Some(*matches),
+                    "{kind}: post-fault count for {pat} must equal the pre-update graph"
+                );
+            }
+
+            // Disarmed, the identical batch commits: generation bumps by
+            // exactly one and the daemon serves the mutated graph.
+            let resp = roundtrip(&mut s, &batch);
+            assert_eq!(
+                resp.get("status").and_then(Json::as_str),
+                Some("ok"),
+                "{kind}: retried update must commit: {resp:?}"
+            );
+            assert_eq!(
+                resp.get("generation").and_then(Json::as_u64),
+                Some(gen0 + 1),
+                "{kind}: exactly one generation bump after the retry"
+            );
+            assert_eq!(resp.get("inserted").and_then(Json::as_u64), Some(1));
+            let g1 = svc.catalog().get("g").unwrap().graph();
+            let want = run_query(&Query::Triangle.pattern(), &g1, &EngineConfig::light()).matches;
+            let resp = roundtrip(
+                &mut s,
+                "{\"op\":\"query\",\"pattern\":\"triangle\",\"id\":\"post\"}",
+            );
+            assert_eq!(
+                resp.get("matches").and_then(Json::as_u64),
+                Some(want),
+                "{kind}: post-commit count must reflect the mutation"
+            );
+
+            let health = roundtrip(&mut s, "{\"op\":\"health\",\"id\":\"h\"}");
+            assert_eq!(
+                health.get("ready").and_then(Json::as_bool),
+                Some(true),
+                "{health:?}"
+            );
+            drop(s);
+            shutdown_and_drain(&svc, server, &path);
+        });
+    }
 }

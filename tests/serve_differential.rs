@@ -47,6 +47,7 @@ fn service() -> Arc<QueryService> {
             // batched path when concurrent clients land in one window.
             batch_window: Some(Duration::from_millis(2)),
             shared_aux: true,
+            compact_threshold: Some(32_768),
             engine: EngineConfig::light(),
         },
     ))
@@ -55,13 +56,13 @@ fn service() -> Arc<QueryService> {
 /// The ground truth: one-shot engine counts on the same (degree-ordered)
 /// graph the catalog serves.
 fn expected_counts(svc: &QueryService) -> Vec<(&'static str, u64)> {
-    let g = &svc.catalog().get("g").unwrap().graph;
+    let g = svc.catalog().get("g").unwrap().graph();
     PATTERNS
         .iter()
         .map(|q| {
             (
                 q.name(),
-                run_query(&q.pattern(), g, &EngineConfig::light()).matches,
+                run_query(&q.pattern(), &g, &EngineConfig::light()).matches,
             )
         })
         .collect()

@@ -114,6 +114,7 @@ fn overload_rejections_are_typed_and_bounded() {
             // Overload-timing golden: keep the batch gate's window out.
             batch_window: None,
             shared_aux: false,
+            compact_threshold: Some(32_768),
             engine: EngineConfig::light(),
         },
         3000,
@@ -324,10 +325,10 @@ mod noise {
         static DAEMON: OnceLock<(std::path::PathBuf, u64)> = OnceLock::new();
         DAEMON.get_or_init(|| {
             let svc = service_with(ServeConfig::default(), 200);
-            let g = &svc.catalog().get("g").unwrap().graph;
+            let g = svc.catalog().get("g").unwrap().graph();
             let tri = light::core::run_query(
                 &light::pattern::Query::Triangle.pattern(),
-                g,
+                &g,
                 &light::core::EngineConfig::light(),
             )
             .matches;

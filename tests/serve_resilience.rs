@@ -62,6 +62,7 @@ fn service(idle_timeout: Option<Duration>) -> Arc<QueryService> {
             // batch gate out of the picture.
             batch_window: None,
             shared_aux: false,
+            compact_threshold: Some(32_768),
             engine: EngineConfig::light(),
         },
     ))
@@ -219,8 +220,8 @@ fn query_in_flight_at_shutdown_receives_its_count() {
         let kind = *kind;
         watchdog(&format!("drain_flush/{kind}"), move || {
             let svc = service(Some(Duration::from_secs(30)));
-            let g = &svc.catalog().get("g").unwrap().graph;
-            let expect = run_query(&Query::P7.pattern(), g, &EngineConfig::light()).matches;
+            let g = svc.catalog().get("g").unwrap().graph();
+            let expect = run_query(&Query::P7.pattern(), &g, &EngineConfig::light()).matches;
 
             let path = sock_path(&format!("drainflush_{kind}"));
             let server = Server::bind(kind, Arc::clone(&svc), &path);
